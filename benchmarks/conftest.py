@@ -1,0 +1,25 @@
+"""Shared context for the paper-reproduction benchmarks.
+
+Scale defaults to 0.25 of the workloads' full iteration counts so the
+whole suite stays laptop-friendly; set ``REPRO_BENCH_SCALE=1.0`` to
+regenerate EXPERIMENTS.md-grade numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(scale=SCALE)
+
+
+def emit(text: str) -> None:
+    """Print a result table under pytest's capture (shown with -s)."""
+    print()
+    print(text)

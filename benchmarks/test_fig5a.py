@@ -1,0 +1,44 @@
+"""Figure 5a — prediction-table-only speedups (64/128/256 entries),
+hardware-only allocation vs compiler-directed allocation."""
+
+from benchmarks.conftest import emit
+from repro.harness.experiments import fig5a
+from repro.harness.reporting import format_table
+
+HEADERS = {
+    "benchmark": "Benchmark",
+    "hw_4": "HW 4",
+    "hw_16": "HW 16",
+    "hw_64": "HW 64",
+    "hw_128": "HW 128",
+    "hw_256": "HW 256",
+    "cc_4": "CC 4",
+    "cc_16": "CC 16",
+    "cc_64": "CC 64",
+    "cc_128": "CC 128",
+    "cc_256": "CC 256",
+}
+
+
+def test_fig5a(benchmark, ctx):
+    rows = benchmark.pedantic(fig5a, args=(ctx,), rounds=1, iterations=1)
+    emit(format_table(rows, headers=HEADERS,
+                      title="Figure 5a — table-only speedup"))
+
+    geo = rows[-1]
+    assert geo["benchmark"] == "geomean"
+    # Larger tables help (or at least never hurt) both schemes.
+    assert geo["hw_256"] >= geo["hw_4"] - 0.01
+    assert geo["cc_256"] >= geo["cc_4"] - 0.01
+    # Early generation never slows the machine down materially.
+    for row in rows:
+        for key, value in row.items():
+            if key != "benchmark":
+                assert value > 0.9
+    # The paper's contention claim, at our conflict-pressure scale: with
+    # compiler support only the PD loads compete for entries, so the
+    # smallest table loses less of its large-table speedup than the
+    # hardware-only scheme does.
+    cc_gap = geo["cc_256"] - geo["cc_4"]
+    hw_gap = geo["hw_256"] - geo["hw_4"]
+    assert cc_gap <= hw_gap + 0.01

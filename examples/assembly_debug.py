@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Figure 1, live: hand-written assembly through the timeline debugger.
+
+The paper's Figure 1 shows four pipeline scenarios; this example
+assembles small kernels for two of them and renders per-instruction
+issue timelines so the load-use stall — and its disappearance under
+early generation — is directly visible.
+
+Run:  python examples/assembly_debug.py
+"""
+
+from repro.isa import parse_asm
+from repro.sim.executor import execute
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.timeline import render_timeline
+
+# Figure 1c: a strided load, immediately used (load-use hazard).
+STRIDED = """
+.data arr 256
+main:
+    lea r4, arr
+    mov r6, 0
+loop:
+    ld_p r7, r4(0)       ; address = previous + 4: predictable
+    add r5, r5, r7       ; immediate use -> stalls without early gen
+    add r4, r4, 4
+    add r6, r6, 1
+    blt r6, 12, loop
+    halt
+"""
+
+# Figure 1d: pointer chasing; r4's next value comes from memory.
+CHASE = """
+.data cells 96
+main:
+    lea r4, cells
+    mov r6, 0
+setup:                   ; build a chain: cells[i] -> cells[i+1]
+    add r7, r4, 8
+    st r7, r4(0)
+    mov r4, r7
+    add r6, r6, 1
+    blt r6, 10, setup
+    st r0, r4(0)         ; terminate
+    lea r4, cells
+walk:
+    ld_e r5, r4(4)       ; payload off the same base: zero-cycle target
+    add r8, r8, r5
+    ld_e r4, r4(0)       ; the chase load itself
+    bne r4, 0, walk
+    halt
+"""
+
+
+def show(title, source, earlygen, start, count):
+    program = parse_asm(source)
+    trace = execute(program).trace
+    machine = MachineConfig().with_earlygen(earlygen)
+    stats = TimingSimulator(trace, machine, collect_timeline=True).run()
+    print(f"--- {title}: {stats.cycles} cycles, ipc {stats.ipc:.2f} ---")
+    print(render_timeline(trace, stats, start=start, count=count))
+    print()
+
+
+def main() -> None:
+    none = EarlyGenConfig(0, 0)
+    table = EarlyGenConfig(64, 0, SelectionMode.COMPILER)
+    raddr = EarlyGenConfig(0, 1, SelectionMode.COMPILER)
+
+    print("Figure 1a/1c — strided load with immediate use")
+    print("watch the +d column: the dependent add trails the load by the")
+    print("full 2-cycle latency at baseline, by less once ld_p hits.\n")
+    show("baseline", STRIDED, none, start=12, count=10)
+    show("with ld_p (256-entry table)", STRIDED, table, start=12, count=10)
+
+    print("Figure 1d — pointer chasing")
+    print("the payload load (r4+4) forwards at zero cycles through")
+    print("R_addr; the chase load itself cannot (its base was just")
+    print("loaded), exactly the paper's discussion.\n")
+    show("baseline", CHASE, none, start=58, count=12)
+    show("with ld_e (one R_addr)", CHASE, raddr, start=58, count=12)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Section 5.4: design-space exploration for an embedded core.
+
+Embedded parts trade silicon for software: this example sweeps the
+prediction-table size and the number of cached base registers on a
+MediaBench-style codec kernel and prints speedup per configuration, the
+kind of table an embedded-SoC architect would use to pick the smallest
+adequate design.
+
+Run:  python examples/embedded_design.py
+"""
+
+from repro.compiler.driver import compile_source
+from repro.sim.executor import Executor
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("ghostscript")
+    print(f"workload: {workload.name} — {workload.description}")
+    scale = max(1, workload.default_scale // 3)
+    result = compile_source(workload.source(scale))
+    exec_result = Executor(result.program).run()
+    assert exec_result.output == workload.expected_output(scale)
+    trace = exec_result.trace
+    print(f"dynamic instructions: {exec_result.steps}")
+    print(f"static classes: {result.class_counts()}")
+    print()
+
+    base = TimingSimulator(
+        trace, MachineConfig().with_earlygen(EarlyGenConfig(0, 0))
+    ).run()
+
+    print("compiler-directed dual-path speedup by hardware budget:")
+    header = "  table \\ regs " + "".join(
+        f"{r:>9d}" for r in (0, 1, 2)
+    )
+    print(header)
+    for entries in (0, 16, 64, 256):
+        row = f"  {entries:12d} "
+        for regs in (0, 1, 2):
+            if entries == 0 and regs == 0:
+                row += f"{'1.000x':>9s}"
+                continue
+            config = EarlyGenConfig(
+                entries, regs, SelectionMode.COMPILER
+            )
+            stats = TimingSimulator(
+                trace, MachineConfig().with_earlygen(config)
+            ).run()
+            row += f"{base.cycles / stats.cycles:8.3f}x"
+        print(row)
+    print()
+    print("the paper's point for embedded parts: one addressing register")
+    print("plus a small compiler-managed table captures most of the gain")
+    print("of much larger hardware-only structures.")
+
+
+if __name__ == "__main__":
+    main()

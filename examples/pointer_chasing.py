@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1d / Figure 4d scenario: pointer-chasing loops.
+
+Stride-based prediction cannot help loads whose base register is filled
+from memory each iteration; the early-calculation path through R_addr
+can.  This example builds a linked-list workload, then compares:
+
+* the baseline machine (no early generation),
+* table-based prediction alone (ld_p semantics for every load),
+* the compiler-directed dual-path scheme (the paper's proposal).
+
+Run:  python examples/pointer_chasing.py
+"""
+
+from repro.compiler.driver import compile_source
+from repro.sim.executor import Executor
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+
+SOURCE = """
+struct order { int qty; int price; int flags; struct order *next; };
+struct order *book;
+
+int main() {
+    int i; int revenue = 0; int r;
+    for (i = 0; i < 400; i++) {
+        struct order *o = (struct order *) malloc(sizeof(struct order));
+        o->qty = 1 + (i & 7);
+        o->price = 10 + (i & 31);
+        o->flags = i & 1;
+        o->next = book;
+        book = o;
+    }
+    for (r = 0; r < 12; r++) {
+        struct order *p = book;
+        while (p) {
+            if (p->flags) { revenue += p->qty * p->price; }
+            else { revenue += p->price; }
+            p = p->next;
+        }
+    }
+    print_int(revenue);
+    return 0;
+}
+"""
+
+
+def simulate(trace, earlygen):
+    machine = MachineConfig().with_earlygen(earlygen)
+    return TimingSimulator(trace, machine).run()
+
+
+def main() -> None:
+    result = compile_source(SOURCE)
+    listing = result.program.functions["main"].dump()
+    ld_e = listing.count("ld_e")
+    ld_p = listing.count("ld_p")
+    ld_n = listing.count("ld_n")
+    print(f"compiler classification: {ld_e} ld_e, {ld_p} ld_p, {ld_n} ld_n")
+    print("(the p->qty / p->price / p->flags / p->next group wins R_addr)")
+    print()
+
+    trace = Executor(result.program).run().trace
+    base = simulate(trace, EarlyGenConfig(0, 0))
+    table_only = simulate(
+        trace, EarlyGenConfig(1024, 0, SelectionMode.HARDWARE)
+    )
+    dual = simulate(
+        trace,
+        EarlyGenConfig(256, 1, SelectionMode.COMPILER),
+    )
+
+    print(f"{'configuration':38s} {'cycles':>9s} {'speedup':>8s}")
+    print("-" * 58)
+    for name, stats in (
+        ("baseline (no early generation)", base),
+        ("1024-entry prediction table alone", table_only),
+        ("compiler dual-path (256 + 1 R_addr)", dual),
+    ):
+        print(
+            f"{name:38s} {stats.cycles:9d} "
+            f"{base.cycles / stats.cycles:7.3f}x"
+        )
+    print()
+    print("why the table cannot win here: the chase loads' addresses are")
+    print("heap pointers loaded each iteration —")
+    print(f"  table path forwarded  {table_only.pred_success:6d} of "
+          f"{table_only.pred_loads} loads")
+    print(f"  R_addr path forwarded {dual.calc_success:6d} of "
+          f"{dual.calc_loads} loads (zero-cycle)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a mini-C program, inspect the load classes the
+compiler chose, and measure the speedup from compiler-directed early
+load-address generation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler.driver import compile_source
+from repro.sim.executor import Executor
+from repro.sim.machine import EarlyGenConfig, SelectionMode
+from repro.sim.pipeline import speedup
+
+SOURCE = """
+int table[256];
+int keys[256];
+
+struct node { int value; struct node *next; };
+struct node *stack;
+
+int main() {
+    int i; int total = 0;
+    struct node *p;
+
+    /* strided initialisation: the compiler marks these loads ld_p */
+    for (i = 0; i < 256; i++) {
+        keys[i] = (i * 7) & 255;
+        table[i] = i * 3;
+    }
+
+    /* indirection: table[keys[i]] uses a loaded index -> ld_n */
+    for (i = 0; i < 256; i++) {
+        total += table[keys[i]];
+    }
+
+    /* pointer chasing: the p-> loads share one base -> ld_e */
+    for (i = 0; i < 64; i++) {
+        struct node *n = (struct node *) malloc(sizeof(struct node));
+        n->value = i;
+        n->next = stack;
+        stack = n;
+    }
+    p = stack;
+    while (p) {
+        total += p->value;
+        p = p->next;
+    }
+
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile.  The driver runs the classical optimizations the paper
+    #    depends on, then the Section 4 classification heuristics.
+    result = compile_source(SOURCE)
+    counts = result.class_counts()
+    print("static load classes:", counts)
+    print()
+    print("annotated assembly (main):")
+    print(result.program.functions["main"].dump())
+    print()
+
+    # 2. Emulate once; the trace drives every timing configuration.
+    exec_result = Executor(result.program).run()
+    print("program output:", exec_result.output)
+    print("dynamic instructions:", exec_result.steps)
+    print()
+
+    # 3. Simulate the paper's proposed hardware: a 256-entry prediction
+    #    table plus a single compiler-directed addressing register.
+    proposed = EarlyGenConfig(
+        table_entries=256, cached_regs=1, selection=SelectionMode.COMPILER
+    )
+    ratio, stats, base = speedup(exec_result.trace, proposed)
+    print(f"baseline cycles:  {base.cycles}")
+    print(f"proposed cycles:  {stats.cycles}")
+    print(f"speedup:          {ratio:.3f}x")
+    print()
+    print("early-generation events:")
+    print(f"  prediction path: {stats.pred_success}/{stats.pred_loads} "
+          "loads forwarded at latency 1")
+    print(f"  early-calc path: {stats.calc_success}/{stats.calc_loads} "
+          "loads forwarded at latency 0")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Reproduction of "Compiler-Directed Early Load-Address Generation"
+(Cheng, Connors, Hwu — MICRO 1998).
+
+Subpackages:
+
+* :mod:`repro.isa`       — the RISC instruction set with ld_n/ld_p/ld_e
+* :mod:`repro.lang`      — mini-C frontend (IMPACT stand-in)
+* :mod:`repro.compiler`  — optimizer, register allocator, Section 4
+  load classification, Section 4.3 profile feedback
+* :mod:`repro.sim`       — functional emulator + cycle-level timing model
+  with both early-address-generation paths
+* :mod:`repro.profiling` — per-load stride-predictability profiling
+* :mod:`repro.workloads` — SPEC- and MediaBench-like benchmark programs
+* :mod:`repro.harness`   — experiment drivers for the paper's tables
+  and figures
+"""
+
+__version__ = "0.1.0"

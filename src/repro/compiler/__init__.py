@@ -1,0 +1,14 @@
+"""The IMPACT-compiler stand-in: IR generation, classical optimization,
+register allocation, and the paper's load-classification pass.
+
+Typical use goes through :func:`repro.compiler.driver.compile_source`::
+
+    from repro.compiler.driver import compile_source
+    result = compile_source(source_text)
+    result.program          # laid-out, classified machine code
+    result.class_counts()   # static NT/PD/EC mix
+"""
+
+from repro.compiler.driver import CompileResult, compile_source
+
+__all__ = ["CompileResult", "compile_source"]

@@ -1,0 +1,143 @@
+"""Control-flow graph over a function's flat instruction list.
+
+Blocks are delimited by labels and terminators (branches, RET, HALT);
+CALL does not end a block.  The CFG keeps each block's leading labels so
+that :meth:`CFG.to_function` can rebuild an equivalent flat body after
+transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, TERMINATOR_OPS
+from repro.isa.program import Function, Label
+
+#: Opcodes that end a basic block; CALL returns, so it does not.
+_BLOCK_TERMINATORS = TERMINATOR_OPS - {Opcode.CALL}
+
+
+class BasicBlock:
+    """A straight-line run of instructions."""
+
+    __slots__ = ("index", "labels", "instrs", "succs", "preds")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.labels: List[str] = []
+        self.instrs: List[Instruction] = []
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instrs and self.instrs[-1].opcode in _BLOCK_TERMINATORS:
+            return self.instrs[-1]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"BB{self.index}(labels={self.labels}, "
+            f"{len(self.instrs)} ops, succs={self.succs})"
+        )
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.label_block: Dict[str, int] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        blocks = self.blocks
+        current = BasicBlock(0)
+        blocks.append(current)
+
+        def fresh() -> BasicBlock:
+            block = BasicBlock(len(blocks))
+            blocks.append(block)
+            return block
+
+        for item in self.func.body:
+            if isinstance(item, Label):
+                # A label starts a new block unless the current one is
+                # still empty (consecutive labels share a block).
+                if current.instrs:
+                    current = fresh()
+                current.labels.append(item.name)
+                self.label_block[item.name] = current.index
+            else:
+                if current.terminator is not None:
+                    current = fresh()
+                current.instrs.append(item)
+
+        # Edges.
+        for block in blocks:
+            term = block.terminator
+            if term is None:
+                if block.index + 1 < len(blocks):
+                    block.succs.append(block.index + 1)
+                continue
+            op = term.opcode
+            if op is Opcode.JMP:
+                block.succs.append(self.label_block[term.target])
+            elif term.is_cond_branch:
+                block.succs.append(self.label_block[term.target])
+                if block.index + 1 < len(blocks):
+                    fall = block.index + 1
+                    if fall not in block.succs:
+                        block.succs.append(fall)
+            # RET / HALT: no successors.
+        for block in blocks:
+            for succ in block.succs:
+                blocks[succ].preds.append(block.index)
+
+    # -- queries ---------------------------------------------------------
+
+    def reachable(self) -> List[int]:
+        """Block indices reachable from the entry, in DFS preorder."""
+        seen = [False] * len(self.blocks)
+        order: List[int] = []
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            if seen[index]:
+                continue
+            seen[index] = True
+            order.append(index)
+            for succ in reversed(self.blocks[index].succs):
+                if not seen[succ]:
+                    stack.append(succ)
+        return order
+
+    def instructions(self):
+        """Iterate ``(block, position_in_block, instruction)``."""
+        for block in self.blocks:
+            for i, inst in enumerate(block.instrs):
+                yield block, i, inst
+
+    # -- reconstruction ------------------------------------------------------
+
+    def to_function(self, drop_unreachable: bool = True) -> Function:
+        """Rebuild a flat function body in block-list order.
+
+        With *drop_unreachable* (the default), blocks unreachable from
+        the entry are omitted.  Passes that insert new blocks (whose
+        edges are not wired up) must pass False.
+        """
+        reachable = set(self.reachable()) if drop_unreachable else None
+        body: List = []
+        for block in self.blocks:
+            if reachable is not None and block.index not in reachable:
+                continue
+            for name in block.labels:
+                body.append(Label(name))
+            body.extend(block.instrs)
+        self.func.body = body
+        return self.func

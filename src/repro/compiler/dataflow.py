@@ -1,0 +1,107 @@
+"""Dataflow analyses over the virtual-register IR.
+
+Registers are identified by :attr:`repro.isa.instruction.Reg.key`
+(``(bank, index, virtual)``), so physical registers (``sp``, argument
+registers, ...) participate in liveness like any other register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.compiler.cfg import CFG
+from repro.isa.instruction import Instruction, Reg
+from repro.isa.opcodes import Opcode
+
+RegKey = Tuple[str, int, bool]
+
+#: Caller-saved register keys clobbered by a CALL (int r1..r25, fp f0..f31).
+CALL_CLOBBERS: Set[RegKey] = (
+    {("int", i, False) for i in range(1, 26)}
+    | {("fp", i, False) for i in range(0, 32)}
+)
+#: Register keys a CALL implicitly reads (arguments may be set up by the
+#: caller; being conservative keeps argument moves alive).
+CALL_USES: Set[RegKey] = (
+    {("int", i, False) for i in range(2, 8)}
+    | {("fp", i, False) for i in range(1, 8)}
+    | {("int", 1, False), ("fp", 0, False)}
+)
+
+
+def inst_uses(inst: Instruction) -> List[RegKey]:
+    keys = [s.key for s in inst.srcs if isinstance(s, Reg)]
+    if inst.opcode is Opcode.RET:
+        keys.append(("int", 63, False))  # ra
+        keys.append(("int", 1, False))  # potential return value
+        keys.append(("fp", 0, False))
+    elif inst.opcode is Opcode.CALL:
+        keys.extend(CALL_USES)
+    return keys
+
+
+def inst_defs(inst: Instruction) -> List[RegKey]:
+    keys = [inst.dest.key] if inst.dest is not None else []
+    if inst.opcode is Opcode.CALL:
+        keys.append(("int", 63, False))  # ra
+        keys.extend(CALL_CLOBBERS)
+    return keys
+
+
+class Liveness:
+    """Per-block live-in/live-out sets."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.use: Dict[int, Set[RegKey]] = {}
+        self.defined: Dict[int, Set[RegKey]] = {}
+        self.live_in: Dict[int, Set[RegKey]] = {}
+        self.live_out: Dict[int, Set[RegKey]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        for block in cfg.blocks:
+            use: Set[RegKey] = set()
+            defined: Set[RegKey] = set()
+            for inst in block.instrs:
+                for key in inst_uses(inst):
+                    if key not in defined:
+                        use.add(key)
+                for key in inst_defs(inst):
+                    defined.add(key)
+            self.use[block.index] = use
+            self.defined[block.index] = defined
+            self.live_in[block.index] = set()
+            self.live_out[block.index] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.blocks):
+                index = block.index
+                out: Set[RegKey] = set()
+                for succ in block.succs:
+                    out |= self.live_in[succ]
+                new_in = self.use[index] | (out - self.defined[index])
+                if out != self.live_out[index] or new_in != self.live_in[index]:
+                    self.live_out[index] = out
+                    self.live_in[index] = new_in
+                    changed = True
+
+    def live_after(self, block_index: int) -> Set[RegKey]:
+        return self.live_out[block_index]
+
+    def per_instruction(self, block_index: int) -> List[Set[RegKey]]:
+        """Live sets *after* each instruction of the block, in order."""
+        block = self.cfg.blocks[block_index]
+        live = set(self.live_out[block_index])
+        after: List[Set[RegKey]] = [set()] * len(block.instrs)
+        for i in range(len(block.instrs) - 1, -1, -1):
+            after[i] = set(live)
+            inst = block.instrs[i]
+            for key in inst_defs(inst):
+                live.discard(key)
+            for key in inst_uses(inst):
+                live.add(key)
+        return after

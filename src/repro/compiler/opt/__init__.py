@@ -1,0 +1,36 @@
+"""Classical optimizations the paper's heuristics depend on (Section 4):
+
+    "These heuristics are applied after performing classical
+    optimizations including function inlining, virtual register
+    allocation, local/global constant propagation, local/global copy
+    propagation, local/global redundant load elimination, loop invariant
+    code removal, and induction variable elimination/strength reduction."
+
+Each pass takes a :class:`~repro.compiler.ir.FuncIR` (or the whole
+:class:`~repro.compiler.ir.ModuleIR` for inlining) and returns True when
+it changed anything, so the driver can iterate to a fixed point.
+"""
+
+from repro.compiler.opt.coalesce import coalesce_moves
+from repro.compiler.opt.constprop import constant_propagation
+from repro.compiler.opt.copyprop import copy_propagation
+from repro.compiler.opt.dce import dead_code_elimination
+from repro.compiler.opt.inline_ import inline_functions
+from repro.compiler.opt.licm import loop_invariant_code_motion
+from repro.compiler.opt.mem2reg import promote_locals
+from repro.compiler.opt.redundant_load import redundant_load_elimination
+from repro.compiler.opt.simplify import simplify_control_flow
+from repro.compiler.opt.strength import strength_reduction
+
+__all__ = [
+    "coalesce_moves",
+    "constant_propagation",
+    "copy_propagation",
+    "dead_code_elimination",
+    "inline_functions",
+    "loop_invariant_code_motion",
+    "promote_locals",
+    "redundant_load_elimination",
+    "simplify_control_flow",
+    "strength_reduction",
+]

@@ -1,0 +1,66 @@
+"""Conservative may-alias reasoning for memory operands.
+
+A memory operand is summarized as ``(base register key, displacement
+key, access size)`` where the displacement key is ``("imm", n)`` for
+immediate displacements, ``("sym", name, off)`` for absolute references
+to named globals, or ``None`` for register displacements (untrackable).
+
+Disambiguation rules (anything else may alias):
+
+* same base register, both immediate displacements, disjoint byte
+  ranges — no alias;
+* absolute references to two *different* named globals — no alias,
+  regardless of base (``Sym`` displacements only arise off ``r0``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instruction import Imm, Instruction, Sym
+from repro.isa.opcodes import Opcode
+
+ACCESS_SIZES = {
+    Opcode.LD: 4,
+    Opcode.LDB: 1,
+    Opcode.ST: 4,
+    Opcode.STB: 1,
+    Opcode.FLD: 8,
+    Opcode.FST: 8,
+}
+
+MemKey = Tuple
+
+
+def disp_key(disp) -> Optional[Tuple]:
+    if isinstance(disp, Imm):
+        return ("imm", disp.value)
+    if isinstance(disp, Sym):
+        return ("sym", disp.name, disp.offset)
+    return None
+
+
+def mem_key(inst: Instruction) -> Optional[MemKey]:
+    """Summary key of a load/store, or None when untrackable."""
+    disp = disp_key(inst.mem_disp)
+    if disp is None:
+        return None
+    return (inst.mem_base.key, disp, ACCESS_SIZES[inst.opcode])
+
+
+def may_alias(a: Optional[MemKey], b: MemKey) -> bool:
+    """Whether accesses *a* and *b* may overlap (conservative)."""
+    if a is None:
+        return True
+    a_base, a_disp, a_size = a
+    b_base, b_disp, b_size = b
+    if a_base == b_base:
+        if a_disp[0] == "imm" and b_disp[0] == "imm":
+            a_lo, b_lo = a_disp[1], b_disp[1]
+            return not (a_lo + a_size <= b_lo or b_lo + b_size <= a_lo)
+        if a_disp[0] == "sym" and b_disp[0] == "sym" and a_disp[1] != b_disp[1]:
+            return False
+        return True
+    if a_disp[0] == "sym" and b_disp[0] == "sym" and a_disp[1] != b_disp[1]:
+        return False
+    return True

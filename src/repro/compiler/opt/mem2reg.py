@@ -1,0 +1,84 @@
+"""Mem-to-reg promotion — the paper's "virtual register allocation".
+
+Scalar locals that are never address-taken live in stack slots after
+naive IR generation; this pass rewrites their loads and stores into
+register moves so that downstream passes (and the Section 4 heuristics)
+see register operands.  Without it nearly every value flows through a
+load and the S_load fixed point classifies everything as load-dependent —
+exactly the failure mode Section 4 warns about.
+
+``char`` slots keep their store-narrowing semantics: promoted byte stores
+mask the value to 8 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.compiler.ir import FrameSlot, FuncIR
+from repro.isa.instruction import Imm, Instruction, Reg
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import SP
+
+
+def promote_locals(fir: FuncIR) -> bool:
+    """Promote every promotable frame slot to a fresh virtual register."""
+    slot_reg: Dict[int, Tuple[FrameSlot, Reg]] = {}
+    for slot in fir.slots:
+        if not slot.promotable:
+            continue
+        bank = "fp" if slot.is_double else "int"
+        slot_reg[slot.offset] = (
+            slot,
+            Reg(fir.new_vreg_index(), bank, virtual=True),
+        )
+    if not slot_reg:
+        return False
+
+    changed = False
+    body = fir.func.body
+    for i, item in enumerate(body):
+        if not isinstance(item, Instruction):
+            continue
+        inst = item
+        if inst.is_load:
+            base, disp = inst.srcs
+            if (
+                isinstance(base, Reg)
+                and not base.virtual
+                and base.bank == "int"
+                and base.index == SP
+                and isinstance(disp, Imm)
+                and disp.value in slot_reg
+            ):
+                _, vreg = slot_reg[disp.value]
+                opcode = Opcode.FMOV if vreg.bank == "fp" else Opcode.MOV
+                body[i] = Instruction(opcode, inst.dest, [vreg])
+                changed = True
+        elif inst.is_store:
+            value, base, disp = inst.srcs
+            if (
+                isinstance(base, Reg)
+                and not base.virtual
+                and base.bank == "int"
+                and base.index == SP
+                and isinstance(disp, Imm)
+                and disp.value in slot_reg
+            ):
+                _, vreg = slot_reg[disp.value]
+                if inst.opcode is Opcode.STB:
+                    # Preserve byte-narrowing on promoted char stores.
+                    if isinstance(value, Imm):
+                        body[i] = Instruction(
+                            Opcode.MOV, vreg, [Imm(value.value & 0xFF)]
+                        )
+                    else:
+                        body[i] = Instruction(
+                            Opcode.AND, vreg, [value, Imm(0xFF)]
+                        )
+                elif inst.opcode is Opcode.FST:
+                    body[i] = Instruction(Opcode.FMOV, vreg, [value])
+                else:
+                    body[i] = Instruction(Opcode.MOV, vreg, [value])
+                changed = True
+    return changed

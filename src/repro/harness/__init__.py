@@ -1,0 +1,23 @@
+"""Experiment harness: one entry point per table/figure of the paper."""
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    fig5a,
+    fig5b,
+    fig5c,
+    table2,
+    table3,
+    table4,
+)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "ExperimentContext",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "format_table",
+    "table2",
+    "table3",
+    "table4",
+]

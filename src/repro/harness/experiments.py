@@ -1,0 +1,411 @@
+"""Drivers that regenerate the paper's evaluation artifacts.
+
+Every public function takes an :class:`ExperimentContext`, which caches
+the expensive per-workload artifacts (compiled program, functional
+trace, baseline timing run, address profile) so that the figure drivers
+can share them.  ``scale`` shrinks or grows workload iteration counts
+relative to their defaults, letting the same drivers run as fast smoke
+benchmarks or as full experiments.
+
+Experiment map (see DESIGN.md):
+
+========  ==========================================================
+table2    load-class mix and NT/PD prediction rates, SPEC suite
+fig5a     prediction-table-only speedups, 4..256 entries,
+          hardware-only vs compiler-directed allocation
+fig5b     early-calculation-only speedups, 4/8/16 cached registers
+fig5c     dual-path comparison: best single-path hw, dual hw-only,
+          dual compiler, dual compiler+profiling
+table3    profile-guided classification: speedup, PD shares, rates
+table4    MediaBench mix, prediction rates, and speedup
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.driver import CompileResult, compile_source
+from repro.compiler.profile_feedback import (
+    DEFAULT_THRESHOLD,
+    profile_overrides,
+)
+from repro.isa.opcodes import LoadSpec
+from repro.profiling.address_profile import AddressProfile, profile_trace
+from repro.sim.executor import Executor
+from repro.sim.machine import (
+    BASELINE,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.stats import SimStats
+from repro.sim.trace import Trace
+from repro.workloads import get_workload, workload_names
+
+
+@dataclass
+class WorkloadRun:
+    """Cached artifacts of one compiled-and-emulated workload."""
+
+    name: str
+    compile_result: CompileResult
+    trace: Trace
+    steps: int
+    profile: Optional[AddressProfile] = None
+    baseline: Optional[SimStats] = None
+    _sims: Dict = field(default_factory=dict)
+
+    @property
+    def program(self):
+        return self.compile_result.program
+
+    def get_profile(self) -> AddressProfile:
+        if self.profile is None:
+            self.profile = profile_trace(self.program, self.trace)
+        return self.profile
+
+
+class ExperimentContext:
+    """Compiles, emulates, and simulates workloads with caching."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        machine: Optional[MachineConfig] = None,
+        verify: bool = True,
+    ):
+        self.scale = scale
+        self.machine = machine if machine is not None else MachineConfig()
+        self.verify = verify
+        self._runs: Dict[str, WorkloadRun] = {}
+
+    def _scaled(self, name: str) -> int:
+        workload = get_workload(name)
+        return max(1, int(round(workload.default_scale * self.scale)))
+
+    def run(self, name: str) -> WorkloadRun:
+        cached = self._runs.get(name)
+        if cached is not None:
+            return cached
+        workload = get_workload(name)
+        scale = self._scaled(name)
+        result = compile_source(workload.source(scale))
+        exec_result = Executor(result.program).run()
+        if self.verify:
+            expected = workload.expected_output(scale)
+            if exec_result.output != expected:
+                raise AssertionError(
+                    f"{name}: emulated output {exec_result.output} != "
+                    f"reference {expected}"
+                )
+        run = WorkloadRun(
+            name, result, exec_result.trace, exec_result.steps
+        )
+        self._runs[name] = run
+        return run
+
+    def baseline_stats(self, name: str) -> SimStats:
+        run = self.run(name)
+        if run.baseline is None:
+            run.baseline = TimingSimulator(
+                run.trace, self.machine.with_earlygen(BASELINE)
+            ).run()
+        return run.baseline
+
+    def sim(
+        self,
+        name: str,
+        earlygen: EarlyGenConfig,
+        spec_override: Optional[Dict[int, LoadSpec]] = None,
+        cache_key: Optional[str] = None,
+    ) -> SimStats:
+        run = self.run(name)
+        key = (earlygen, cache_key)
+        cached = run._sims.get(key)
+        if cached is not None:
+            return cached
+        stats = TimingSimulator(
+            run.trace, self.machine.with_earlygen(earlygen), spec_override
+        ).run()
+        run._sims[key] = stats
+        return stats
+
+    def speedup(
+        self,
+        name: str,
+        earlygen: EarlyGenConfig,
+        spec_override: Optional[Dict[int, LoadSpec]] = None,
+        cache_key: Optional[str] = None,
+    ) -> float:
+        stats = self.sim(name, earlygen, spec_override, cache_key)
+        return self.baseline_stats(name).cycles / stats.cycles
+
+
+def _geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _spec_names(names: Optional[List[str]]) -> List[str]:
+    return names if names is not None else workload_names("spec")
+
+
+def _media_names(names: Optional[List[str]]) -> List[str]:
+    return names if names is not None else workload_names("mediabench")
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+def table2(
+    ctx: ExperimentContext, names: Optional[List[str]] = None
+) -> List[dict]:
+    """Load-class mix and NT/PD prediction rates for the SPEC suite.
+
+    Columns mirror the paper's Table 2: dynamic loads, static and dynamic
+    shares of NT/PD/EC, and the unbounded-predictor prediction rates of
+    the NT and PD classes.
+    """
+    rows = []
+    for name in _spec_names(names):
+        run = ctx.run(name)
+        profile = run.get_profile()
+        static = profile.static_class_shares()
+        dynamic = profile.dynamic_class_shares()
+        rates = profile.class_rates()
+        rows.append(
+            {
+                "benchmark": name,
+                "dyn_loads": profile.dynamic_loads,
+                "static_nt": static["n"] * 100,
+                "static_pd": static["p"] * 100,
+                "static_ec": static["e"] * 100,
+                "dyn_nt": dynamic["n"] * 100,
+                "dyn_pd": dynamic["p"] * 100,
+                "dyn_ec": dynamic["e"] * 100,
+                "rate_nt": rates["n"] * 100,
+                "rate_pd": rates["p"] * 100,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5a — prediction-table-only sweep
+# ---------------------------------------------------------------------------
+
+def fig5a(
+    ctx: ExperimentContext,
+    names: Optional[List[str]] = None,
+    table_sizes: tuple = (4, 16, 64, 128, 256),
+) -> List[dict]:
+    """Speedup with only the prediction table, hw-only vs compiler.
+
+    In hardware-only mode every load is allocated a table entry; in
+    compiler mode only the loads classified ``ld_p`` use the table.
+
+    The paper sweeps 64/128/256 entries against SPEC binaries with
+    thousands of static loads; our workloads have tens, so the sweep is
+    extended down to 4 and 16 entries to cover the same
+    conflict-pressure regime (static loads per table entry).
+    """
+    rows = []
+    for name in _spec_names(names):
+        row = {"benchmark": name}
+        for size in table_sizes:
+            row[f"hw_{size}"] = ctx.speedup(
+                name,
+                EarlyGenConfig(size, 0, SelectionMode.HARDWARE),
+            )
+            row[f"cc_{size}"] = ctx.speedup(
+                name,
+                EarlyGenConfig(size, 0, SelectionMode.COMPILER),
+            )
+        rows.append(row)
+    summary = {"benchmark": "geomean"}
+    for size in table_sizes:
+        for kind in ("hw", "cc"):
+            summary[f"{kind}_{size}"] = _geomean(
+                [row[f"{kind}_{size}"] for row in rows]
+            )
+    rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5b — early-calculation-only sweep
+# ---------------------------------------------------------------------------
+
+def fig5b(
+    ctx: ExperimentContext,
+    names: Optional[List[str]] = None,
+    reg_counts: tuple = (4, 8, 16),
+) -> List[dict]:
+    """Speedup with only the BRIC-style register cache (hardware-only)."""
+    rows = []
+    for name in _spec_names(names):
+        row = {"benchmark": name}
+        for count in reg_counts:
+            row[f"regs_{count}"] = ctx.speedup(
+                name,
+                EarlyGenConfig(0, count, SelectionMode.HARDWARE),
+            )
+        rows.append(row)
+    summary = {"benchmark": "geomean"}
+    for count in reg_counts:
+        summary[f"regs_{count}"] = _geomean(
+            [row[f"regs_{count}"] for row in rows]
+        )
+    rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5c — dual-path comparison
+# ---------------------------------------------------------------------------
+
+def fig5c(
+    ctx: ExperimentContext,
+    names: Optional[List[str]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[dict]:
+    """The paper's headline comparison.
+
+    Five configurations per benchmark:
+
+    * ``hw_table`` — 256-entry table only, hardware-allocated (5a's best)
+    * ``hw_calc`` — 16 cached registers only (5b's best)
+    * ``hw_dual`` — 256-entry table + 1 register, run-time selection
+    * ``cc_dual`` — same hardware, compiler-directed (the proposal)
+    * ``cc_prof`` — compiler-directed plus address profiling
+    """
+    rows = []
+    for name in _spec_names(names):
+        run = ctx.run(name)
+        overrides = profile_overrides(run.program, run.trace, threshold,
+                                      run.get_profile().predictor)
+        row = {
+            "benchmark": name,
+            "hw_table": ctx.speedup(
+                name, EarlyGenConfig(256, 0, SelectionMode.HARDWARE)
+            ),
+            "hw_calc": ctx.speedup(
+                name, EarlyGenConfig(0, 16, SelectionMode.HARDWARE)
+            ),
+            "hw_dual": ctx.speedup(
+                name, EarlyGenConfig(256, 1, SelectionMode.HARDWARE)
+            ),
+            "cc_dual": ctx.speedup(
+                name, EarlyGenConfig(256, 1, SelectionMode.COMPILER)
+            ),
+            "cc_prof": ctx.speedup(
+                name,
+                EarlyGenConfig(256, 1, SelectionMode.COMPILER),
+                spec_override=overrides,
+                cache_key="profile",
+            ),
+        }
+        rows.append(row)
+    summary = {"benchmark": "geomean"}
+    for key in ("hw_table", "hw_calc", "hw_dual", "cc_dual", "cc_prof"):
+        summary[key] = _geomean([row[key] for row in rows])
+    rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — profile-guided classification
+# ---------------------------------------------------------------------------
+
+def table3(
+    ctx: ExperimentContext,
+    names: Optional[List[str]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[dict]:
+    """Speedup and PD shares after profile-guided reclassification."""
+    rows = []
+    for name in _spec_names(names):
+        run = ctx.run(name)
+        profile = run.get_profile()
+        overrides = profile_overrides(
+            run.program, run.trace, threshold, profile.predictor
+        )
+        static = profile.static_class_shares(overrides)
+        dynamic = profile.dynamic_class_shares(overrides)
+        rates = profile.class_rates(overrides)
+        rows.append(
+            {
+                "benchmark": name,
+                "speedup": ctx.speedup(
+                    name,
+                    EarlyGenConfig(256, 1, SelectionMode.COMPILER),
+                    spec_override=overrides,
+                    cache_key="profile",
+                ),
+                "static_pd": static["p"] * 100,
+                "dyn_pd": dynamic["p"] * 100,
+                "rate_nt": rates["n"] * 100,
+                "rate_pd": rates["p"] * 100,
+            }
+        )
+    summary = {
+        "benchmark": "average",
+        "speedup": _geomean([row["speedup"] for row in rows]),
+        "static_pd": sum(r["static_pd"] for r in rows) / len(rows),
+        "dyn_pd": sum(r["dyn_pd"] for r in rows) / len(rows),
+        "rate_nt": sum(r["rate_nt"] for r in rows) / len(rows),
+        "rate_pd": sum(r["rate_pd"] for r in rows) / len(rows),
+    }
+    rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — MediaBench
+# ---------------------------------------------------------------------------
+
+def table4(
+    ctx: ExperimentContext, names: Optional[List[str]] = None
+) -> List[dict]:
+    """MediaBench load mix, prediction rates, and proposed-config speedup."""
+    rows = []
+    for name in _media_names(names):
+        run = ctx.run(name)
+        profile = run.get_profile()
+        static = profile.static_class_shares()
+        dynamic = profile.dynamic_class_shares()
+        rates = profile.class_rates()
+        rows.append(
+            {
+                "benchmark": name,
+                "dyn_loads": profile.dynamic_loads,
+                "static_nt": static["n"] * 100,
+                "static_pd": static["p"] * 100,
+                "static_ec": static["e"] * 100,
+                "dyn_nt": dynamic["n"] * 100,
+                "dyn_pd": dynamic["p"] * 100,
+                "dyn_ec": dynamic["e"] * 100,
+                "rate_nt": rates["n"] * 100,
+                "rate_pd": rates["p"] * 100,
+                "speedup": ctx.speedup(
+                    name, EarlyGenConfig(256, 1, SelectionMode.COMPILER)
+                ),
+            }
+        )
+    if rows:
+        summary = {"benchmark": "average", "dyn_loads": 0}
+        for key in rows[0]:
+            if key in ("benchmark",):
+                continue
+            if key == "speedup":
+                summary[key] = _geomean([r[key] for r in rows])
+            else:
+                summary[key] = sum(r[key] for r in rows) / len(rows)
+        rows.append(summary)
+    return rows

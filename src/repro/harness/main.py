@@ -1,0 +1,105 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.harness.main [--scale 1.0] [--suite all|spec|media]
+
+Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
+configuration recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    fig5a,
+    fig5b,
+    fig5c,
+    table2,
+    table3,
+    table4,
+)
+from repro.harness.reporting import (
+    FIG5C_HEADERS,
+    TABLE2_HEADERS,
+    TABLE3_HEADERS,
+    TABLE4_HEADERS,
+    format_table,
+)
+
+FIG5A_HEADERS = {
+    "benchmark": "Benchmark",
+    "hw_4": "HW 4",
+    "hw_16": "HW 16",
+    "hw_64": "HW 64",
+    "hw_128": "HW 128",
+    "hw_256": "HW 256",
+    "cc_4": "CC 4",
+    "cc_16": "CC 16",
+    "cc_64": "CC 64",
+    "cc_128": "CC 128",
+    "cc_256": "CC 256",
+}
+FIG5B_HEADERS = {
+    "benchmark": "Benchmark",
+    "regs_4": "4 regs",
+    "regs_8": "8 regs",
+    "regs_16": "16 regs",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--suite", choices=("all", "spec", "media"),
+                        default="all")
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(scale=args.scale)
+    started = time.time()
+
+    def section(title, rows, headers):
+        print()
+        print(format_table(rows, headers=headers, title=title))
+        sys.stdout.flush()
+
+    if args.suite in ("all", "spec"):
+        section(
+            "Table 2 — SPEC load classes and prediction rates",
+            table2(ctx), TABLE2_HEADERS,
+        )
+        section(
+            "Figure 5a — prediction-table-only speedup",
+            fig5a(ctx), FIG5A_HEADERS,
+        )
+        section(
+            "Figure 5b — early-calculation-only speedup (hardware BRIC)",
+            fig5b(ctx), FIG5B_HEADERS,
+        )
+        section(
+            "Figure 5c — dual-path comparison",
+            fig5c(ctx), FIG5C_HEADERS,
+        )
+        section(
+            "Table 3 — profile-guided classification (threshold 60%)",
+            table3(ctx), TABLE3_HEADERS,
+        )
+    if args.suite in ("all", "media"):
+        section(
+            "Table 4 — MediaBench",
+            table4(ctx), TABLE4_HEADERS,
+        )
+    print(f"\ntotal wall time: {time.time() - started:.0f}s "
+          f"(scale {args.scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment rows (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: List[dict],
+    columns: Optional[Sequence[str]] = None,
+    headers: Optional[Dict[str, str]] = None,
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Floats are fixed-point at *precision*; ints and strings pass through.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    headers = headers or {}
+    names = [headers.get(col, col) for col in columns]
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(names[i]), max(len(line[i]) for line in table))
+        for i in range(len(columns))
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(names[i].rjust(widths[i]) for i in range(len(columns))))
+    out.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in table:
+        out.append("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(out)
+
+
+TABLE2_HEADERS = {
+    "benchmark": "Benchmark",
+    "dyn_loads": "Loads",
+    "static_nt": "S.NT%",
+    "static_pd": "S.PD%",
+    "static_ec": "S.EC%",
+    "dyn_nt": "D.NT%",
+    "dyn_pd": "D.PD%",
+    "dyn_ec": "D.EC%",
+    "rate_nt": "Rate.NT%",
+    "rate_pd": "Rate.PD%",
+}
+
+FIG5C_HEADERS = {
+    "benchmark": "Benchmark",
+    "hw_table": "HW table256",
+    "hw_calc": "HW calc16",
+    "hw_dual": "HW dual",
+    "cc_dual": "CC dual",
+    "cc_prof": "CC+profile",
+}
+
+TABLE3_HEADERS = {
+    "benchmark": "Benchmark",
+    "speedup": "Speedup",
+    "static_pd": "S.PD%",
+    "dyn_pd": "D.PD%",
+    "rate_nt": "Rate.NT%",
+    "rate_pd": "Rate.PD%",
+}
+
+TABLE4_HEADERS = dict(TABLE2_HEADERS, speedup="Speedup")

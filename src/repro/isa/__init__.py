@@ -1,0 +1,82 @@
+"""Instruction-set architecture of the reproduction machine.
+
+Exports the building blocks used across the compiler and simulator:
+registers, opcodes (including the ``ld_n``/``ld_p``/``ld_e`` scheme
+specifiers from Table 1 of the paper), instructions, and programs.
+"""
+
+from repro.isa.asm import AsmError, format_program, parse_asm
+from repro.isa.instruction import Imm, Instruction, Operand, Reg, Sym
+from repro.isa.opcodes import (
+    ARITHMETIC_OPS,
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    FP_ALU_OPS,
+    INT_ALU_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    STORE_OPS,
+    TERMINATOR_OPS,
+    FuncUnit,
+    LoadSpec,
+    Opcode,
+    func_unit_of,
+    latency_of,
+)
+from repro.isa.program import (
+    CODE_BASE,
+    DATA_BASE,
+    INSTR_SIZE,
+    DataItem,
+    Function,
+    Label,
+    Program,
+)
+from repro.isa.registers import (
+    ARG_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RA,
+    RV,
+    SP,
+    ZERO,
+)
+
+__all__ = [
+    "ARG_REGS",
+    "AsmError",
+    "format_program",
+    "parse_asm",
+    "ARITHMETIC_OPS",
+    "BRANCH_OPS",
+    "CODE_BASE",
+    "COND_BRANCH_OPS",
+    "DATA_BASE",
+    "DataItem",
+    "FP_ALU_OPS",
+    "FuncUnit",
+    "Function",
+    "Imm",
+    "INSTR_SIZE",
+    "INT_ALU_OPS",
+    "Instruction",
+    "Label",
+    "LOAD_OPS",
+    "LoadSpec",
+    "MEM_OPS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "Opcode",
+    "Operand",
+    "Program",
+    "RA",
+    "RV",
+    "Reg",
+    "SP",
+    "STORE_OPS",
+    "Sym",
+    "TERMINATOR_OPS",
+    "ZERO",
+    "func_unit_of",
+    "latency_of",
+]

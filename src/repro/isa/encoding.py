@@ -1,0 +1,167 @@
+"""Fixed-width binary encoding of the reproduction ISA.
+
+The encoding exists to demonstrate the paper's claim that the three load
+scheme specifiers (Table 1) fit into the instruction encoding: load
+opcodes reserve two bits for the :class:`~repro.isa.opcodes.LoadSpec`.
+The rest of the format is a 96-bit fixed-width word; the *timing* model
+still treats every instruction as 4 bytes of I-cache footprint, per
+:data:`repro.isa.program.INSTR_SIZE`.
+
+Word layout (least-significant bit first)::
+
+    [0:8)    opcode number
+    [8:10)   load-scheme specifier (loads only, else 0)
+    [10:17)  dest register (0..63, or 127 = no dest)
+    [17:18)  dest bank (0=int, 1=fp)
+    [18:20)  operand count (0..3)
+    [20:22)  position of the immediate operand, valid when has-imm is set
+    [22:23)  has-imm flag
+    [23:30)  reg slot 0,  [30:31) its bank
+    [31:32)  has-target flag
+    [32:39)  reg slot 1,  [39:40) its bank
+    [40:47)  reg slot 2,  [47:48) its bank
+    [64:96)  32-bit immediate (two's complement), when has-imm
+
+At most one immediate operand per instruction is supported (the IR
+generator guarantees this), and register operands fill the register
+slots in operand order.  Branch targets are carried in a relocation side
+table (flat instruction index), as a real assembler would emit them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Imm, Instruction, Reg
+from repro.isa.opcodes import LoadSpec, Opcode
+
+_OPCODES = list(Opcode)
+_OPCODE_NUM = {op: i for i, op in enumerate(_OPCODES)}
+_SPECS = [LoadSpec.N, LoadSpec.P, LoadSpec.E]
+_SPEC_NUM = {s: i for i, s in enumerate(_SPECS)}
+
+_NO_DEST = 0x7F
+
+#: Bit positions of the three register slots: (register bits, bank bit).
+_REG_SLOTS = ((23, 30), (32, 39), (40, 47))
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in the encoding."""
+
+
+def encode(inst: Instruction, target_index: Optional[int] = None) -> Tuple[int, int]:
+    """Encode *inst* into ``(word, relocation)``.
+
+    ``relocation`` is the flat index of the branch target, or -1 when the
+    instruction has no target.
+    """
+    word = _OPCODE_NUM[inst.opcode]
+    word |= _SPEC_NUM[inst.lspec] << 8
+
+    if inst.dest is None:
+        word |= _NO_DEST << 10
+    else:
+        if inst.dest.virtual:
+            raise EncodingError(f"virtual register in {inst!r}")
+        word |= inst.dest.index << 10
+        word |= (1 if inst.dest.bank == "fp" else 0) << 17
+
+    if len(inst.srcs) > 3:
+        raise EncodingError(f"too many operands: {inst!r}")
+    word |= len(inst.srcs) << 18
+
+    reg_slot = 0
+    imm_seen = False
+    for i, src in enumerate(inst.srcs):
+        if isinstance(src, Reg):
+            if src.virtual:
+                raise EncodingError(f"virtual register in {inst!r}")
+            if reg_slot >= len(_REG_SLOTS):
+                raise EncodingError(f"too many register operands: {inst!r}")
+            reg_bit, bank_bit = _REG_SLOTS[reg_slot]
+            word |= src.index << reg_bit
+            word |= (1 if src.bank == "fp" else 0) << bank_bit
+            reg_slot += 1
+        elif isinstance(src, Imm):
+            if imm_seen:
+                raise EncodingError(f"multiple immediates: {inst!r}")
+            if not -(1 << 31) <= src.value < (1 << 31):
+                raise EncodingError(f"immediate out of range: {inst!r}")
+            imm_seen = True
+            word |= i << 20
+            word |= 1 << 22
+            word |= (src.value & 0xFFFFFFFF) << 64
+        else:
+            raise EncodingError(
+                f"unresolved symbolic operand in {inst!r}; run layout first"
+            )
+
+    if inst.target is not None:
+        word |= 1 << 31
+        if target_index is None or target_index < 0:
+            raise EncodingError(f"branch without target index: {inst!r}")
+        return word, target_index
+    return word, -1
+
+
+def decode(
+    word: int,
+    relocation: int = -1,
+    index_to_label: Optional[Dict[int, str]] = None,
+) -> Instruction:
+    """Decode ``(word, relocation)`` back into an :class:`Instruction`."""
+    opcode = _OPCODES[word & 0xFF]
+    lspec = _SPECS[(word >> 8) & 0x3]
+
+    dest_bits = (word >> 10) & 0x7F
+    if dest_bits == _NO_DEST:
+        dest = None
+    else:
+        dest = Reg(dest_bits, "fp" if (word >> 17) & 1 else "int")
+
+    nsrcs = (word >> 18) & 0x3
+    has_imm = bool((word >> 22) & 1)
+    imm_pos = (word >> 20) & 0x3
+    imm_field = (word >> 64) & 0xFFFFFFFF
+    imm_value = imm_field - (1 << 32) if imm_field >= (1 << 31) else imm_field
+
+    srcs: List = []
+    reg_slot = 0
+    for i in range(nsrcs):
+        if has_imm and i == imm_pos:
+            srcs.append(Imm(imm_value))
+        else:
+            reg_bit, bank_bit = _REG_SLOTS[reg_slot]
+            index = (word >> reg_bit) & 0x7F
+            bank = "fp" if (word >> bank_bit) & 1 else "int"
+            srcs.append(Reg(index, bank))
+            reg_slot += 1
+
+    target = None
+    if (word >> 31) & 1:
+        if index_to_label and relocation in index_to_label:
+            target = index_to_label[relocation]
+        else:
+            target = f"@{relocation}"
+
+    return Instruction(opcode, dest, srcs, target, lspec)
+
+
+def encode_program(
+    instructions: List[Instruction], label_to_index: Dict[str, int]
+) -> List[Tuple[int, int]]:
+    """Encode a flat instruction list.
+
+    ``label_to_index`` maps label names to flat instruction indices (as
+    produced by :meth:`repro.isa.program.Program.layout`).
+    """
+    encoded = []
+    for inst in instructions:
+        if inst.target is not None:
+            if inst.target not in label_to_index:
+                raise EncodingError(f"undefined target {inst.target!r}")
+            encoded.append(encode(inst, label_to_index[inst.target]))
+        else:
+            encoded.append(encode(inst))
+    return encoded

@@ -1,0 +1,268 @@
+"""Instruction and operand representations.
+
+The same :class:`Instruction` class is used for the compiler's virtual-
+register IR and for final machine code; the only difference is whether
+register operands are virtual (``Reg.virtual``) or physical.  The
+functional emulator and the timing simulator reject virtual registers.
+
+Loads and stores carry an *addressing mode*: ``base+offset`` (immediate
+displacement, possibly zero) or ``base+index`` (two registers).  A load
+whose base is ``r0`` with an immediate displacement addresses an absolute
+location; the acyclic classification heuristic (Section 4.2) keys on this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    LoadSpec,
+    Opcode,
+)
+from repro.isa.registers import ZERO, fp_reg_name, int_reg_name
+
+
+class Reg:
+    """A register operand.
+
+    ``bank`` is ``"int"`` or ``"fp"``.  When ``virtual`` is true, ``index``
+    is a virtual register number assigned by the IR generator; the register
+    allocator rewrites it to a physical index.
+    """
+
+    __slots__ = ("bank", "index", "virtual")
+
+    def __init__(self, index: int, bank: str = "int", virtual: bool = False):
+        if bank not in ("int", "fp"):
+            raise ValueError(f"bad register bank: {bank!r}")
+        self.bank = bank
+        self.index = index
+        self.virtual = virtual
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Reg)
+            and self.bank == other.bank
+            and self.index == other.index
+            and self.virtual == other.virtual
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.bank, self.index, self.virtual))
+
+    def __repr__(self) -> str:
+        if self.virtual:
+            prefix = "v" if self.bank == "int" else "vf"
+            return f"{prefix}{self.index}"
+        if self.bank == "int":
+            return int_reg_name(self.index)
+        return fp_reg_name(self.index)
+
+    @property
+    def key(self) -> tuple[str, int, bool]:
+        """Hashable identity used by dataflow analyses."""
+        return (self.bank, self.index, self.virtual)
+
+
+class Imm:
+    """An immediate integer operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Imm) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Sym:
+    """A symbolic reference to a data-segment label (used by ``LEA``)."""
+
+    __slots__ = ("name", "offset")
+
+    def __init__(self, name: str, offset: int = 0):
+        self.name = name
+        self.offset = offset
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Sym)
+            and self.name == other.name
+            and self.offset == other.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name, self.offset))
+
+    def __repr__(self) -> str:
+        if self.offset:
+            return f"{self.name}+{self.offset}"
+        return self.name
+
+
+Operand = Union[Reg, Imm, Sym]
+
+
+class Instruction:
+    """A single IR / machine instruction.
+
+    Operand layout by opcode class:
+
+    * ALU ops: ``dest``, ``srcs=(a, b)`` (or ``(a,)`` for MOV/LEA/CVT*).
+    * Loads: ``dest``, ``srcs=(base, displacement)`` where displacement is
+      an :class:`Imm` (base+offset mode) or a :class:`Reg` (base+index
+      mode).  ``lspec`` selects the early-generation scheme.
+    * Stores: ``srcs=(value, base, displacement)``.
+    * Conditional branches: ``srcs=(a, b)``, ``target`` label.
+    * JMP/CALL: ``target`` label; CALL also clobbers caller-saved state.
+    * OUT/OUTC: ``srcs=(value,)``.
+    """
+
+    __slots__ = ("opcode", "dest", "srcs", "target", "lspec", "uid", "addr")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Optional[Reg] = None,
+        srcs: Iterable[Operand] = (),
+        target: Optional[str] = None,
+        lspec: LoadSpec = LoadSpec.N,
+        uid: int = -1,
+    ):
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.target = target
+        self.lspec = lspec
+        #: Unique static id, assigned at program layout; indexes the
+        #: prediction table and profiling counters.
+        self.uid = uid
+        #: Code address, assigned at program layout.
+        self.addr = -1
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode in COND_BRANCH_OPS
+
+    # -- memory-operand accessors ------------------------------------------
+
+    @property
+    def mem_base(self) -> Reg:
+        """Base register of a load or store."""
+        if self.is_load:
+            base = self.srcs[0]
+        elif self.is_store:
+            base = self.srcs[1]
+        else:
+            raise ValueError(f"not a memory op: {self}")
+        assert isinstance(base, Reg)
+        return base
+
+    @property
+    def mem_disp(self) -> Operand:
+        """Displacement operand (Imm for base+offset, Reg for base+index)."""
+        if self.is_load:
+            return self.srcs[1]
+        if self.is_store:
+            return self.srcs[2]
+        raise ValueError(f"not a memory op: {self}")
+
+    @property
+    def is_reg_offset(self) -> bool:
+        """True if this memory op uses the base+offset addressing mode.
+
+        Symbolic displacements (absolute references off ``r0``) count as
+        offsets: the displacement is a constant after layout.
+        """
+        return isinstance(self.mem_disp, (Imm, Sym))
+
+    @property
+    def is_absolute(self) -> bool:
+        """True if this memory op loads from an absolute location
+        (base ``r0`` with an immediate displacement)."""
+        base = self.mem_base
+        return (
+            not base.virtual
+            and base.bank == "int"
+            and base.index == ZERO
+            and self.is_reg_offset
+        )
+
+    # -- dataflow accessors --------------------------------------------------
+
+    def uses(self) -> tuple[Reg, ...]:
+        """Registers read by this instruction."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def defs(self) -> tuple[Reg, ...]:
+        """Registers written by this instruction."""
+        return (self.dest,) if self.dest is not None else ()
+
+    # -- rendering ------------------------------------------------------------
+
+    def mnemonic(self) -> str:
+        """Opcode mnemonic, including the load-scheme specifier."""
+        if self.is_load:
+            suffix = {LoadSpec.N: "_n", LoadSpec.P: "_p", LoadSpec.E: "_e"}[
+                self.lspec
+            ]
+            return self.opcode.value + suffix
+        return self.opcode.value
+
+    def __repr__(self) -> str:
+        parts = [self.mnemonic()]
+        operands = []
+        if self.dest is not None:
+            operands.append(repr(self.dest))
+        if self.is_load:
+            base, disp = self.srcs
+            operands.append(f"{base!r}({disp!r})")
+        elif self.is_store:
+            value, base, disp = self.srcs
+            operands.append(repr(value))
+            operands.append(f"{base!r}({disp!r})")
+        else:
+            operands.extend(repr(s) for s in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        return "".join(parts)
+
+    def copy(self) -> "Instruction":
+        """A shallow copy (operands are immutable-by-convention)."""
+        inst = Instruction(
+            self.opcode,
+            self.dest,
+            self.srcs,
+            self.target,
+            self.lspec,
+            self.uid,
+        )
+        inst.addr = self.addr
+        return inst

@@ -1,0 +1,208 @@
+"""Opcode definitions, classes, and latencies for the reproduction ISA.
+
+The instruction set is a small load/store RISC ISA modeled on the paper's
+HP PA-7100 baseline: most integer operations take one cycle, and loads
+take two cycles (address generation in EXE, cache access in MEM).
+
+Loads additionally carry a *scheme specifier* (Table 1 of the paper):
+
+========  =================================
+``ld_n``  normal load (no early generation)
+``ld_p``  use table-based address prediction
+``ld_e``  use early address calculation
+========  =================================
+
+The specifier is carried as a separate :class:`LoadSpec` field on the
+instruction so every load opcode has all three variants, matching the
+paper's "for each original opcode, enough information is added to the
+instruction encoding to differentiate three cases".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Operation codes of the reproduction ISA."""
+
+    # Integer ALU (dest, src1, src2) — src2 may be an immediate.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    CMPLTU = "cmpltu"
+    MOV = "mov"  # dest, src (register or immediate)
+    LEA = "lea"  # dest, symbol — materialize a data-segment address
+
+    # Memory. Loads: (dest, base, offset|index). Stores: (value, base, off).
+    LD = "ld"  # 32-bit word load
+    LDB = "ldb"  # 8-bit unsigned byte load
+    ST = "st"  # 32-bit word store
+    STB = "stb"  # 8-bit byte store
+
+    # Floating point (64-bit values in fp registers).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    FCMPEQ = "fcmpeq"  # int dest, fp srcs
+    FCMPLT = "fcmplt"
+    FCMPLE = "fcmple"
+    CVTIF = "cvtif"  # fp dest, int src
+    CVTFI = "cvtfi"  # int dest, fp src
+    FLD = "fld"  # fp load (64-bit)
+    FST = "fst"  # fp store
+
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BLE = "ble"
+    BGT = "bgt"
+    BGE = "bge"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+
+    # System.
+    OUT = "out"  # append integer in src register to the output channel
+    OUTC = "outc"  # append character
+    HALT = "halt"
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Opcode.{self.name}"
+
+
+class LoadSpec(enum.Enum):
+    """Early-address-generation scheme specifier for load opcodes."""
+
+    N = "n"  # ld_n — normal load
+    P = "p"  # ld_p — table-based address prediction
+    E = "e"  # ld_e — early address calculation via R_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LoadSpec.{self.name}"
+
+
+INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPLTU,
+        Opcode.MOV,
+        Opcode.LEA,
+        Opcode.CVTFI,
+    }
+)
+
+#: The "arithmetic" opcodes the classification heuristics propagate through
+#: when computing the S_load fixed point (Section 4.1, step 2).
+ARITHMETIC_OPS = INT_ALU_OPS - {Opcode.CVTFI}
+
+FP_ALU_OPS = frozenset(
+    {
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FMOV,
+        Opcode.FCMPEQ,
+        Opcode.FCMPLT,
+        Opcode.FCMPLE,
+        Opcode.CVTIF,
+    }
+)
+
+LOAD_OPS = frozenset({Opcode.LD, Opcode.LDB, Opcode.FLD})
+STORE_OPS = frozenset({Opcode.ST, Opcode.STB, Opcode.FST})
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+COND_BRANCH_OPS = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE}
+)
+BRANCH_OPS = COND_BRANCH_OPS | {Opcode.JMP, Opcode.CALL, Opcode.RET}
+
+#: Opcodes that end a basic block.
+TERMINATOR_OPS = BRANCH_OPS | {Opcode.HALT}
+
+SYSTEM_OPS = frozenset({Opcode.OUT, Opcode.OUTC, Opcode.HALT, Opcode.NOP})
+
+#: Result latency in cycles (cycles until a dependent op can issue),
+#: matching the PA-7100-like baseline: 1-cycle integer ops, 2-cycle loads.
+LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 8,
+    Opcode.REM: 8,
+    Opcode.LD: 2,
+    Opcode.LDB: 2,
+    Opcode.FLD: 2,
+    Opcode.FADD: 2,
+    Opcode.FSUB: 2,
+    Opcode.FMUL: 3,
+    Opcode.FDIV: 8,
+    Opcode.FCMPEQ: 2,
+    Opcode.FCMPLT: 2,
+    Opcode.FCMPLE: 2,
+    Opcode.CVTIF: 2,
+    Opcode.CVTFI: 2,
+}
+DEFAULT_LATENCY = 1
+
+
+def latency_of(op: Opcode) -> int:
+    """Result latency of *op* in cycles."""
+    return LATENCY.get(op, DEFAULT_LATENCY)
+
+
+class FuncUnit(enum.Enum):
+    """Functional-unit classes of the simulated 6-issue core."""
+
+    INT_ALU = "int_alu"  # 4 units
+    MEM_PORT = "mem_port"  # 2 units
+    FP_ALU = "fp_alu"  # 2 units
+    BRANCH = "branch"  # 1 unit
+    NONE = "none"  # consumes only an issue slot
+
+
+def func_unit_of(op: Opcode) -> FuncUnit:
+    """Which functional unit class *op* occupies at issue."""
+    if op in MEM_OPS:
+        return FuncUnit.MEM_PORT
+    if op in BRANCH_OPS:
+        return FuncUnit.BRANCH
+    if op in FP_ALU_OPS:
+        return FuncUnit.FP_ALU
+    if op in INT_ALU_OPS:
+        return FuncUnit.INT_ALU
+    return FuncUnit.NONE

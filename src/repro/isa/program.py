@@ -1,0 +1,225 @@
+"""Program containers: labels, functions, data items, and layout.
+
+A :class:`Program` holds a set of functions (each a flat list of labels
+and instructions) and a data segment.  :meth:`Program.layout` assigns
+
+* a unique static id (``uid``) and code address to every instruction,
+* a data-segment address to every data item,
+
+after which the program can be executed by the functional emulator and
+measured by the timing simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.isa.instruction import Instruction
+
+#: Base address of the code segment (code and data are disjoint).
+CODE_BASE = 0x0010_0000
+#: Base address of the data segment.
+DATA_BASE = 0x0000_1000
+#: Bytes per instruction (fixed-width encoding).
+INSTR_SIZE = 4
+
+
+class Label:
+    """A code label; may appear between instructions in a function body."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"
+
+
+BodyItem = Union[Label, Instruction]
+
+
+class DataItem:
+    """A named, aligned region in the data segment.
+
+    ``init`` may be ``None`` (zero-filled), a ``bytes`` object, or a list
+    of 32-bit integers (stored little-endian).
+    """
+
+    __slots__ = ("name", "size", "init", "align", "addr")
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        init: Union[None, bytes, List[int]] = None,
+        align: int = 4,
+    ):
+        self.name = name
+        self.size = size
+        self.init = init
+        self.align = align
+        self.addr = -1
+
+    def initial_bytes(self) -> bytes:
+        """The item's initial contents, zero-padded to ``size``."""
+        if self.init is None:
+            return bytes(self.size)
+        if isinstance(self.init, bytes):
+            raw = self.init
+        else:
+            raw = b"".join(
+                (value & 0xFFFFFFFF).to_bytes(4, "little") for value in self.init
+            )
+        if len(raw) > self.size:
+            raise ValueError(
+                f"data item {self.name}: init larger than size "
+                f"({len(raw)} > {self.size})"
+            )
+        return raw + bytes(self.size - len(raw))
+
+    def __repr__(self) -> str:
+        return f"DataItem({self.name}, size={self.size}, addr={self.addr:#x})"
+
+
+class Function:
+    """A function: a name and a flat body of labels and instructions."""
+
+    def __init__(self, name: str, body: Optional[List[BodyItem]] = None):
+        self.name = name
+        self.body: List[BodyItem] = body if body is not None else []
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over the instructions (skipping labels)."""
+        for item in self.body:
+            if isinstance(item, Instruction):
+                yield item
+
+    def append(self, item: BodyItem) -> None:
+        self.body.append(item)
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {sum(1 for _ in self.instructions())} ops)"
+
+    def dump(self) -> str:
+        """Readable assembly listing."""
+        lines = [f"{self.name}:"]
+        for item in self.body:
+            if isinstance(item, Label):
+                lines.append(f"{item.name}:")
+            else:
+                lines.append(f"    {item!r}")
+        return "\n".join(lines)
+
+
+class Program:
+    """A complete program: functions plus a data segment."""
+
+    def __init__(self, entry: str = "main"):
+        self.entry = entry
+        self.functions: Dict[str, Function] = {}
+        self.data: Dict[str, DataItem] = {}
+        #: Filled by :meth:`layout`.
+        self.flat: List[Instruction] = []
+        self.label_index: Dict[str, int] = {}
+        self.func_index: Dict[str, int] = {}
+        self.data_size = 0
+        self._laid_out = False
+
+    # -- construction -------------------------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function: {func.name}")
+        self.functions[func.name] = func
+        self._laid_out = False
+        return func
+
+    def add_data(self, item: DataItem) -> DataItem:
+        if item.name in self.data:
+            raise ValueError(f"duplicate data item: {item.name}")
+        self.data[item.name] = item
+        self._laid_out = False
+        return item
+
+    # -- layout ---------------------------------------------------------------
+
+    def layout(self) -> "Program":
+        """Assign uids, code addresses, and data addresses.
+
+        Function bodies are concatenated in insertion order, with the entry
+        function first.  Label names must be unique program-wide (the IR
+        generator guarantees this by prefixing function names).
+        """
+        self.flat = []
+        self.label_index = {}
+        self.func_index = {}
+
+        names = list(self.functions)
+        if self.entry in self.functions:
+            names.remove(self.entry)
+            names.insert(0, self.entry)
+
+        for name in names:
+            func = self.functions[name]
+            self.func_index[name] = len(self.flat)
+            self.label_index[name] = len(self.flat)
+            for item in func.body:
+                if isinstance(item, Label):
+                    if item.name in self.label_index:
+                        raise ValueError(f"duplicate label: {item.name}")
+                    self.label_index[item.name] = len(self.flat)
+                else:
+                    self.flat.append(item)
+
+        for i, inst in enumerate(self.flat):
+            inst.uid = i
+            inst.addr = CODE_BASE + i * INSTR_SIZE
+
+        addr = DATA_BASE
+        for item in self.data.values():
+            align = max(item.align, 1)
+            addr = (addr + align - 1) // align * align
+            item.addr = addr
+            addr += item.size
+        self.data_size = addr - DATA_BASE
+
+        self._laid_out = True
+        return self
+
+    @property
+    def laid_out(self) -> bool:
+        return self._laid_out
+
+    def resolve_label(self, name: str) -> int:
+        """Flat instruction index of a label or function entry."""
+        if not self._laid_out:
+            raise RuntimeError("program not laid out")
+        try:
+            return self.label_index[name]
+        except KeyError:
+            raise KeyError(f"undefined label: {name}") from None
+
+    def data_addr(self, name: str) -> int:
+        """Data-segment address of a named item."""
+        if not self._laid_out:
+            raise RuntimeError("program not laid out")
+        item = self.data.get(name)
+        if item is None:
+            raise KeyError(f"undefined data item: {name}")
+        return item.addr
+
+    # -- queries ----------------------------------------------------------
+
+    def static_loads(self) -> List[Instruction]:
+        """All static load instructions in the program."""
+        return [inst for inst in self.flat if inst.is_load]
+
+    def dump(self) -> str:
+        return "\n\n".join(f.dump() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(entry={self.entry}, functions={len(self.functions)}, "
+            f"instructions={len(self.flat) if self._laid_out else '?'})"
+        )

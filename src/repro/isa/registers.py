@@ -1,0 +1,84 @@
+"""Register-file conventions for the reproduction ISA.
+
+The simulated machine follows the paper's configuration: 64 integer
+registers and 64 floating-point registers.  A small ABI is defined so the
+compiler, emulator, and timing model agree on calling conventions:
+
+==========  =========================================================
+register    role
+==========  =========================================================
+r0          hard-wired zero
+r1          integer return value
+r2 .. r7    integer argument registers (caller-saved)
+r8 .. r25   caller-saved temporaries
+r26 .. r57  callee-saved
+r58 .. r61  reserved for the register allocator (spill scratch)
+r62         stack pointer (sp)
+r63         return address (ra)
+f0          floating-point return value
+f1 .. f7    floating-point argument registers
+f8 .. f31   caller-saved temporaries
+f32 .. f63  callee-saved
+==========  =========================================================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 64
+NUM_FP_REGS = 64
+
+ZERO = 0
+RV = 1
+ARG_REGS = tuple(range(2, 8))
+CALLER_SAVED = tuple(range(1, 26))
+CALLEE_SAVED = tuple(range(26, 58))
+SPILL_SCRATCH = (58, 59, 60, 61)
+SP = 62
+RA = 63
+
+FP_RV = 0
+FP_ARG_REGS = tuple(range(1, 8))
+FP_CALLER_SAVED = tuple(range(0, 32))
+FP_CALLEE_SAVED = tuple(range(32, 64))
+
+#: Registers the linear-scan allocator may hand out for integer values.
+ALLOCATABLE_INT = tuple(r for r in range(1, 58))
+#: Registers the allocator may hand out for floating-point values.
+ALLOCATABLE_FP = tuple(range(0, 64))
+
+
+def int_reg_name(index: int) -> str:
+    """Render an integer register index as its assembly name."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    if index == SP:
+        return "sp"
+    if index == RA:
+        return "ra"
+    return f"r{index}"
+
+
+def fp_reg_name(index: int) -> str:
+    """Render a floating-point register index as its assembly name."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return f"f{index}"
+
+
+def parse_reg_name(name: str) -> tuple[str, int]:
+    """Parse an assembly register name into ``(bank, index)``.
+
+    ``bank`` is ``"int"`` or ``"fp"``.  Accepts ``rN``, ``fN``, ``sp``,
+    and ``ra``.
+    """
+    if name == "sp":
+        return ("int", SP)
+    if name == "ra":
+        return ("int", RA)
+    if len(name) >= 2 and name[0] in ("r", "f") and name[1:].isdigit():
+        index = int(name[1:])
+        bank = "int" if name[0] == "r" else "fp"
+        limit = NUM_INT_REGS if bank == "int" else NUM_FP_REGS
+        if index < limit:
+            return (bank, index)
+    raise ValueError(f"not a register name: {name!r}")

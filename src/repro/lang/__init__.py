@@ -1,0 +1,33 @@
+"""Mini-C frontend: lexer, parser, type checker.
+
+This is the front half of the IMPACT-compiler stand-in.  The language is
+a C subset sufficient for the SPEC- and MediaBench-like workloads:
+
+* types: ``int`` (32-bit), ``char`` (8-bit unsigned), ``double``,
+  pointers, fixed-size arrays, ``struct``;
+* declarations: globals (with initializers), locals, functions;
+* statements: ``if``/``else``, ``while``, ``do``/``while``, ``for``,
+  ``break``, ``continue``, ``return``, blocks, expression statements;
+* expressions: the usual C operator set including assignment operators,
+  ``++``/``--``, ``?:``, short-circuit ``&&``/``||``, pointer arithmetic,
+  ``&``/``*``, ``[]``, ``.``/``->``, ``sizeof``, calls;
+* builtins: ``malloc``, ``print_int``, ``print_char``, ``halt``.
+"""
+
+from repro.lang.errors import LangError, LexError, ParseError, SemaError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.sema import SemanticAnalyzer, analyze
+
+__all__ = [
+    "LangError",
+    "LexError",
+    "Lexer",
+    "ParseError",
+    "Parser",
+    "SemaError",
+    "SemanticAnalyzer",
+    "analyze",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,349 @@
+"""Abstract syntax tree for mini-C.
+
+The parser produces these nodes; the semantic analyzer annotates
+expressions with ``.type`` and identifier nodes with ``.symbol``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.types import Type
+
+
+class Node:
+    """Base AST node with a source position."""
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        #: Filled in by the semantic analyzer.
+        self.type: Optional[Type] = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class StrLit(Expr):
+    __slots__ = ("value", "data_name")
+
+    def __init__(self, value: str, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+        #: Name of the data item holding the string (set by irgen).
+        self.data_name: Optional[str] = None
+
+
+class Ident(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        #: Resolved by the semantic analyzer.
+        self.symbol = None
+
+
+class Unary(Expr):
+    """``op`` in ``- ~ ! & * ++pre --pre post++ post--``.
+
+    Pre/post increment are encoded as ``++``/``--`` with ``postfix``.
+    """
+
+    __slots__ = ("op", "operand", "postfix")
+
+    def __init__(self, op: str, operand: Expr, postfix: bool = False,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.op = op
+        self.operand = operand
+        self.postfix = postfix
+
+
+class Binary(Expr):
+    """Arithmetic/relational/bitwise/logical binary expression."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """``lhs op rhs`` where op is ``=`` or a compound assignment."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Cond(Expr):
+    """Ternary ``cond ? then : other``."""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr],
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.args = args
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    __slots__ = ("base", "field", "arrow")
+
+    def __init__(self, base: Expr, field: str, arrow: bool,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class SizeOf(Expr):
+    __slots__ = ("target_type",)
+
+    def __init__(self, target_type: Type, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.target_type = target_type
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type: Type, operand: Expr,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.target_type = target_type
+        self.operand = operand
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.expr = expr
+
+
+class VarDecl(Stmt):
+    """A local variable declaration, possibly with an initializer."""
+
+    __slots__ = ("name", "var_type", "init", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init: Optional[Expr],
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+        self.symbol = None
+
+
+class DeclList(Stmt):
+    """Several VarDecls from one multi-declarator statement.
+
+    Unlike a Block, a DeclList does not open a scope: ``int a = 1,
+    b = a + 1;`` declares both names in the enclosing scope.
+    """
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: List["VarDecl"], line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.decls = decls
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.stmts = stmts
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Stmt, other: Optional[Stmt],
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 step: Optional[Expr], body: Stmt,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+class Param(Node):
+    __slots__ = ("name", "param_type", "symbol")
+
+    def __init__(self, name: str, param_type: Type,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.param_type = param_type
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "ret_type", "params", "body", "symbol")
+
+    def __init__(self, name: str, ret_type: Type, params: List[Param],
+                 body: Block, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params
+        self.body = body
+        self.symbol = None
+
+
+class GlobalVar(Node):
+    """A global variable; ``init`` is a literal, a brace list of
+    literals, or None."""
+
+    __slots__ = ("name", "var_type", "init", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+        self.symbol = None
+
+
+class StructDef(Node):
+    __slots__ = ("struct_type",)
+
+    def __init__(self, struct_type, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.struct_type = struct_type
+
+
+class TranslationUnit(Node):
+    """A whole source file."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: List[Node]):
+        super().__init__()
+        self.decls = decls

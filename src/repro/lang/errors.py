@@ -1,0 +1,28 @@
+"""Diagnostics for the mini-C frontend."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for frontend diagnostics; carries a source location."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        if line:
+            super().__init__(f"line {line}:{col}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(LangError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(LangError):
+    """Syntax error."""
+
+
+class SemaError(LangError):
+    """Type or name-resolution error."""

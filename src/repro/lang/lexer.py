@@ -1,0 +1,180 @@
+"""Hand-written lexer for mini-C."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, PUNCTUATORS, TokKind, Token
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Converts mini-C source text into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        src = self.source
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = src[start : self.pos]
+            if len(text) == 2:
+                raise self._error("malformed hex literal")
+            return Token(TokKind.INT_LIT, int(text, 16), line, col)
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance(2)
+            while self._peek().isdigit():
+                self._advance()
+        text = src[start : self.pos]
+        if is_float:
+            return Token(TokKind.FLOAT_LIT, float(text), line, col)
+        return Token(TokKind.INT_LIT, int(text), line, col)
+
+    def _lex_char(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in _ESCAPES:
+                raise self._error(f"bad escape: \\{esc}")
+            value = ord(_ESCAPES[esc])
+            self._advance()
+        elif ch == "" or ch == "'":
+            raise self._error("empty character literal")
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokKind.INT_LIT, value, line, col)
+
+    def _lex_string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                if esc not in _ESCAPES:
+                    raise self._error(f"bad escape: \\{esc}")
+                chars.append(_ESCAPES[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokKind.STR_LIT, "".join(chars), line, col)
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole source; the list always ends with an EOF token."""
+        out: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                out.append(Token(TokKind.EOF, "", self.line, self.col))
+                return out
+            ch = self._peek()
+            if ch.isdigit():
+                out.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                line, col = self.line, self.col
+                start = self.pos
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                text = self.source[start : self.pos]
+                kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+                out.append(Token(kind, text, line, col))
+            elif ch == "'":
+                out.append(self._lex_char())
+            elif ch == '"':
+                out.append(self._lex_string())
+            else:
+                for punct in PUNCTUATORS:
+                    if self.source.startswith(punct, self.pos):
+                        out.append(
+                            Token(TokKind.PUNCT, punct, self.line, self.col)
+                        )
+                        self._advance(len(punct))
+                        break
+                else:
+                    raise self._error(f"unexpected character: {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex *source* into a token list (ending with EOF)."""
+    return Lexer(source).tokens()

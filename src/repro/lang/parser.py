@@ -1,0 +1,488 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind, Token
+from repro.lang.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    VOID,
+    ArrayType,
+    PtrType,
+    StructType,
+    Type,
+)
+
+#: Binary operator precedence (higher binds tighter).
+_BIN_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+)
+
+_TYPE_KEYWORDS = frozenset({"int", "char", "double", "void", "struct"})
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.ast.TranslationUnit`.
+
+    Struct types are registered as they are declared so that later
+    declarations (and casts) can refer to them; this is the only symbol
+    information the parser tracks — everything else is sema's job.
+    """
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[Token] = None) -> ParseError:
+        tok = tok or self._peek()
+        return ParseError(message, tok.line, tok.col)
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_punct(text):
+            raise self._error(f"expected {text!r}, got {tok.value!r}")
+        return self._next()
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.IDENT:
+            raise self._error(f"expected identifier, got {tok.value!r}")
+        return self._next()
+
+    # -- types ----------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        return tok.kind is TokKind.KEYWORD and tok.value in _TYPE_KEYWORDS
+
+    def _parse_base_type(self) -> Type:
+        tok = self._next()
+        if tok.kind is not TokKind.KEYWORD:
+            raise self._error("expected type", tok)
+        if tok.value == "int":
+            return INT
+        if tok.value == "char":
+            return CHAR
+        if tok.value == "double":
+            return DOUBLE
+        if tok.value == "void":
+            return VOID
+        if tok.value == "struct":
+            name_tok = self._expect_ident()
+            struct = self.structs.get(name_tok.value)
+            if struct is None:
+                struct = StructType(name_tok.value)
+                self.structs[name_tok.value] = struct
+            return struct
+        raise self._error(f"expected type, got {tok.value!r}", tok)
+
+    def _parse_type(self) -> Type:
+        """Base type plus any ``*`` suffixes (array suffixes are parsed
+        at the declarator)."""
+        t = self._parse_base_type()
+        while self._accept_punct("*"):
+            t = PtrType(t)
+        return t
+
+    def _parse_array_suffix(self, t: Type) -> Type:
+        """Zero or more ``[N]`` suffixes after a declarator name."""
+        dims: List[int] = []
+        while self._accept_punct("["):
+            size_tok = self._peek()
+            if size_tok.kind is not TokKind.INT_LIT:
+                raise self._error("array size must be an integer literal")
+            self._next()
+            self._expect_punct("]")
+            dims.append(size_tok.value)
+        for dim in reversed(dims):
+            t = ArrayType(t, dim)
+        return t
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        decls: List[ast.Node] = []
+        while self._peek().kind is not TokKind.EOF:
+            decls.append(self._parse_top_decl())
+        return ast.TranslationUnit(decls)
+
+    def _parse_top_decl(self) -> ast.Node:
+        tok = self._peek()
+        if tok.is_keyword("struct") and self._peek(2).is_punct("{"):
+            return self._parse_struct_def()
+        base = self._parse_type()
+        name_tok = self._expect_ident()
+        if self._peek().is_punct("("):
+            return self._parse_func_def(base, name_tok)
+        return self._parse_global_var(base, name_tok)
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        start = self._next()  # 'struct'
+        name_tok = self._expect_ident()
+        struct = self.structs.get(name_tok.value)
+        if struct is None:
+            struct = StructType(name_tok.value)
+            self.structs[name_tok.value] = struct
+        if struct.complete:
+            raise self._error(f"struct {struct.name} redefined", start)
+        self._expect_punct("{")
+        fields: List[tuple[str, Type]] = []
+        while not self._accept_punct("}"):
+            ftype = self._parse_type()
+            fname = self._expect_ident()
+            ftype = self._parse_array_suffix(ftype)
+            fields.append((fname.value, ftype))
+            while self._accept_punct(","):
+                extra = self._expect_ident()
+                fields.append((extra.value, ftype))
+            self._expect_punct(";")
+        self._expect_punct(";")
+        try:
+            struct.define(fields)
+        except ValueError as exc:
+            raise self._error(str(exc), start) from None
+        return ast.StructDef(struct, start.line, start.col)
+
+    def _parse_func_def(self, ret_type: Type, name_tok: Token) -> ast.FuncDef:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._accept_punct(")"):
+            if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+                self._next()
+                self._expect_punct(")")
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    pname = self._expect_ident()
+                    ptype = self._parse_array_suffix(ptype)
+                    if isinstance(ptype, ArrayType):
+                        ptype = PtrType(ptype.elem)  # array params decay
+                    params.append(
+                        ast.Param(pname.value, ptype, pname.line, pname.col)
+                    )
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDef(
+            name_tok.value, ret_type, params, body, name_tok.line, name_tok.col
+        )
+
+    def _parse_global_init(self):
+        """Global initializer: literal, negative literal, string, or
+        a brace list of those."""
+        if self._accept_punct("{"):
+            items = []
+            if not self._accept_punct("}"):
+                while True:
+                    items.append(self._parse_global_init())
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct("}")
+            return items
+        negate = self._accept_punct("-")
+        tok = self._next()
+        if tok.kind is TokKind.INT_LIT:
+            return -tok.value if negate else tok.value
+        if tok.kind is TokKind.FLOAT_LIT:
+            return -tok.value if negate else tok.value
+        if tok.kind is TokKind.STR_LIT and not negate:
+            return tok.value
+        raise self._error("global initializers must be constant", tok)
+
+    def _parse_global_var(self, base: Type, name_tok: Token) -> ast.GlobalVar:
+        var_type = self._parse_array_suffix(base)
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_global_init()
+        self._expect_punct(";")
+        return ast.GlobalVar(
+            name_tok.value, var_type, init, name_tok.line, name_tok.col
+        )
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not self._accept_punct("}"):
+            stmts.append(self._parse_stmt())
+        return ast.Block(stmts, start.line, start.col)
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        """One or more comma-separated declarators of a base type."""
+        base = self._parse_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            extra_ptr = base
+            while self._accept_punct("*"):
+                extra_ptr = PtrType(extra_ptr)
+            name_tok = self._expect_ident()
+            var_type = self._parse_array_suffix(extra_ptr)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_assignment()
+            decls.append(
+                ast.VarDecl(
+                    name_tok.value, var_type, init, name_tok.line, name_tok.col
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclList(decls, decls[0].line, decls[0].col)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_punct("{"):
+            return self._parse_block()
+        if tok.is_punct(";"):
+            self._next()
+            return ast.Block([], tok.line, tok.col)
+        if self._at_type():
+            return self._parse_var_decl()
+        if tok.is_keyword("if"):
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_expr()
+            self._expect_punct(")")
+            then = self._parse_stmt()
+            other = None
+            if self._peek().is_keyword("else"):
+                self._next()
+                other = self._parse_stmt()
+            return ast.If(cond, then, other, tok.line, tok.col)
+        if tok.is_keyword("while"):
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_expr()
+            self._expect_punct(")")
+            body = self._parse_stmt()
+            return ast.While(cond, body, tok.line, tok.col)
+        if tok.is_keyword("do"):
+            self._next()
+            body = self._parse_stmt()
+            if not self._peek().is_keyword("while"):
+                raise self._error("expected 'while' after do-body")
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_expr()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.DoWhile(body, cond, tok.line, tok.col)
+        if tok.is_keyword("for"):
+            self._next()
+            self._expect_punct("(")
+            init: Optional[ast.Stmt] = None
+            if not self._peek().is_punct(";"):
+                if self._at_type():
+                    init = self._parse_var_decl()  # consumes ';'
+                else:
+                    expr = self._parse_expr()
+                    self._expect_punct(";")
+                    init = ast.ExprStmt(expr, expr.line, expr.col)
+            else:
+                self._next()
+            cond = None
+            if not self._peek().is_punct(";"):
+                cond = self._parse_expr()
+            self._expect_punct(";")
+            step = None
+            if not self._peek().is_punct(")"):
+                step = self._parse_expr()
+            self._expect_punct(")")
+            body = self._parse_stmt()
+            return ast.For(init, cond, step, body, tok.line, tok.col)
+        if tok.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            stmt = ast.Break()
+            stmt.line, stmt.col = tok.line, tok.col
+            return stmt
+        if tok.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            stmt = ast.Continue()
+            stmt.line, stmt.col = tok.line, tok.col
+            return stmt
+        if tok.is_keyword("return"):
+            self._next()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(value, tok.line, tok.col)
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr, expr.line, expr.col)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind is TokKind.PUNCT and tok.value in _ASSIGN_OPS:
+            self._next()
+            right = self._parse_assignment()
+            return ast.Assign(tok.value, left, right, tok.line, tok.col)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._peek().is_punct("?"):
+            tok = self._next()
+            then = self._parse_expr()
+            self._expect_punct(":")
+            other = self._parse_assignment()
+            return ast.Cond(cond, then, other, tok.line, tok.col)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokKind.PUNCT:
+                return left
+            prec = _BIN_PREC.get(tok.value, 0)
+            if prec < min_prec:
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(tok.value, left, right, tok.line, tok.col)
+
+    def _at_cast(self) -> bool:
+        """``(`` followed by a type keyword starts a cast."""
+        if not self._peek().is_punct("("):
+            return False
+        tok = self._peek(1)
+        return tok.kind is TokKind.KEYWORD and tok.value in _TYPE_KEYWORDS
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokKind.PUNCT and tok.value in ("-", "~", "!", "&", "*"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.value, operand, False, tok.line, tok.col)
+        if tok.kind is TokKind.PUNCT and tok.value in ("++", "--"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.value, operand, False, tok.line, tok.col)
+        if tok.is_keyword("sizeof"):
+            self._next()
+            self._expect_punct("(")
+            t = self._parse_type()
+            t = self._parse_array_suffix(t)
+            self._expect_punct(")")
+            return ast.SizeOf(t, tok.line, tok.col)
+        if self._at_cast():
+            self._next()  # '('
+            t = self._parse_type()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(t, operand, tok.line, tok.col)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = ast.Index(expr, index, tok.line, tok.col)
+            elif tok.is_punct("."):
+                self._next()
+                field = self._expect_ident()
+                expr = ast.Member(expr, field.value, False, tok.line, tok.col)
+            elif tok.is_punct("->"):
+                self._next()
+                field = self._expect_ident()
+                expr = ast.Member(expr, field.value, True, tok.line, tok.col)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self._next()
+                expr = ast.Unary(tok.value, expr, True, tok.line, tok.col)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind is TokKind.INT_LIT:
+            return ast.IntLit(tok.value, tok.line, tok.col)
+        if tok.kind is TokKind.FLOAT_LIT:
+            return ast.FloatLit(tok.value, tok.line, tok.col)
+        if tok.kind is TokKind.STR_LIT:
+            return ast.StrLit(tok.value, tok.line, tok.col)
+        if tok.kind is TokKind.IDENT:
+            if self._peek().is_punct("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._accept_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept_punct(","):
+                            break
+                    self._expect_punct(")")
+                return ast.Call(tok.value, args, tok.line, tok.col)
+            return ast.Ident(tok.value, tok.line, tok.col)
+        if tok.is_punct("("):
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token {tok.value!r}", tok)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C *source* into an AST."""
+    return Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,586 @@
+"""Semantic analysis for mini-C: name resolution and type checking.
+
+The analyzer runs two passes over a translation unit: the first collects
+global symbols (functions, globals, structs) so that forward references
+work; the second resolves and type-checks every function body, annotating
+expression nodes with ``.type`` and identifier/declaration nodes with
+``.symbol``.
+
+Implicit conversions between ``int``/``char`` and ``double`` are made
+explicit by wrapping operands in :class:`~repro.lang.ast.Cast` nodes, so
+the IR generator never has to infer conversions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.lang import ast
+from repro.lang.errors import SemaError
+from repro.lang.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    VOID,
+    ArrayType,
+    DoubleType,
+    FuncType,
+    PtrType,
+    StructType,
+    Type,
+    decay,
+)
+
+
+class SymKind(enum.Enum):
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAM = "param"
+    FUNC = "func"
+    BUILTIN = "builtin"
+
+
+class Symbol:
+    """A named entity: variable, parameter, function, or builtin."""
+
+    __slots__ = ("name", "type", "kind", "addr_taken", "unique_name")
+
+    def __init__(self, name: str, type_: Type, kind: SymKind):
+        self.name = name
+        self.type = type_
+        self.kind = kind
+        #: True when ``&name`` appears (or the type is aggregate), which
+        #: prevents mem-to-reg promotion.
+        self.addr_taken = False
+        #: Disambiguated name assigned by irgen (shadowing-safe).
+        self.unique_name = name
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name}: {self.type!r}, {self.kind.value})"
+
+
+#: Builtin signatures.  ``malloc`` returns ``void*`` (assignable to any
+#: pointer); the print builtins lower to OUT/OUTC; ``halt`` lowers to HALT.
+BUILTINS: Dict[str, FuncType] = {
+    "malloc": FuncType(PtrType(VOID), [INT]),
+    "print_int": FuncType(VOID, [INT]),
+    "print_char": FuncType(VOID, [INT]),
+    "halt": FuncType(VOID, []),
+}
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol, node: ast.Node) -> Symbol:
+        if symbol.name in self.symbols:
+            raise SemaError(
+                f"redeclaration of {symbol.name!r}", node.line, node.col
+            )
+        self.symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            symbol = scope.symbols.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+
+def _is_ptr_compat(a: Type, b: Type) -> bool:
+    """Pointer assignability: identical, or either side is ``void*``."""
+    if not isinstance(a, PtrType) or not isinstance(b, PtrType):
+        return False
+    return (
+        a == b
+        or isinstance(a.target, type(VOID))
+        or isinstance(b.target, type(VOID))
+    )
+
+
+class SemanticAnalyzer:
+    """Checks one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals = Scope()
+        self.current_func: Optional[ast.FuncDef] = None
+        self.loop_depth = 0
+        #: All semantically valid string literals, for irgen.
+        self.strings: List[ast.StrLit] = []
+
+    # -- entry point --------------------------------------------------------
+
+    def analyze(self) -> ast.TranslationUnit:
+        for name, sig in BUILTINS.items():
+            self.globals.declare(
+                Symbol(name, sig, SymKind.BUILTIN), self.unit
+            )
+        # Pass 1: collect global symbols.
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FuncDef):
+                sig = FuncType(decl.ret_type, [p.param_type for p in decl.params])
+                decl.symbol = self.globals.declare(
+                    Symbol(decl.name, sig, SymKind.FUNC), decl
+                )
+            elif isinstance(decl, ast.GlobalVar):
+                self._check_complete(decl.var_type, decl)
+                symbol = Symbol(decl.name, decl.var_type, SymKind.GLOBAL)
+                if not decl.var_type.is_scalar:
+                    symbol.addr_taken = True
+                decl.symbol = self.globals.declare(symbol, decl)
+                self._check_global_init(decl)
+            elif isinstance(decl, ast.StructDef):
+                if not decl.struct_type.complete:
+                    raise SemaError(
+                        f"struct {decl.struct_type.name} never defined",
+                        decl.line,
+                        decl.col,
+                    )
+        # Pass 2: check bodies.
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FuncDef):
+                self._check_func(decl)
+        main = self.globals.lookup("main")
+        if main is None or main.kind is not SymKind.FUNC:
+            raise SemaError("program has no main()", 0, 0)
+        return self.unit
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_complete(self, t: Type, node: ast.Node) -> None:
+        if isinstance(t, StructType) and not t.complete:
+            raise SemaError(
+                f"incomplete struct {t.name}", node.line, node.col
+            )
+        if isinstance(t, ArrayType):
+            self._check_complete(t.elem, node)
+        if t == VOID:
+            raise SemaError("variable of void type", node.line, node.col)
+
+    def _check_global_init(self, decl: ast.GlobalVar) -> None:
+        t, init = decl.var_type, decl.init
+        if init is None:
+            return
+        if isinstance(t, ArrayType):
+            if isinstance(init, str):
+                if not isinstance(t.elem, type(CHAR)):
+                    raise SemaError(
+                        "string initializer needs a char array",
+                        decl.line,
+                        decl.col,
+                    )
+                if len(init) + 1 > t.length:
+                    raise SemaError(
+                        "string initializer too long", decl.line, decl.col
+                    )
+            elif isinstance(init, list):
+                if len(init) > t.length:
+                    raise SemaError(
+                        "too many initializers", decl.line, decl.col
+                    )
+                for item in init:
+                    if not isinstance(item, (int, float)):
+                        raise SemaError(
+                            "array initializers must be numeric literals",
+                            decl.line,
+                            decl.col,
+                        )
+            else:
+                raise SemaError(
+                    "array initializer must be a brace list or string",
+                    decl.line,
+                    decl.col,
+                )
+        elif t.is_scalar:
+            if isinstance(init, (list, str)):
+                raise SemaError(
+                    "scalar initializer must be a literal", decl.line, decl.col
+                )
+        else:
+            raise SemaError(
+                "cannot initialize this global", decl.line, decl.col
+            )
+
+    def _error(self, message: str, node: ast.Node) -> SemaError:
+        return SemaError(message, node.line, node.col)
+
+    # -- functions --------------------------------------------------------
+
+    def _check_func(self, func: ast.FuncDef) -> None:
+        self.current_func = func
+        scope = Scope(self.globals)
+        for param in func.params:
+            self._check_complete(param.param_type, param)
+            if not param.param_type.is_scalar:
+                raise self._error(
+                    "aggregate parameters are not supported", param
+                )
+            param.symbol = scope.declare(
+                Symbol(param.name, param.param_type, SymKind.PARAM), param
+            )
+        self._check_block(func.body, scope)
+        self.current_func = None
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.DeclList):
+            for decl in stmt.decls:
+                self._check_stmt(decl, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_complete(stmt.var_type, stmt)
+            symbol = Symbol(stmt.name, stmt.var_type, SymKind.LOCAL)
+            if not stmt.var_type.is_scalar:
+                symbol.addr_taken = True
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+                if not stmt.var_type.is_scalar:
+                    raise self._error(
+                        "aggregate locals cannot have initializers", stmt
+                    )
+                stmt.init = self._coerce(stmt.init, stmt.var_type, stmt)
+            stmt.symbol = scope.declare(symbol, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_cond(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_cond(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._check_cond(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_cond(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                raise self._error("break/continue outside a loop", stmt)
+        elif isinstance(stmt, ast.Return):
+            assert self.current_func is not None
+            ret = self.current_func.ret_type
+            if stmt.value is None:
+                if ret != VOID:
+                    raise self._error("return without a value", stmt)
+            else:
+                if ret == VOID:
+                    raise self._error("void function returns a value", stmt)
+                self._check_expr(stmt.value, scope)
+                stmt.value = self._coerce(stmt.value, ret, stmt)
+        else:  # pragma: no cover - parser produces no other statements
+            raise self._error(f"unknown statement {type(stmt).__name__}", stmt)
+
+    def _check_cond(self, expr: ast.Expr, scope: Scope) -> None:
+        self._check_expr(expr, scope)
+        t = decay(expr.type)
+        if not (t.is_arith or isinstance(t, PtrType)):
+            raise self._error("condition must be scalar", expr)
+
+    # -- expressions -----------------------------------------------------
+
+    def _coerce(self, expr: ast.Expr, target: Type, node: ast.Node) -> ast.Expr:
+        """Check assignability to *target*, inserting numeric casts."""
+        source = decay(expr.type)
+        if source == target:
+            return expr
+        if target.is_integer and source.is_integer:
+            return expr  # int/char convert freely (char is unsigned byte)
+        if isinstance(target, DoubleType) and source.is_integer:
+            cast = ast.Cast(DOUBLE, expr, expr.line, expr.col)
+            cast.type = DOUBLE
+            return cast
+        if target.is_integer and isinstance(source, DoubleType):
+            cast = ast.Cast(INT, expr, expr.line, expr.col)
+            cast.type = INT
+            return cast
+        if _is_ptr_compat(target, source):
+            return expr
+        if isinstance(target, PtrType) and isinstance(expr, ast.IntLit) and expr.value == 0:
+            return expr  # null pointer constant
+        raise SemaError(
+            f"cannot convert {source!r} to {target!r}", node.line, node.col
+        )
+
+    def _arith_operand(self, expr: ast.Expr, want_double: bool) -> ast.Expr:
+        if want_double and decay(expr.type).is_integer:
+            cast = ast.Cast(DOUBLE, expr, expr.line, expr.col)
+            cast.type = DOUBLE
+            return cast
+        return expr
+
+    def _is_lvalue(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Ident):
+            return expr.symbol is not None and expr.symbol.kind in (
+                SymKind.GLOBAL,
+                SymKind.LOCAL,
+                SymKind.PARAM,
+            )
+        if isinstance(expr, ast.Unary):
+            return expr.op == "*" and not expr.postfix
+        return isinstance(expr, (ast.Index, ast.Member))
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> Type:
+        t = self._check_expr_inner(expr, scope)
+        expr.type = t
+        return t
+
+    def _check_expr_inner(self, expr: ast.Expr, scope: Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return DOUBLE
+        if isinstance(expr, ast.StrLit):
+            self.strings.append(expr)
+            return PtrType(CHAR)
+        if isinstance(expr, ast.Ident):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise self._error(f"undeclared identifier {expr.name!r}", expr)
+            if symbol.kind in (SymKind.FUNC, SymKind.BUILTIN):
+                raise self._error(
+                    f"function {expr.name!r} used as a value", expr
+                )
+            expr.symbol = symbol
+            return symbol.type
+        if isinstance(expr, ast.SizeOf):
+            return INT
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, scope)
+            source = decay(expr.operand.type)
+            target = expr.target_type
+            ok = (
+                (source.is_arith and target.is_arith)
+                or (isinstance(source, PtrType) and isinstance(target, PtrType))
+                or (source.is_integer and isinstance(target, PtrType))
+                or (isinstance(source, PtrType) and target.is_integer)
+            )
+            if not ok:
+                raise self._error(
+                    f"invalid cast from {source!r} to {target!r}", expr
+                )
+            return target
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, ast.Cond):
+            self._check_cond(expr.cond, scope)
+            t_then = decay(self._check_expr(expr.then, scope))
+            t_other = decay(self._check_expr(expr.other, scope))
+            if t_then == t_other:
+                return t_then
+            if t_then.is_arith and t_other.is_arith:
+                if isinstance(t_then, DoubleType) or isinstance(
+                    t_other, DoubleType
+                ):
+                    expr.then = self._arith_operand(expr.then, True)
+                    expr.other = self._arith_operand(expr.other, True)
+                    return DOUBLE
+                return INT
+            if _is_ptr_compat(t_then, t_other):
+                return t_then
+            raise self._error("incompatible ternary arms", expr)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            base = decay(self._check_expr(expr.base, scope))
+            if not isinstance(base, PtrType):
+                raise self._error("indexing a non-pointer", expr)
+            index = decay(self._check_expr(expr.index, scope))
+            if not index.is_integer:
+                raise self._error("array index must be an integer", expr)
+            if base.target.size == 0:
+                raise self._error("indexing incomplete type", expr)
+            return base.target
+        if isinstance(expr, ast.Member):
+            base = self._check_expr(expr.base, scope)
+            if expr.arrow:
+                base = decay(base)
+                if not isinstance(base, PtrType) or not isinstance(
+                    base.target, StructType
+                ):
+                    raise self._error("-> on a non-struct-pointer", expr)
+                struct = base.target
+            else:
+                if not isinstance(base, StructType):
+                    raise self._error(". on a non-struct", expr)
+                struct = base
+            field = struct.field(expr.field)
+            if field is None:
+                raise self._error(
+                    f"struct {struct.name} has no field {expr.field!r}", expr
+                )
+            return field[0]
+        raise self._error(f"unknown expression {type(expr).__name__}", expr)
+
+    def _check_unary(self, expr: ast.Unary, scope: Scope) -> Type:
+        operand_t = self._check_expr(expr.operand, scope)
+        op = expr.op
+        if op == "&":
+            if not self._is_lvalue(expr.operand):
+                raise self._error("& of a non-lvalue", expr)
+            if isinstance(expr.operand, ast.Ident):
+                expr.operand.symbol.addr_taken = True
+            return PtrType(operand_t)
+        if op == "*":
+            t = decay(operand_t)
+            if not isinstance(t, PtrType):
+                raise self._error("* of a non-pointer", expr)
+            if t.target.size == 0 and not isinstance(t.target, StructType):
+                raise self._error("dereferencing void*", expr)
+            return t.target
+        if op in ("++", "--"):
+            if not self._is_lvalue(expr.operand):
+                raise self._error(f"{op} of a non-lvalue", expr)
+            t = decay(operand_t)
+            if not (t.is_integer or isinstance(t, PtrType)):
+                raise self._error(f"{op} needs an integer or pointer", expr)
+            return t
+        if op == "-":
+            t = decay(operand_t)
+            if not t.is_arith:
+                raise self._error("unary - of a non-number", expr)
+            return DOUBLE if isinstance(t, DoubleType) else INT
+        if op in ("~", "!"):
+            t = decay(operand_t)
+            if op == "~" and not t.is_integer:
+                raise self._error("~ of a non-integer", expr)
+            if op == "!" and not (t.is_arith or isinstance(t, PtrType)):
+                raise self._error("! of a non-scalar", expr)
+            return INT
+        raise self._error(f"unknown unary {op!r}", expr)
+
+    def _check_binary(self, expr: ast.Binary, scope: Scope) -> Type:
+        left = decay(self._check_expr(expr.left, scope))
+        right = decay(self._check_expr(expr.right, scope))
+        op = expr.op
+        if op in ("&&", "||"):
+            for side, t in ((expr.left, left), (expr.right, right)):
+                if not (t.is_arith or isinstance(t, PtrType)):
+                    raise self._error(f"{op} needs scalar operands", side)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_arith and right.is_arith:
+                want_double = isinstance(left, DoubleType) or isinstance(
+                    right, DoubleType
+                )
+                expr.left = self._arith_operand(expr.left, want_double)
+                expr.right = self._arith_operand(expr.right, want_double)
+                return INT
+            if isinstance(left, PtrType) and isinstance(right, PtrType):
+                return INT
+            if isinstance(left, PtrType) and isinstance(expr.right, ast.IntLit):
+                return INT
+            if isinstance(right, PtrType) and isinstance(expr.left, ast.IntLit):
+                return INT
+            raise self._error(f"invalid comparison operands for {op}", expr)
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (left.is_integer and right.is_integer):
+                raise self._error(f"{op} needs integer operands", expr)
+            return INT
+        if op in ("+", "-"):
+            if isinstance(left, PtrType) and right.is_integer:
+                return left
+            if op == "+" and left.is_integer and isinstance(right, PtrType):
+                return right
+            if op == "-" and isinstance(left, PtrType) and left == right:
+                return INT
+        if op in ("+", "-", "*", "/"):
+            if not (left.is_arith and right.is_arith):
+                raise self._error(f"invalid operands for {op}", expr)
+            want_double = isinstance(left, DoubleType) or isinstance(
+                right, DoubleType
+            )
+            expr.left = self._arith_operand(expr.left, want_double)
+            expr.right = self._arith_operand(expr.right, want_double)
+            return DOUBLE if want_double else INT
+        raise self._error(f"unknown binary {op!r}", expr)
+
+    def _check_assign(self, expr: ast.Assign, scope: Scope) -> Type:
+        lhs_t = self._check_expr(expr.lhs, scope)
+        if not self._is_lvalue(expr.lhs):
+            raise self._error("assignment to a non-lvalue", expr)
+        target = decay(lhs_t)
+        if isinstance(lhs_t, ArrayType):
+            raise self._error("assignment to an array", expr)
+        self._check_expr(expr.rhs, scope)
+        if expr.op == "=":
+            expr.rhs = self._coerce(expr.rhs, target, expr)
+            return target
+        # Compound assignment: check as the underlying binary op.
+        base_op = expr.op[:-1]
+        rhs_t = decay(expr.rhs.type)
+        if isinstance(target, PtrType):
+            if base_op not in ("+", "-") or not rhs_t.is_integer:
+                raise self._error(
+                    f"invalid pointer compound assignment {expr.op}", expr
+                )
+            return target
+        if base_op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (target.is_integer and rhs_t.is_integer):
+                raise self._error(f"{expr.op} needs integers", expr)
+            return INT
+        if not (target.is_arith and rhs_t.is_arith):
+            raise self._error(f"invalid operands for {expr.op}", expr)
+        if isinstance(target, DoubleType):
+            expr.rhs = self._arith_operand(expr.rhs, True)
+        elif isinstance(rhs_t, DoubleType):
+            cast = ast.Cast(INT, expr.rhs, expr.line, expr.col)
+            cast.type = INT
+            expr.rhs = cast
+        return target
+
+    def _check_call(self, expr: ast.Call, scope: Scope) -> Type:
+        symbol = self.globals.lookup(expr.name)
+        if symbol is None or symbol.kind not in (SymKind.FUNC, SymKind.BUILTIN):
+            raise self._error(f"call to undeclared function {expr.name!r}", expr)
+        sig = symbol.type
+        assert isinstance(sig, FuncType)
+        if len(expr.args) != len(sig.params):
+            raise self._error(
+                f"{expr.name} expects {len(sig.params)} args, "
+                f"got {len(expr.args)}",
+                expr,
+            )
+        for i, (arg, param_t) in enumerate(zip(expr.args, sig.params)):
+            self._check_expr(arg, scope)
+            expr.args[i] = self._coerce(arg, param_t, arg)
+        return sig.ret
+
+
+def analyze(unit: ast.TranslationUnit) -> SemanticAnalyzer:
+    """Run semantic analysis; returns the analyzer (for its side tables)."""
+    analyzer = SemanticAnalyzer(unit)
+    analyzer.analyze()
+    return analyzer

@@ -1,0 +1,108 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    STR_LIT = "str_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "double",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "sizeof",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can greedily match.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+class Token:
+    """One lexed token with its source position."""
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind: TokKind, value: Union[str, int, float],
+                 line: int, col: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r}, {self.line}:{self.col})"
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.value == text

@@ -1,0 +1,9 @@
+"""Address profiling (Section 4.3 and the Table 2 methodology)."""
+
+from repro.profiling.address_profile import (
+    AddressProfile,
+    profile_program,
+    profile_trace,
+)
+
+__all__ = ["AddressProfile", "profile_program", "profile_trace"]

@@ -1,0 +1,123 @@
+"""Per-static-load stride-predictability profiling.
+
+Feeds every dynamic load address through an unbounded per-load copy of
+the Figure 3 state machine and aggregates per-class statistics — the
+"individual operation prediction" methodology behind Table 2's
+prediction-rate columns, and the input to Section 4.3's profile-guided
+reclassification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.opcodes import LoadSpec
+from repro.isa.program import Program
+from repro.sim.stride_table import UnboundedPredictor
+from repro.sim.trace import Trace
+
+
+class AddressProfile:
+    """Prediction statistics of one program run."""
+
+    def __init__(self, program: Program, predictor: UnboundedPredictor):
+        self.program = program
+        self.predictor = predictor
+
+    # -- per-load ------------------------------------------------------------
+
+    def rate(self, uid: int) -> float:
+        """Prediction rate of one static load."""
+        return self.predictor.rate(uid)
+
+    def dynamic_count(self, uid: int) -> int:
+        counters = self.predictor.per_load.get(uid)
+        return counters[0] if counters else 0
+
+    # -- per-class aggregates ----------------------------------------------
+
+    def class_rates(
+        self, overrides: Optional[Dict[int, LoadSpec]] = None
+    ) -> Dict[str, float]:
+        """Aggregate prediction rate per scheme class (``n``/``p``/``e``).
+
+        The rate of a class is total correct predictions over total
+        dynamic executions of the loads in that class, mirroring the
+        paper's NT / PD "Prediction Rate" columns.
+        """
+        totals = {"n": [0, 0], "p": [0, 0], "e": [0, 0]}
+        for inst in self.program.static_loads():
+            counters = self.predictor.per_load.get(inst.uid)
+            if not counters:
+                continue
+            spec = (
+                overrides.get(inst.uid, inst.lspec)
+                if overrides is not None
+                else inst.lspec
+            )
+            bucket = totals[spec.value]
+            bucket[0] += counters[0]
+            bucket[1] += counters[1]
+        return {
+            cls: (correct / total if total else 0.0)
+            for cls, (total, correct) in totals.items()
+        }
+
+    def dynamic_class_shares(
+        self, overrides: Optional[Dict[int, LoadSpec]] = None
+    ) -> Dict[str, float]:
+        """Fraction of dynamic loads per class (Table 2's "% Dynamic")."""
+        counts = {"n": 0, "p": 0, "e": 0}
+        for inst in self.program.static_loads():
+            counters = self.predictor.per_load.get(inst.uid)
+            if not counters:
+                continue
+            spec = (
+                overrides.get(inst.uid, inst.lspec)
+                if overrides is not None
+                else inst.lspec
+            )
+            counts[spec.value] += counters[0]
+        total = sum(counts.values())
+        if total == 0:
+            return {cls: 0.0 for cls in counts}
+        return {cls: count / total for cls, count in counts.items()}
+
+    def static_class_shares(
+        self, overrides: Optional[Dict[int, LoadSpec]] = None
+    ) -> Dict[str, float]:
+        """Fraction of static loads per class (Table 2's "% Static")."""
+        counts = {"n": 0, "p": 0, "e": 0}
+        total = 0
+        for inst in self.program.static_loads():
+            spec = (
+                overrides.get(inst.uid, inst.lspec)
+                if overrides is not None
+                else inst.lspec
+            )
+            counts[spec.value] += 1
+            total += 1
+        if total == 0:
+            return {cls: 0.0 for cls in counts}
+        return {cls: count / total for cls, count in counts.items()}
+
+    @property
+    def dynamic_loads(self) -> int:
+        return self.predictor.accesses
+
+
+def profile_trace(program: Program, trace: Trace) -> AddressProfile:
+    """Profile an existing trace."""
+    predictor = UnboundedPredictor()
+    observe = predictor.observe
+    for uid, ea in trace.load_addresses():
+        observe(uid, ea)
+    return AddressProfile(program, predictor)
+
+
+def profile_program(program: Program) -> Tuple[AddressProfile, Trace]:
+    """Emulate *program* once and profile the resulting trace."""
+    from repro.sim.executor import execute
+
+    result = execute(program)
+    return profile_trace(program, result.trace), result.trace

@@ -1,0 +1,27 @@
+"""Hardware substrate: functional emulation and cycle-level timing.
+
+The split mirrors the paper's emulation-driven methodology: the
+:mod:`~repro.sim.executor` runs the program functionally and produces a
+dynamic trace; :mod:`~repro.sim.pipeline` replays that trace through an
+in-order scoreboard timing model of the 6-stage pipeline, including both
+early-address-generation paths.
+"""
+
+from repro.sim.executor import ExecResult, Executor, EmulationError
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator, simulate
+from repro.sim.stats import SimStats
+from repro.sim.trace import Trace
+
+__all__ = [
+    "EarlyGenConfig",
+    "EmulationError",
+    "ExecResult",
+    "Executor",
+    "MachineConfig",
+    "SelectionMode",
+    "SimStats",
+    "TimingSimulator",
+    "Trace",
+    "simulate",
+]

@@ -1,0 +1,99 @@
+"""Cached base registers for the early address calculation path.
+
+Two variants are modeled:
+
+* :class:`RAddr` — the paper's single special addressing register.  The
+  binding between ``R_addr`` and a general-purpose register is set up by
+  each ``ld_e`` instruction: at decode, the load's base register content
+  is cached.  A load can use the early-calculated address only when the
+  binding *already* matches its base register (a load that just switched
+  the binding reads a stale value — the paper's "the binding has just
+  been switched by the current load" hazard).
+
+* :class:`RegisterCache` — a BRIC-style cache of N base registers with
+  LRU replacement, modeling the hardware-only early calculation schemes
+  of Figure 5b (4–16 cached registers with register write multicasting).
+
+Both track *which* registers are cached, not their values: the timing
+model separately checks that the register's latest value has been
+written back by ID1 (the ``R_addr`` interlock), and the functional trace
+supplies the true effective address.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class RAddr:
+    """The single compiler-directed special addressing register."""
+
+    __slots__ = ("bound", "bindings", "hits", "misses")
+
+    def __init__(self):
+        #: Register index currently bound, or None.
+        self.bound: Optional[int] = None
+        self.bindings = 0
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.bound = None
+        self.bindings = self.hits = self.misses = 0
+
+    def probe(self, base_reg: int) -> bool:
+        """True if ``R_addr`` is currently bound to *base_reg*."""
+        if self.bound == base_reg:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def bind(self, base_reg: int) -> None:
+        """Cache *base_reg*'s content (performed by every ``ld_e``)."""
+        if self.bound != base_reg:
+            self.bindings += 1
+        self.bound = base_reg
+
+
+class RegisterCache:
+    """A BRIC-style LRU cache of N base register identities."""
+
+    __slots__ = ("capacity", "_lru", "hits", "misses")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("register cache capacity must be positive")
+        self.capacity = capacity
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._lru.clear()
+        self.hits = self.misses = 0
+
+    def probe(self, reg: int) -> bool:
+        """True if *reg* is cached; refreshes its LRU position."""
+        if reg in self._lru:
+            self._lru.move_to_end(reg)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, reg: int) -> None:
+        """Cache *reg*, evicting the least recently used entry if full."""
+        if reg in self._lru:
+            self._lru.move_to_end(reg)
+            return
+        if len(self._lru) >= self.capacity:
+            self._lru.popitem(last=False)
+        self._lru[reg] = None
+
+    def __contains__(self, reg: int) -> bool:
+        return reg in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,139 @@
+"""Cache models (tags only — data lives in the flat memory).
+
+The paper's caches are 64 KB direct-mapped with 64-byte blocks; the data
+cache is write-through with no write-allocate: stores update memory
+through a write buffer and never stall the pipeline, and store misses do
+not allocate a block.  :class:`SetAssociativeCache` generalizes the same
+contract to N ways with LRU replacement (an extension used by the
+embedded design-space exploration); ``DirectMappedCache`` keeps its fast
+1-way implementation and is what the paper's configuration instantiates.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import CacheConfig
+
+
+class DirectMappedCache:
+    """Tag array of a direct-mapped cache.
+
+    Constructing it with a multi-way :class:`CacheConfig` transparently
+    returns a :class:`SetAssociativeCache` instead.
+    """
+
+    __slots__ = ("config", "_index_mask", "_block_shift", "_tags",
+                 "hits", "misses")
+
+    def __new__(cls, config: CacheConfig):
+        if cls is DirectMappedCache and config.ways > 1:
+            return SetAssociativeCache(config)
+        return super().__new__(cls)
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._block_shift = config.block_size.bit_length() - 1
+        self._index_mask = config.num_blocks - 1
+        self._tags: list = [None] * config.num_blocks
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._tags = [None] * self.config.num_blocks
+        self.hits = 0
+        self.misses = 0
+
+    def _split(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._block_shift
+        return block & self._index_mask, block >> (
+            self.config.num_blocks.bit_length() - 1
+        )
+
+    def probe(self, addr: int) -> bool:
+        """Non-allocating lookup; does not count in hit/miss statistics."""
+        index, tag = self._split(addr)
+        return self._tags[index] == tag
+
+    def access(self, addr: int) -> bool:
+        """Read access: returns hit, allocates the block on a miss."""
+        index, tag = self._split(addr)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return True
+        self._tags[index] = tag
+        self.misses += 1
+        return False
+
+    def write_access(self, addr: int) -> bool:
+        """Write-through, no-allocate store access: never fills."""
+        index, tag = self._split(addr)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class SetAssociativeCache:
+    """N-way set-associative tag array with LRU replacement.
+
+    Same interface and write policy as :class:`DirectMappedCache`; each
+    set holds its tags most-recently-used last.
+    """
+
+    __slots__ = ("config", "_set_mask", "_set_bits", "_block_shift",
+                 "_sets", "hits", "misses")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._block_shift = config.block_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._set_bits = config.num_sets.bit_length() - 1
+        self._sets: list = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _split(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._block_shift
+        return block & self._set_mask, block >> self._set_bits
+
+    def probe(self, addr: int) -> bool:
+        index, tag = self._split(addr)
+        return tag in self._sets[index]
+
+    def access(self, addr: int) -> bool:
+        index, tag = self._split(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)  # refresh LRU position
+            self.hits += 1
+            return True
+        if len(ways) >= self.config.ways:
+            ways.pop(0)
+        ways.append(tag)
+        self.misses += 1
+        return False
+
+    def write_access(self, addr: int) -> bool:
+        index, tag = self._split(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

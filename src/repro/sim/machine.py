@@ -1,0 +1,147 @@
+"""Machine and early-address-generation configuration.
+
+:class:`MachineConfig` describes the paper's base architecture (Section
+5.1): a 6-issue in-order superscalar with 4 integer ALUs, 2 memory ports,
+2 FP ALUs, 1 branch unit, 64 KB direct-mapped split caches with 64-byte
+blocks and a 12-cycle miss penalty, and a 1K-entry BTB with 2-bit
+counters.
+
+:class:`EarlyGenConfig` selects which early-address-generation hardware
+exists and who chooses between the paths:
+
+* ``table_entries`` — size of the PC-indexed address prediction table
+  (0 disables the prediction path),
+* ``cached_regs`` — number of cached base registers for the early
+  calculation path (0 disables it; 1 models the paper's single
+  compiler-directed ``R_addr``),
+* ``selection`` — :attr:`SelectionMode.COMPILER` obeys the load's
+  ``ld_n``/``ld_p``/``ld_e`` specifier; :attr:`SelectionMode.HARDWARE`
+  ignores specifiers and selects at run time (all loads use whichever
+  single path is enabled; with both paths enabled the
+  Eickemeyer–Vassiliadis heuristic allocates prediction entries only for
+  loads whose base register is interlocked at decode).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SelectionMode(enum.Enum):
+    """Who selects the early-generation path for each load."""
+
+    COMPILER = "compiler"
+    HARDWARE = "hardware"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache (``ways=1``, the default, is the paper's
+    direct-mapped design)."""
+
+    size: int = 64 * 1024
+    block_size: int = 64
+    miss_penalty: int = 12
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size % self.block_size:
+            raise ValueError("cache size must be a multiple of block size")
+        if self.ways < 1:
+            raise ValueError("ways must be >= 1")
+        num_blocks = self.size // self.block_size
+        if num_blocks % self.ways:
+            raise ValueError("block count must be a multiple of ways")
+        num_sets = num_blocks // self.ways
+        if num_sets & (num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.ways
+
+
+@dataclass(frozen=True)
+class EarlyGenConfig:
+    """Early-address-generation hardware present in the machine."""
+
+    table_entries: int = 0
+    cached_regs: int = 0
+    selection: SelectionMode = SelectionMode.COMPILER
+    #: Extension (Gonzalez-style): saturating confidence counters on the
+    #: prediction table; 0 reproduces the paper's design.
+    table_confidence_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.table_entries < 0 or self.cached_regs < 0:
+            raise ValueError("negative hardware sizes")
+        if self.table_entries and self.table_entries & (self.table_entries - 1):
+            raise ValueError("table_entries must be a power of two")
+        if not 0 <= self.table_confidence_bits <= 8:
+            raise ValueError("table_confidence_bits must be in [0, 8]")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.table_entries or self.cached_regs)
+
+    @property
+    def dual_path(self) -> bool:
+        return bool(self.table_entries and self.cached_regs)
+
+
+#: No early generation hardware at all (the speedup baseline).
+BASELINE = EarlyGenConfig(0, 0)
+
+#: The paper's proposed configuration: 256-entry direct-mapped table plus
+#: one compiler-directed special addressing register.
+PROPOSED = EarlyGenConfig(table_entries=256, cached_regs=1,
+                          selection=SelectionMode.COMPILER)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The simulated processor and memory system."""
+
+    issue_width: int = 6
+    int_alus: int = 4
+    mem_ports: int = 2
+    fp_alus: int = 2
+    branch_units: int = 1
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    btb_entries: int = 1024
+    #: Result latency of a load that hits the cache (PA-7100-like).
+    load_latency: int = 2
+    #: Extra cycles after a mispredicted conditional branch (front-end refill
+    #: from IF to EXE of the 6-stage pipeline).
+    mispredict_penalty: int = 3
+    #: Fetch bubble for an unconditional direct jump/call missing the BTB
+    #: (target becomes known at decode).
+    jump_bubble: int = 1
+    #: Extension: return-address-stack depth (0 = paper's BTB-predicted
+    #: returns).  Era-appropriate (the PA-8000 shipped one in 1996).
+    ras_entries: int = 0
+    earlygen: EarlyGenConfig = field(default_factory=lambda: BASELINE)
+
+    def with_earlygen(self, earlygen: EarlyGenConfig) -> "MachineConfig":
+        """A copy of this machine with different early-gen hardware."""
+        return MachineConfig(
+            issue_width=self.issue_width,
+            int_alus=self.int_alus,
+            mem_ports=self.mem_ports,
+            fp_alus=self.fp_alus,
+            branch_units=self.branch_units,
+            icache=self.icache,
+            dcache=self.dcache,
+            btb_entries=self.btb_entries,
+            load_latency=self.load_latency,
+            mispredict_penalty=self.mispredict_penalty,
+            jump_bubble=self.jump_bubble,
+            ras_entries=self.ras_entries,
+            earlygen=earlygen,
+        )

@@ -1,0 +1,503 @@
+"""In-order scoreboard timing model of the paper's 6-stage pipeline.
+
+The simulator replays a functional :class:`~repro.sim.trace.Trace`
+through a cycle-accounting model of the base architecture (Section 5.1):
+six-stage in-order pipeline (IF, ID1, ID2, EXE, MEM, WB), up to six
+operations issued per cycle, bounded by 4 integer ALUs, 2 memory ports,
+2 FP ALUs, and 1 branch unit, with 64 KB direct-mapped split caches and a
+1K-entry BTB.
+
+Timing conventions (``t`` is the cycle an instruction's EXE occupies):
+
+* operands must be ready at ``t``; in-order issue means a stalled
+  instruction blocks all later ones;
+* ALU results are ready at ``t + 1``; loads at ``t + 2`` on a hit,
+  ``t + 2 + miss_penalty`` on a miss;
+* a load's normal cache access occupies a memory port at ``t + 1``
+  (MEM); speculative early accesses occupy a port at ``t - 1`` (ID2);
+* conditional branches resolve at the end of EXE; a mispredict costs the
+  front-end refill.
+
+Early-generation success conditions follow Section 3.2 of the paper:
+
+* ``ld_p`` (prediction path) forwards when the table probe produced a
+  *functioning* prediction, a data-cache port was free one cycle early,
+  the predicted address matches the computed address, the data cache
+  hits, and no store interlock exists — the load's latency becomes 1.
+* ``ld_e`` (early calculation) forwards when ``R_addr`` is bound to the
+  load's base register, the register value was written back by ID1 (no
+  ``R_addr`` interlock), the addressing mode is register+offset, a port
+  was free, the cache hits, and no store interlock exists — latency 0.
+  Every ``ld_e`` also rebinds ``R_addr`` to its base register, so a load
+  that just switched the binding cannot itself forward.
+* In hardware-only mode the specifiers are ignored: with one path
+  enabled every load uses it; with both enabled the run-time selection
+  follows Eickemeyer and Vassiliadis — loads whose base register is
+  interlocked at decode go to the prediction table, the rest to the
+  register cache (a BRIC-style LRU cache filled by executed loads).
+
+Neither path requires recovery: forwarding is gated by the verification
+formulas, and the mis-speculation penalty is only the wasted cache port
+(plus cache pollution for wrong-address prediction accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.instruction import Reg as _REG_TYPE
+from repro.isa.opcodes import (
+    COND_BRANCH_OPS,
+    FP_ALU_OPS,
+    LoadSpec,
+    Opcode,
+    latency_of,
+)
+from repro.isa.program import Program
+from repro.sim.addr_reg import RAddr, RegisterCache
+from repro.sim.btb import BranchTargetBuffer
+from repro.sim.cache import DirectMappedCache
+from repro.sim.machine import BASELINE, EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.stats import SimStats
+from repro.sim.stride_table import AddressPredictionTable
+from repro.sim.trace import Trace
+
+#: Pipeline drain after the last issue (EXE -> MEM -> WB).
+_DRAIN = 3
+
+
+class TimingSimulator:
+    """Replays a trace against one machine configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        spec_override: Optional[Dict[int, LoadSpec]] = None,
+        collect_timeline: bool = False,
+    ):
+        self.trace = trace
+        self.config = config
+        #: Optional uid -> LoadSpec map that overrides the specifiers
+        #: compiled into the program (used by profile-guided runs so a
+        #: single emulation serves every classification variant).
+        self.spec_override = spec_override
+        #: When set, :meth:`run` records one ``(uid, issue_cycle, note)``
+        #: tuple per dynamic instruction in ``SimStats.timeline`` —
+        #: useful for the debug view, too heavy for experiments.
+        self.collect_timeline = collect_timeline
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _slot(reg) -> int:
+        return reg.index if reg.bank == "int" else 64 + reg.index
+
+    def run(self) -> SimStats:
+        """Simulate the whole trace; returns the collected statistics."""
+        cfg = self.config
+        eg = cfg.earlygen
+        program: Program = self.trace.program
+        flat = program.flat
+        uids = self.trace.uids
+        eas = self.trace.eas
+        n = len(uids)
+        override = self.spec_override
+
+        stats = SimStats()
+        stats.instructions = n
+        scheme_counts = {"n": 0, "p": 0, "e": 0}
+        timeline: Optional[list] = [] if self.collect_timeline else None
+
+        icache = DirectMappedCache(cfg.icache)
+        dcache = DirectMappedCache(cfg.dcache)
+        btb = BranchTargetBuffer(cfg.btb_entries)
+
+        table = (
+            AddressPredictionTable(eg.table_entries, eg.table_confidence_bits)
+            if eg.table_entries
+            else None
+        )
+        use_compiler = eg.selection is SelectionMode.COMPILER
+        raddr: Optional[RAddr] = None
+        regcache: Optional[RegisterCache] = None
+        if eg.cached_regs:
+            if use_compiler:
+                raddr = RAddr()
+            else:
+                regcache = RegisterCache(eg.cached_regs)
+
+        width = cfg.issue_width
+        n_ports = cfg.mem_ports
+        n_alus = cfg.int_alus
+        n_fpus = cfg.fp_alus
+        n_brus = cfg.branch_units
+        d_miss = cfg.dcache.miss_penalty
+        ld_lat = cfg.load_latency
+        i_miss = cfg.icache.miss_penalty
+        mp_penalty = cfg.mispredict_penalty
+        j_bubble = cfg.jump_bubble
+
+        reg_ready = [0] * 129
+        issue_cnt: Dict[int, int] = {}
+        alu_cnt: Dict[int, int] = {}
+        fp_cnt: Dict[int, int] = {}
+        br_cnt: Dict[int, int] = {}
+        port_cnt: Dict[int, int] = {}
+
+        # In-flight stores: (issue_cycle, word_index); appended in issue
+        # order, pruned from the front once they can no longer interlock.
+        store_q: list = []
+
+        # Return-address stack (extension; empty list when disabled).
+        ras: list = []
+        ras_depth = cfg.ras_entries
+
+        # I-cache: track the last touched block to skip repeated probes of
+        # straight-line code within a block.
+        last_iblock = -1
+
+        t_next = 0
+        t_last = 0
+        fp_ops = FP_ALU_OPS
+        cond_ops = COND_BRANCH_OPS
+
+        for i in range(n):
+            uid = uids[i]
+            inst = flat[uid]
+            op = inst.opcode
+
+            # ---- instruction fetch -------------------------------------
+            iblock = inst.addr >> 6
+            if iblock != last_iblock:
+                last_iblock = iblock
+                if not icache.access(inst.addr):
+                    stats.icache_misses += 1
+                    t_next += i_miss
+
+            # ---- operand readiness -------------------------------------
+            t0 = t_next
+            for src in inst.srcs:
+                if type(src) is not _REG_TYPE:
+                    continue
+                r = reg_ready[
+                    src.index if src.bank == "int" else 64 + src.index
+                ]
+                if r > t0:
+                    t0 = r
+            if op is Opcode.RET:
+                r = reg_ready[63]
+                if r > t0:
+                    t0 = r
+
+            # ---- dispatch by class ----------------------------------------
+            if inst.is_load:
+                stats.loads += 1
+                ea = eas[i]
+                base_slot = self._slot(inst.mem_base)
+
+                # Scheme selection.
+                scheme = "n"
+                if eg.table_entries or eg.cached_regs:
+                    if use_compiler:
+                        lspec = (
+                            override.get(uid, inst.lspec)
+                            if override is not None
+                            else inst.lspec
+                        )
+                        if lspec is LoadSpec.P and table is not None:
+                            scheme = "p"
+                        elif lspec is LoadSpec.E and (
+                            raddr is not None or regcache is not None
+                        ):
+                            scheme = "e"
+                    else:
+                        if table is not None and regcache is not None:
+                            # Eickemeyer-Vassiliadis: prediction only for
+                            # loads with a register interlock at decode.
+                            interlock = reg_ready[base_slot] > t_next - 2
+                            scheme = "p" if interlock else "e"
+                        elif table is not None:
+                            scheme = "p"
+                        else:
+                            scheme = "e"
+                scheme_counts[scheme] += 1
+
+                # Prune the store queue: a store issued at s writes at
+                # s + 1; it can only interlock a speculative access at
+                # cycle c if s + 1 >= c.  The earliest future spec access
+                # is at t0 - 1.
+                if store_q:
+                    cutoff = t0 - 2
+                    k = 0
+                    while k < len(store_q) and store_q[k][0] < cutoff:
+                        k += 1
+                    if k:
+                        del store_q[:k]
+
+                success = False
+                latency = ld_lat
+
+                if scheme == "p":
+                    stats.pred_loads += 1
+                    predicted = table.probe(inst.addr)
+                    if predicted is not None:
+                        c = t0 - 1  # ID2-stage speculative access
+                        if port_cnt.get(c, 0) < n_ports:
+                            port_cnt[c] = port_cnt.get(c, 0) + 1
+                            stats.pred_spec_dispatched += 1
+                            if predicted == ea:
+                                if self._mem_interlock(store_q, c, ea):
+                                    stats.spec_mem_interlock += 1
+                                elif dcache.probe(ea):
+                                    success = True
+                                    latency = min(1, ld_lat)
+                                    stats.pred_success += 1
+                                else:
+                                    stats.spec_dcache_miss += 1
+                            else:
+                                stats.pred_wrong_address += 1
+                                # The wrong-address access still fetches
+                                # its block (the paper's "extra load").
+                                dcache.access(predicted)
+                        else:
+                            stats.spec_no_port += 1
+                    table.update(inst.addr, ea, predicted)
+
+                elif scheme == "e":
+                    stats.calc_loads += 1
+                    reg_offset = inst.is_reg_offset
+                    partial = False
+                    hit = False
+                    if raddr is not None:
+                        hit = raddr.probe(base_slot)
+                    else:
+                        hit = regcache.probe(base_slot)
+                        if hit and not reg_offset:
+                            # register+register: the index register must
+                            # be cached too, and the best case saves only
+                            # one cycle (access slides to MEM).
+                            disp = inst.mem_disp
+                            hit = regcache.probe(self._slot(disp))
+                            partial = True
+                    if hit and (reg_offset or partial):
+                        c = t0 - 1
+                        if port_cnt.get(c, 0) < n_ports:
+                            port_cnt[c] = port_cnt.get(c, 0) + 1
+                            stats.calc_spec_dispatched += 1
+                            # R_addr interlock: the base value must have
+                            # been written back by ID1 (two cycles before
+                            # EXE).
+                            if reg_ready[base_slot] > t0 - 2:
+                                pass
+                            elif self._mem_interlock(store_q, c, ea):
+                                stats.spec_mem_interlock += 1
+                            elif dcache.probe(ea):
+                                success = True
+                                if partial:
+                                    latency = 1
+                                    stats.calc_success_partial += 1
+                                else:
+                                    latency = 0
+                                stats.calc_success += 1
+                            else:
+                                stats.spec_dcache_miss += 1
+                        else:
+                            stats.spec_no_port += 1
+                    # Binding/fill happens for every load on this path.
+                    if raddr is not None:
+                        raddr.bind(base_slot)
+                    else:
+                        regcache.insert(base_slot)
+
+                # Issue: successful speculation frees the MEM-stage port.
+                t = t0
+                if success:
+                    while issue_cnt.get(t, 0) >= width:
+                        t += 1
+                    dcache.access(ea)  # the block is present (probed hit)
+                    stats.dcache_hits += 1
+                else:
+                    while (
+                        issue_cnt.get(t, 0) >= width
+                        or port_cnt.get(t + 1, 0) >= n_ports
+                    ):
+                        t += 1
+                    port_cnt[t + 1] = port_cnt.get(t + 1, 0) + 1
+                    if dcache.access(ea):
+                        stats.dcache_hits += 1
+                    else:
+                        stats.dcache_misses += 1
+                        latency = ld_lat + d_miss
+                issue_cnt[t] = issue_cnt.get(t, 0) + 1
+                if inst.dest is not None:
+                    reg_ready[self._slot(inst.dest)] = t + latency
+                t_next = t
+                if timeline is not None:
+                    if success:
+                        note = f"{scheme}-hit lat={latency}"
+                    elif scheme != "n":
+                        note = f"{scheme}-miss lat={latency}"
+                    else:
+                        note = f"load lat={latency}"
+                    timeline.append((uid, t, note))
+
+            elif inst.is_store:
+                stats.stores += 1
+                ea = eas[i]
+                t = t0
+                while (
+                    issue_cnt.get(t, 0) >= width
+                    or port_cnt.get(t + 1, 0) >= n_ports
+                ):
+                    t += 1
+                issue_cnt[t] = issue_cnt.get(t, 0) + 1
+                port_cnt[t + 1] = port_cnt.get(t + 1, 0) + 1
+                dcache.write_access(ea)
+                store_q.append((t, ea >> 2))
+                t_next = t
+                if timeline is not None:
+                    timeline.append((uid, t, "store"))
+
+            elif inst.is_branch:
+                t = t0
+                while (
+                    issue_cnt.get(t, 0) >= width
+                    or br_cnt.get(t, 0) >= n_brus
+                ):
+                    t += 1
+                issue_cnt[t] = issue_cnt.get(t, 0) + 1
+                br_cnt[t] = br_cnt.get(t, 0) + 1
+
+                next_uid = uids[i + 1] if i + 1 < n else uid + 1
+                if op in cond_ops:
+                    taken = next_uid != uid + 1
+                    target = flat[next_uid].addr if taken else 0
+                    ptaken, ptarget = btb.predict(inst.addr)
+                    wrong = (ptaken != taken) or (
+                        taken and ptarget != target
+                    )
+                    btb.update(inst.addr, taken, target, wrong)
+                    if wrong:
+                        stats.btb_mispredicts += 1
+                        t_next = t + 1 + mp_penalty
+                    else:
+                        t_next = t + 1 if taken else t
+                else:
+                    # JMP/CALL/RET: always taken.
+                    target = flat[next_uid].addr if i + 1 < n else 0
+                    if op is Opcode.RET and ras_depth:
+                        predicted = ras.pop() if ras else 0
+                        if predicted == target:
+                            t_next = t + 1
+                        else:
+                            stats.btb_mispredicts += 1
+                            t_next = t + 1 + mp_penalty
+                    else:
+                        ptaken, ptarget = btb.predict(inst.addr)
+                        correct = ptaken and ptarget == target
+                        btb.update(inst.addr, True, target, not correct)
+                        if correct:
+                            t_next = t + 1
+                        elif op is Opcode.RET:
+                            stats.btb_mispredicts += 1
+                            t_next = t + 1 + mp_penalty
+                        else:
+                            # Direct target, known at decode: short bubble.
+                            t_next = t + 1 + j_bubble
+                    if op is Opcode.CALL:
+                        reg_ready[63] = t + 1
+                        if ras_depth:
+                            if len(ras) >= ras_depth:
+                                ras.pop(0)
+                            ras.append(inst.addr + 4)
+                if timeline is not None:
+                    note = "branch"
+                    if t_next > t + 1:
+                        note = "branch mispredict"
+                    timeline.append((uid, t, note))
+
+            else:
+                is_fp = op in fp_ops
+                t = t0
+                if is_fp:
+                    while (
+                        issue_cnt.get(t, 0) >= width
+                        or fp_cnt.get(t, 0) >= n_fpus
+                    ):
+                        t += 1
+                    fp_cnt[t] = fp_cnt.get(t, 0) + 1
+                elif op is Opcode.HALT or op is Opcode.NOP:
+                    while issue_cnt.get(t, 0) >= width:
+                        t += 1
+                else:
+                    while (
+                        issue_cnt.get(t, 0) >= width
+                        or alu_cnt.get(t, 0) >= n_alus
+                    ):
+                        t += 1
+                    alu_cnt[t] = alu_cnt.get(t, 0) + 1
+                issue_cnt[t] = issue_cnt.get(t, 0) + 1
+                if inst.dest is not None:
+                    reg_ready[self._slot(inst.dest)] = t + latency_of(op)
+                t_next = t
+                if timeline is not None:
+                    timeline.append((uid, t, ""))
+
+            if t_next > t_last:
+                t_last = t_next
+
+        stats.cycles = t_last + 1 + _DRAIN
+        stats.scheme_counts = scheme_counts
+        stats.dcache_misses = dcache.misses
+        stats.timeline = timeline
+        return stats
+
+    @staticmethod
+    def _mem_interlock(store_q: list, c: int, ea: int) -> bool:
+        """Mem_Interlock at speculative-access cycle *c* for address *ea*.
+
+        The forwarding formulas are evaluated at verification time (end
+        of EXE), when every program-order-earlier store has computed its
+        address, so the check is precise: the speculatively loaded data
+        is stale only if an earlier store writes the same word at MEM
+        (cycle ``s + 1``) *after* the speculative read at ``c``.
+        """
+        word = ea >> 2
+        for s, sword in store_q:
+            if sword == word and s + 1 > c:
+                return True
+        return False
+
+
+def simulate(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    earlygen: Optional[EarlyGenConfig] = None,
+    spec_override: Optional[Dict[int, LoadSpec]] = None,
+) -> SimStats:
+    """Simulate *trace* on *config* (optionally overriding early-gen)."""
+    if config is None:
+        config = MachineConfig()
+    if earlygen is not None:
+        config = config.with_earlygen(earlygen)
+    return TimingSimulator(trace, config, spec_override).run()
+
+
+def speedup(
+    trace: Trace,
+    earlygen: EarlyGenConfig,
+    config: Optional[MachineConfig] = None,
+    spec_override: Optional[Dict[int, LoadSpec]] = None,
+) -> tuple[float, SimStats, SimStats]:
+    """Speedup of *earlygen* over the no-early-generation baseline.
+
+    Returns ``(speedup, stats, baseline_stats)``.
+    """
+    if config is None:
+        config = MachineConfig()
+    base_stats = TimingSimulator(trace, config.with_earlygen(BASELINE)).run()
+    stats = TimingSimulator(
+        trace, config.with_earlygen(earlygen), spec_override
+    ).run()
+    return base_stats.cycles / stats.cycles, stats, base_stats

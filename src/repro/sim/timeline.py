@@ -1,0 +1,73 @@
+"""Human-readable rendering of a simulation timeline.
+
+Debug aid: run the timing simulator with ``collect_timeline=True`` and
+render a window of the execution showing, per dynamic instruction, the
+issue cycle, the stall relative to the previous instruction, the
+disassembly, and the early-generation outcome::
+
+    cycle  +d  instruction                         note
+    -----  --  ----------------------------------  --------------
+      142   .  ld_e r10, r11(0)                    e-hit lat=0
+      142   .  add r17, r8, r10
+      143  +1  ld_e r11, r11(8)                    e-miss lat=2
+      146  +3  bne r11, 0, main__wb14              branch
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.machine import MachineConfig
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.stats import SimStats
+from repro.sim.trace import Trace
+
+
+def render_timeline(
+    trace: Trace,
+    stats: SimStats,
+    start: int = 0,
+    count: int = 40,
+) -> str:
+    """Render *count* dynamic instructions of a collected timeline."""
+    if stats.timeline is None:
+        raise ValueError(
+            "stats has no timeline; run the simulator with "
+            "collect_timeline=True"
+        )
+    flat = trace.program.flat
+    window = stats.timeline[start : start + count]
+    lines = [
+        f"{'cycle':>6s}  {'+d':>3s}  {'instruction':36s}  note",
+        f"{'-' * 6}  {'-' * 3}  {'-' * 36}  {'-' * 14}",
+    ]
+    prev_cycle: Optional[int] = None
+    for uid, cycle, note in window:
+        if prev_cycle is None or cycle == prev_cycle:
+            delta = "."
+        else:
+            delta = f"+{cycle - prev_cycle}"
+        prev_cycle = cycle
+        text = repr(flat[uid])
+        if len(text) > 36:
+            text = text[:33] + "..."
+        lines.append(f"{cycle:6d}  {delta:>3s}  {text:36s}  {note}")
+    return "\n".join(lines)
+
+
+def debug_run(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    start: int = 0,
+    count: int = 40,
+) -> str:
+    """One-call helper: simulate with a timeline and render a window."""
+    if config is None:
+        config = MachineConfig()
+    stats = TimingSimulator(trace, config, collect_timeline=True).run()
+    header = (
+        f"cycles={stats.cycles} ipc={stats.ipc:.2f} "
+        f"pred {stats.pred_success}/{stats.pred_loads} "
+        f"calc {stats.calc_success}/{stats.calc_loads}\n"
+    )
+    return header + render_timeline(trace, stats, start, count)

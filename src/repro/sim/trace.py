@@ -1,0 +1,60 @@
+"""Compact dynamic-trace records shared by the emulator and timing model.
+
+A trace is two parallel lists indexed by dynamic instruction number:
+
+* ``uids[i]`` — the static uid (flat index) of the i-th executed
+  instruction, and
+* ``eas[i]`` — its effective address for loads and stores, else ``-1``.
+
+Branch outcomes are implicit: the dynamic successor of a branch is the
+next entry, so "taken" is simply ``uids[i + 1] != uids[i] + 1``.  The
+timing simulator and the address profiler both consume this format, which
+lets a single emulation drive every machine configuration (the load
+scheme specifiers change timing, never function).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.isa.program import Program
+
+
+class Trace:
+    """Dynamic execution trace of one program run."""
+
+    __slots__ = ("program", "uids", "eas")
+
+    def __init__(self, program: Program, uids: List[int], eas: List[int]):
+        self.program = program
+        self.uids = uids
+        self.eas = eas
+
+    def __len__(self) -> int:
+        return len(self.uids)
+
+    def mem_accesses(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(uid, ea)`` for every dynamic load and store."""
+        uids, eas = self.uids, self.eas
+        for i in range(len(uids)):
+            ea = eas[i]
+            if ea >= 0:
+                yield uids[i], ea
+
+    def load_addresses(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(uid, ea)`` for every dynamic load, in order."""
+        flat = self.program.flat
+        uids, eas = self.uids, self.eas
+        for i in range(len(uids)):
+            ea = eas[i]
+            if ea >= 0 and flat[uids[i]].is_load:
+                yield uids[i], ea
+
+    def dynamic_load_count(self) -> int:
+        """Number of dynamic load instructions."""
+        flat = self.program.flat
+        return sum(
+            1
+            for i in range(len(self.uids))
+            if self.eas[i] >= 0 and flat[self.uids[i]].is_load
+        )

@@ -1,0 +1,80 @@
+"""Workload registry: name → source, scale, and reference output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program.
+
+    ``source_template`` may contain the token ``__SCALE__``, replaced by
+    the integer scale factor; ``reference`` computes the expected OUT
+    stream for a given scale in pure Python.
+    """
+
+    name: str
+    suite: str  # "spec" | "mediabench"
+    description: str
+    source_template: str
+    reference: Callable[[int], List[int]]
+    default_scale: int = 1
+
+    def source(self, scale: Optional[int] = None) -> str:
+        n = self.default_scale if scale is None else scale
+        return self.source_template.replace("__SCALE__", str(n))
+
+    def expected_output(self, scale: Optional[int] = None) -> List[int]:
+        n = self.default_scale if scale is None else scale
+        return self.reference(n)
+
+
+REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name}")
+    REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    _ensure_loaded()
+    return sorted(
+        name
+        for name, w in REGISTRY.items()
+        if suite is None or w.suite == suite
+    )
+
+
+def spec_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [REGISTRY[name] for name in workload_names("spec")]
+
+
+def mediabench_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [REGISTRY[name] for name in workload_names("mediabench")]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        _loaded = True
+        from repro.workloads import mediabench, spec  # noqa: F401

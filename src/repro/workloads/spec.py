@@ -1,0 +1,1141 @@
+"""SPEC92/95-integer-like workloads (Table 2 of the paper).
+
+Each program mimics the load-mix character of its namesake:
+
+* ``008.espresso`` — bit-matrix cube cover: row pointers chased from a
+  pointer table, strided bit-vector scans, SWAR popcounts (the paper's
+  lowest PD prediction rate comes from the row-jump discontinuities).
+* ``022.li`` / ``130.li`` — cons-cell expression interpreters: recursive
+  eval over malloc'd trees, association-list variable lookup (EC-heavy).
+* ``023.eqntott`` — vector sort + transition counting (dominantly PD).
+* ``026.compress`` / ``129.compress`` — LZW with open-addressing hash
+  probing over a strided input scan.
+* ``072.sc`` — spreadsheet grid recomputation with dependency chains.
+* ``085.cc1`` — tokenizer + recursive-descent expression trees + symbol
+  hash with chaining.
+* ``124.m88ksim`` — instruction-set simulator main loop.
+* ``132.ijpeg`` — 8x8 integer DCT-ish blocks, zigzag and quant tables.
+* ``134.perl`` — bytecode VM with a value stack and a variable hash.
+* ``147.vortex`` — object store: hashed record chains, transactions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.registry import Workload, register
+
+_M32 = 0xFFFFFFFF
+
+
+def _i32(value: int) -> int:
+    value &= _M32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class _Lcg:
+    """Mirror of the in-benchmark LCG (32-bit wraparound)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def next(self) -> int:
+        self.seed = _i32(self.seed * 1103515245 + 12345)
+        return (self.seed >> 16) & 32767
+
+
+_LCG_C = """
+int seed = 12345;
+int lcg() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# 008.espresso
+# ---------------------------------------------------------------------------
+
+_ESPRESSO_SRC = _LCG_C + """
+int bits[192];     /* 24 cubes x 8 words */
+int *rowtab[24];   /* row pointers: the cover loops chase these */
+int perm[24];
+int covered[24];
+
+int popcount(int x) {
+    /* SWAR popcount: pure ALU, no table loads */
+    x = x - ((x >> 1) & 1431655765);
+    x = (x & 858993459) + ((x >> 2) & 858993459);
+    x = (x + (x >> 4)) & 252645135;
+    return (x * 16843009 >> 24) & 63;
+}
+
+int main() {
+    int i; int j; int w; int r;
+    int total = 0;
+    for (i = 0; i < 192; i++) {
+        bits[i] = lcg() * 3 + lcg();
+    }
+    for (i = 0; i < 24; i++) {
+        rowtab[i] = &bits[i * 8];
+        perm[i] = (i * 7 + 5) % 24;
+        covered[i] = 0;
+    }
+    for (r = 0; r < __SCALE__; r++) {
+        for (i = 1; i < 24; i++) {
+            int *ri = rowtab[i];
+            for (j = 0; j < i; j++) {
+                int *rj = rowtab[j];
+                int save = 0;
+                for (w = 0; w < 8; w++) {
+                    save += popcount(ri[w] & rj[w]);
+                }
+                if (save > 40) { total += save; } else { total += 1; }
+            }
+        }
+        for (i = 0; i < 24; i++) {
+            int c = perm[i];
+            int *rc = rowtab[c];
+            int any = 0;
+            for (w = 0; w < 8; w++) {
+                any += popcount(rc[w]);
+            }
+            if (any > covered[c]) { covered[c] = any; }
+            total += covered[c];
+        }
+    }
+    print_int(total & 16777215);
+    return 0;
+}
+"""
+
+
+def _espresso_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+
+    def pop(x: int) -> int:
+        return bin(x & 0xFFFFFFFF).count("1")
+
+    bits = [_i32(lcg.next() * 3 + lcg.next()) for _ in range(192)]
+    perm = [(i * 7 + 5) % 24 for i in range(24)]
+    covered = [0] * 24
+    total = 0
+    for _ in range(scale):
+        for i in range(1, 24):
+            for j in range(i):
+                save = sum(
+                    pop(bits[i * 8 + w] & bits[j * 8 + w]) for w in range(8)
+                )
+                total += save if save > 40 else 1
+        for i in range(24):
+            c = perm[i]
+            any_ = sum(pop(bits[c * 8 + w]) for w in range(8))
+            if any_ > covered[c]:
+                covered[c] = any_
+            total += covered[c]
+    return [_i32(total) & 16777215]
+
+
+register(
+    Workload(
+        "008.espresso",
+        "spec",
+        "bit-matrix cube cover over row pointers (SWAR popcount)",
+        _ESPRESSO_SRC,
+        _espresso_ref,
+        default_scale=2,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 022.li and 130.li — cons-cell interpreters
+# ---------------------------------------------------------------------------
+
+_LI_SRC = _LCG_C + """
+struct cell { int tag; int val; struct cell *car; struct cell *cdr; };
+
+struct cell *env;   /* assoc list: ((idx . val) ...) as cell chain */
+
+struct cell *mkcell(int tag, int val) {
+    struct cell *c = (struct cell *) malloc(sizeof(struct cell));
+    c->tag = tag;
+    c->val = val;
+    c->car = 0;
+    c->cdr = 0;
+    return c;
+}
+
+struct cell *build(int depth) {
+    if (depth <= 0) {
+        int pick = lcg() % 4;
+        if (pick == 0) { return mkcell(2, lcg() % __NVARS__); }
+        return mkcell(0, lcg() % 100);
+    }
+    {
+        struct cell *node = mkcell(1, lcg() % 3);
+        node->car = build(depth - 1);
+        node->cdr = build(depth - 1);
+        return node;
+    }
+}
+
+int lookup(int idx) {
+    struct cell *p = env;
+    while (p) {
+        if (p->val == idx) { return p->car->val; }
+        p = p->cdr;
+    }
+    return 0;
+}
+
+int eval(struct cell *e) {
+    int a; int b;
+    if (e->tag == 0) { return e->val; }
+    if (e->tag == 2) { return lookup(e->val); }
+    a = eval(e->car);
+    b = eval(e->cdr);
+    if (e->val == 0) { return a + b; }
+    if (e->val == 1) { return a - b; }
+    return (a * b) & 65535;
+}
+
+int main() {
+    int t; int i;
+    int total = 0;
+    env = 0;
+    for (i = 0; i < __NVARS__; i++) {
+        struct cell *pair = mkcell(3, i);
+        pair->car = mkcell(0, i * 17 + 3);
+        pair->cdr = env;
+        env = pair;
+    }
+    for (t = 0; t < __SCALE__; t++) {
+        struct cell *tree = build(__DEPTH__);
+        total += eval(tree);
+        total = total & 16777215;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _li_ref(scale: int, nvars: int, depth: int) -> List[int]:
+    lcg = _Lcg(12345)
+
+    def build(d: int):
+        if d <= 0:
+            pick = lcg.next() % 4
+            if pick == 0:
+                return ("var", lcg.next() % nvars)
+            return ("num", lcg.next() % 100)
+        op = lcg.next() % 3
+        left = build(d - 1)
+        right = build(d - 1)
+        return ("pair", op, left, right)
+
+    env = {i: i * 17 + 3 for i in range(nvars)}
+
+    def ev(e) -> int:
+        if e[0] == "num":
+            return e[1]
+        if e[0] == "var":
+            return env.get(e[1], 0)
+        a = ev(e[2])
+        b = ev(e[3])
+        if e[1] == 0:
+            return _i32(a + b)
+        if e[1] == 1:
+            return _i32(a - b)
+        return _i32(a * b) & 65535
+
+    total = 0
+    for _ in range(scale):
+        total = (total + ev(build(depth))) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "022.li",
+        "spec",
+        "cons-cell expression interpreter (pointer-chasing eval)",
+        _LI_SRC.replace("__NVARS__", "8").replace("__DEPTH__", "5"),
+        lambda scale: _li_ref(scale, 8, 5),
+        default_scale=60,
+    )
+)
+
+register(
+    Workload(
+        "130.li",
+        "spec",
+        "deeper interpreter with longer association-list chains",
+        _LI_SRC.replace("__NVARS__", "24").replace("__DEPTH__", "7"),
+        lambda scale: _li_ref(scale, 24, 7),
+        default_scale=16,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 023.eqntott — sort + transition count
+# ---------------------------------------------------------------------------
+
+_EQNTOTT_SRC = _LCG_C + """
+int keys[2048];
+int table[128];
+
+void qsort_keys(int lo, int hi) {
+    int pivot; int i; int j; int tmp;
+    if (lo >= hi) { return; }
+    pivot = keys[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (keys[i] < pivot) { i++; }
+        while (keys[j] > pivot) { j--; }
+        if (i <= j) {
+            tmp = keys[i];
+            keys[i] = keys[j];
+            keys[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    qsort_keys(lo, j);
+    qsort_keys(i, hi);
+}
+
+int main() {
+    int n = __SCALE__;
+    int i; int r;
+    int total = 0;
+    for (i = 0; i < n; i++) { keys[i] = lcg() % 32; }
+    for (i = 0; i < 128; i++) { table[i] = i * 5 + 1; }
+    qsort_keys(0, n - 1);
+    for (r = 0; r < 4; r++) {
+        int trans = 0;
+        int ones = 0;
+        for (i = 1; i < n; i++) {
+            if (keys[i] != keys[i - 1]) { trans++; }
+            ones += keys[i] & 1;
+        }
+        /* indirection through the sorted keys: the index is loaded, so
+           the heuristics call these loads NT, yet the sorted order makes
+           them highly stride-predictable (the paper's profiling case) */
+        for (i = 0; i < n; i++) {
+            total += table[keys[i]];
+        }
+        total += trans * 3 + ones;
+    }
+    print_int(total & 16777215);
+    return 0;
+}
+"""
+
+
+def _eqntott_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    keys = [lcg.next() % 32 for _ in range(scale)]
+    table = [i * 5 + 1 for i in range(128)]
+    keys.sort()
+    total = 0
+    for _ in range(4):
+        trans = sum(1 for i in range(1, scale) if keys[i] != keys[i - 1])
+        ones = sum(keys[i] & 1 for i in range(1, scale))
+        total += sum(table[k] for k in keys)
+        total += trans * 3 + ones
+    return [_i32(total) & 16777215]
+
+
+register(
+    Workload(
+        "023.eqntott",
+        "spec",
+        "key sort plus strided transition counting",
+        _EQNTOTT_SRC,
+        _eqntott_ref,
+        default_scale=1200,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 026.compress / 129.compress — LZW with hash probing
+# ---------------------------------------------------------------------------
+
+_COMPRESS_SRC = _LCG_C + """
+char input[__SCALE__];
+int htab[__HSIZE__];
+int codetab[__HSIZE__];
+
+int main() {
+    int n = __SCALE__;
+    int i;
+    int total = 0;
+    int free_ent = __ALPHA__;
+    int ent;
+    for (i = 0; i < n; i++) {
+        if (lcg() % 4 == 0) { input[i] = lcg() % __ALPHA__; }
+        else { input[i] = 0; }
+    }
+    for (i = 0; i < __HSIZE__; i++) { htab[i] = -1; }
+    ent = input[0];
+    for (i = 1; i < n; i++) {
+        int c = input[i];
+        int fcode = (c << 16) + ent;
+        int h = ((c << 6) ^ ent) & (__HSIZE__ - 1);
+        int probes = 0;
+        int found = 0;
+        while (htab[h] != -1 && probes < __HSIZE__) {
+            if (htab[h] == fcode) { found = 1; probes = __HSIZE__; }
+            else { h = (h + 1) & (__HSIZE__ - 1); probes++; }
+        }
+        if (found) {
+            ent = codetab[h];
+        } else {
+            total = (total + ent) & 16777215;
+            if (free_ent < __HSIZE__ - 1 && htab[h] == -1) {
+                htab[h] = fcode;
+                codetab[h] = free_ent;
+                free_ent++;
+            }
+            ent = c;
+        }
+    }
+    total = (total + ent) & 16777215;
+    print_int(total);
+    print_int(free_ent);
+    return 0;
+}
+"""
+
+
+def _compress_ref(scale: int, hsize: int, alpha: int) -> List[int]:
+    lcg = _Lcg(12345)
+    data = []
+    for _ in range(scale):
+        if lcg.next() % 4 == 0:
+            data.append(lcg.next() % alpha)
+        else:
+            data.append(0)
+    htab = [-1] * hsize
+    codetab = [0] * hsize
+    free_ent = alpha
+    total = 0
+    ent = data[0]
+    for i in range(1, scale):
+        c = data[i]
+        fcode = (c << 16) + ent
+        h = ((c << 6) ^ ent) & (hsize - 1)
+        probes = 0
+        found = False
+        while htab[h] != -1 and probes < hsize:
+            if htab[h] == fcode:
+                found = True
+                probes = hsize
+            else:
+                h = (h + 1) & (hsize - 1)
+                probes += 1
+        if found:
+            ent = codetab[h]
+        else:
+            total = (total + ent) & 16777215
+            if free_ent < hsize - 1 and htab[h] == -1:
+                htab[h] = fcode
+                codetab[h] = free_ent
+                free_ent += 1
+            ent = c
+    total = (total + ent) & 16777215
+    return [total, free_ent]
+
+
+register(
+    Workload(
+        "026.compress",
+        "spec",
+        "LZW compression with open-addressing hash probes",
+        _COMPRESS_SRC.replace("__HSIZE__", "4096").replace("__ALPHA__", "16"),
+        lambda scale: _compress_ref(scale, 4096, 16),
+        default_scale=2600,
+    )
+)
+
+register(
+    Workload(
+        "129.compress",
+        "spec",
+        "LZW variant: smaller table, wider alphabet",
+        _COMPRESS_SRC.replace("__HSIZE__", "2048").replace("__ALPHA__", "24"),
+        lambda scale: _compress_ref(scale, 2048, 24),
+        default_scale=2400,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 072.sc — spreadsheet recomputation
+# ---------------------------------------------------------------------------
+
+_SC_SRC = _LCG_C + """
+struct dep { int cell; struct dep *next; };
+
+int grid[128];
+int srcs1[128];
+int srcs2[128];
+struct dep *deps[128];
+
+int main() {
+    int i; int p;
+    int total = 0;
+    for (i = 0; i < 128; i++) {
+        grid[i] = lcg() % 100;
+        srcs1[i] = (i + 1) % 128;
+        srcs2[i] = lcg() % 128;
+        deps[i] = 0;
+    }
+    for (i = 0; i < 256; i++) {
+        struct dep *d = (struct dep *) malloc(sizeof(struct dep));
+        int owner = lcg() % 128;
+        d->cell = lcg() % 128;
+        d->next = deps[owner];
+        deps[owner] = d;
+    }
+    for (p = 0; p < __SCALE__; p++) {
+        for (i = 0; i < 128; i++) {
+            int v = (grid[srcs1[i]] + grid[srcs2[i]]) / 2 + 1;
+            struct dep *d;
+            grid[i] = v & 65535;
+            d = deps[i];
+            while (d) {
+                grid[d->cell] = (grid[d->cell] + 1) & 65535;
+                d = d->next;
+            }
+        }
+        total = (total + grid[p & 127]) & 16777215;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _sc_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    grid = [0] * 128
+    srcs1 = [0] * 128
+    srcs2 = [0] * 128
+    deps: List[List[int]] = [[] for _ in range(128)]
+    for i in range(128):
+        grid[i] = lcg.next() % 100
+        srcs1[i] = (i + 1) % 128
+        srcs2[i] = lcg.next() % 128
+    for _ in range(256):
+        owner = lcg.next() % 128
+        cell = lcg.next() % 128
+        deps[owner].insert(0, cell)
+    total = 0
+    for p in range(scale):
+        for i in range(128):
+            v = (grid[srcs1[i]] + grid[srcs2[i]]) // 2 + 1
+            grid[i] = v & 65535
+            for cell in deps[i]:
+                grid[cell] = (grid[cell] + 1) & 65535
+        total = (total + grid[p & 127]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "072.sc",
+        "spec",
+        "spreadsheet grid with dependency chains",
+        _SC_SRC,
+        _sc_ref,
+        default_scale=18,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 085.cc1 — tokenizer, expression trees, symbol hash
+# ---------------------------------------------------------------------------
+
+_CC1_SRC = _LCG_C + """
+struct tok { int kind; int val; };
+struct node { int kind; int val; struct node *left; struct node *right; };
+struct sym { int name; int count; struct sym *next; };
+
+struct tok toks[512];
+int ntoks;
+int pos;
+struct sym *symtab[64];
+
+/* kinds: 0 num, 1 ident, 2 plus, 3 star, 4 lparen, 5 rparen, 6 end */
+
+void scan(int nstmt) {
+    int s;
+    ntoks = 0;
+    for (s = 0; s < nstmt; s++) {
+        int terms = 1 + lcg() % 3;
+        int t;
+        for (t = 0; t < terms; t++) {
+            if (lcg() % 2) {
+                toks[ntoks].kind = 0;
+                toks[ntoks].val = lcg() % 64;
+            } else {
+                toks[ntoks].kind = 1;
+                toks[ntoks].val = lcg() % 48;
+            }
+            ntoks++;
+            if (t + 1 < terms) {
+                toks[ntoks].kind = 2 + lcg() % 2;
+                ntoks++;
+            }
+        }
+        toks[ntoks].kind = 6;
+        ntoks++;
+    }
+}
+
+struct node *mknode(int kind, int val) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->kind = kind;
+    n->val = val;
+    n->left = 0;
+    n->right = 0;
+    return n;
+}
+
+void intern(int name) {
+    int h = name & 63;
+    struct sym *s = symtab[h];
+    while (s) {
+        if (s->name == name) { s->count++; return; }
+        s = s->next;
+    }
+    s = (struct sym *) malloc(sizeof(struct sym));
+    s->name = name;
+    s->count = 1;
+    s->next = symtab[h];
+    symtab[h] = s;
+}
+
+struct node *parse_primary() {
+    struct tok *t = &toks[pos];
+    pos++;
+    if (t->kind == 1) { intern(t->val); }
+    return mknode(t->kind, t->val);
+}
+
+struct node *parse_expr() {
+    struct node *left = parse_primary();
+    while (toks[pos].kind == 2 || toks[pos].kind == 3) {
+        struct node *op = mknode(toks[pos].kind, 0);
+        pos++;
+        op->left = left;
+        op->right = parse_primary();
+        left = op;
+    }
+    pos++;   /* consume end */
+    return left;
+}
+
+int fold(struct node *n) {
+    int a; int b;
+    if (n->kind == 0) { return n->val; }
+    if (n->kind == 1) { return n->val + 1; }
+    a = fold(n->left);
+    b = fold(n->right);
+    if (n->kind == 2) { return (a + b) & 65535; }
+    return (a * b) & 65535;
+}
+
+int main() {
+    int r;
+    int total = 0;
+    for (r = 0; r < __SCALE__; r++) {
+        int i;
+        scan(24);
+        pos = 0;
+        while (pos < ntoks) {
+            struct node *e = parse_expr();
+            total = (total + fold(e)) & 16777215;
+        }
+        for (i = 0; i < 64; i++) {
+            struct sym *s = symtab[i];
+            while (s) { total = (total + s->count) & 16777215; s = s->next; }
+        }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _cc1_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    symtab: List[List[List[int]]] = [[] for _ in range(64)]
+    total = 0
+
+    for _ in range(scale):
+        toks: List[tuple] = []
+        for _s in range(24):
+            terms = 1 + lcg.next() % 3
+            for t in range(terms):
+                if lcg.next() % 2:
+                    toks.append((0, lcg.next() % 64))
+                else:
+                    toks.append((1, lcg.next() % 48))
+                if t + 1 < terms:
+                    toks.append((2 + lcg.next() % 2, 0))
+            toks.append((6, 0))
+
+        def intern(name: int) -> None:
+            h = name & 63
+            for entry in symtab[h]:
+                if entry[0] == name:
+                    entry[1] += 1
+                    return
+            symtab[h].insert(0, [name, 1])
+
+        pos = 0
+
+        def primary():
+            nonlocal pos
+            kind, val = toks[pos]
+            pos += 1
+            if kind == 1:
+                intern(val)
+            return (kind, val, None, None)
+
+        def expr():
+            nonlocal pos
+            left = primary()
+            while toks[pos][0] in (2, 3):
+                op_kind = toks[pos][0]
+                pos += 1
+                right = primary()
+                left = (op_kind, 0, left, right)
+            pos += 1
+            return left
+
+        def fold(n) -> int:
+            kind, val, left, right = n
+            if kind == 0:
+                return val
+            if kind == 1:
+                return val + 1
+            a = fold(left)
+            b = fold(right)
+            if kind == 2:
+                return (a + b) & 65535
+            return (a * b) & 65535
+
+        while pos < len(toks):
+            total = (total + fold(expr())) & 16777215
+        for bucket in symtab:
+            for entry in bucket:
+                total = (total + entry[1]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "085.cc1",
+        "spec",
+        "tokenizer + expression trees + symbol hash chains",
+        _CC1_SRC,
+        _cc1_ref,
+        default_scale=10,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 124.m88ksim — ISA simulator main loop
+# ---------------------------------------------------------------------------
+
+_M88KSIM_SRC = _LCG_C + """
+int imem[512];
+int regs[32];
+int dmem[256];
+
+int main() {
+    int i;
+    int pc = 0;
+    int steps = __SCALE__;
+    int total = 0;
+    for (i = 0; i < 512; i++) {
+        int op = lcg() % 5;
+        int rd = lcg() % 32;
+        int rs = lcg() % 32;
+        int im = lcg() % 256;
+        imem[i] = (op << 24) + (rd << 16) + (rs << 8) + im;
+    }
+    for (i = 0; i < 32; i++) { regs[i] = i * 3; }
+    for (i = 0; i < 256; i++) { dmem[i] = lcg() % 1000; }
+    for (i = 0; i < steps; i++) {
+        int w = imem[pc];
+        int op = (w >> 24) & 255;
+        int rd = (w >> 16) & 255;
+        int rs = (w >> 8) & 255;
+        int im = w & 255;
+        if (op == 0) {          /* add */
+            regs[rd] = (regs[rs] + im) & 65535;
+        } else if (op == 1) {   /* addr */
+            regs[rd] = (regs[rd] + regs[rs]) & 65535;
+        } else if (op == 2) {   /* load */
+            regs[rd] = dmem[(regs[rs] + im) & 255];
+        } else if (op == 3) {   /* store */
+            dmem[(regs[rd] + im) & 255] = regs[rs] & 65535;
+        } else {                /* branch-hash */
+            total = (total + regs[rd]) & 16777215;
+        }
+        pc = (pc + 1) & 511;
+        regs[0] = 0;
+    }
+    for (i = 0; i < 32; i++) { total = (total + regs[i]) & 16777215; }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _m88ksim_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    imem = []
+    for _ in range(512):
+        op = lcg.next() % 5
+        rd = lcg.next() % 32
+        rs = lcg.next() % 32
+        im = lcg.next() % 256
+        imem.append((op << 24) + (rd << 16) + (rs << 8) + im)
+    regs = [i * 3 for i in range(32)]
+    dmem = [lcg.next() % 1000 for _ in range(256)]
+    total = 0
+    pc = 0
+    for _ in range(scale):
+        w = imem[pc]
+        op = (w >> 24) & 255
+        rd = (w >> 16) & 255
+        rs = (w >> 8) & 255
+        im = w & 255
+        if op == 0:
+            regs[rd] = (regs[rs] + im) & 65535
+        elif op == 1:
+            regs[rd] = (regs[rd] + regs[rs]) & 65535
+        elif op == 2:
+            regs[rd] = dmem[(regs[rs] + im) & 255]
+        elif op == 3:
+            dmem[(regs[rd] + im) & 255] = regs[rs] & 65535
+        else:
+            total = (total + regs[rd]) & 16777215
+        pc = (pc + 1) & 511
+        regs[0] = 0
+    for i in range(32):
+        total = (total + regs[i]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "124.m88ksim",
+        "spec",
+        "instruction-set simulator: fetch/decode/execute loop",
+        _M88KSIM_SRC,
+        _m88ksim_ref,
+        default_scale=2200,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 132.ijpeg — integer block transform
+# ---------------------------------------------------------------------------
+
+_IJPEG_SRC = _LCG_C + """
+int image[1024];    /* 32x32 */
+int block[64];
+int quant[64];
+int zigzag[64];
+
+int main() {
+    int i; int bx; int by; int r;
+    int total = 0;
+    for (i = 0; i < 1024; i++) { image[i] = lcg() % 256; }
+    for (i = 0; i < 64; i++) {
+        quant[i] = 1 + (i / 8) + (i & 7);
+        zigzag[i] = ((i * 37) + 11) % 64;
+    }
+    for (r = 0; r < __SCALE__; r++) {
+        for (by = 0; by < 4; by++) {
+            for (bx = 0; bx < 4; bx++) {
+                int row; int col;
+                for (row = 0; row < 8; row++) {
+                    for (col = 0; col < 8; col++) {
+                        block[row * 8 + col] =
+                            image[(by * 8 + row) * 32 + bx * 8 + col];
+                    }
+                }
+                /* butterfly rows */
+                for (row = 0; row < 8; row++) {
+                    int base = row * 8;
+                    for (col = 0; col < 4; col++) {
+                        int a = block[base + col];
+                        int b = block[base + 7 - col];
+                        block[base + col] = a + b;
+                        block[base + 7 - col] = a - b;
+                    }
+                }
+                /* butterfly cols */
+                for (col = 0; col < 8; col++) {
+                    for (row = 0; row < 4; row++) {
+                        int a = block[row * 8 + col];
+                        int b = block[(7 - row) * 8 + col];
+                        block[row * 8 + col] = a + b;
+                        block[(7 - row) * 8 + col] = a - b;
+                    }
+                }
+                /* quantize in scan order */
+                for (i = 0; i < 64; i++) {
+                    block[i] = block[i] / quant[i];
+                }
+                /* zigzag the low-frequency corner into the checksum */
+                for (i = 0; i < 16; i++) {
+                    total = (total + block[zigzag[i]]) & 16777215;
+                }
+            }
+        }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _ijpeg_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    image = [lcg.next() % 256 for _ in range(1024)]
+    quant = [1 + (i // 8) + (i & 7) for i in range(64)]
+    zigzag = [((i * 37) + 11) % 64 for i in range(64)]
+    total = 0
+
+    def cdiv(a: int, b: int) -> int:
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    for _ in range(scale):
+        for by in range(4):
+            for bx in range(4):
+                block = [
+                    image[(by * 8 + row) * 32 + bx * 8 + col]
+                    for row in range(8)
+                    for col in range(8)
+                ]
+                for row in range(8):
+                    base = row * 8
+                    for col in range(4):
+                        a = block[base + col]
+                        b = block[base + 7 - col]
+                        block[base + col] = a + b
+                        block[base + 7 - col] = a - b
+                for col in range(8):
+                    for row in range(4):
+                        a = block[row * 8 + col]
+                        b = block[(7 - row) * 8 + col]
+                        block[row * 8 + col] = a + b
+                        block[(7 - row) * 8 + col] = a - b
+                for i in range(64):
+                    block[i] = cdiv(block[i], quant[i])
+                for i in range(16):
+                    total = (total + block[zigzag[i]]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "132.ijpeg",
+        "spec",
+        "8x8 integer block transform with zigzag quantization",
+        _IJPEG_SRC,
+        _ijpeg_ref,
+        default_scale=4,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 134.perl — bytecode VM with variable hash
+# ---------------------------------------------------------------------------
+
+_PERL_SRC = _LCG_C + """
+struct var { int name; int value; struct var *next; };
+
+int code[512];
+int stack[64];
+struct var *vars[32];
+
+/* ops encoded as op*256 + arg:
+   0 pushc, 1 load, 2 store, 3 add, 4 mul, 5 dup, 6 loop (arg = back) */
+
+struct var *getvar(int name) {
+    int h = name & 31;
+    struct var *v = vars[h];
+    while (v) {
+        if (v->name == name) { return v; }
+        v = v->next;
+    }
+    v = (struct var *) malloc(sizeof(struct var));
+    v->name = name;
+    v->value = 0;
+    v->next = vars[h];
+    vars[h] = v;
+    return v;
+}
+
+int main() {
+    int n = 0;
+    int i;
+    int total = 0;
+    int rounds = __SCALE__;
+    /* program: for each of 8 vars: v = (v + k) * 3 repeatedly */
+    for (i = 0; i < 8; i++) {
+        code[n] = 1 * 256 + i; n++;          /* load vi */
+        code[n] = 0 * 256 + (i + 2); n++;    /* push k */
+        code[n] = 3 * 256; n++;              /* add */
+        code[n] = 0 * 256 + 3; n++;          /* push 3 */
+        code[n] = 4 * 256; n++;              /* mul */
+        code[n] = 2 * 256 + i; n++;          /* store vi */
+    }
+    code[n] = 6 * 256; n++;                  /* end marker */
+    for (i = 0; i < rounds; i++) {
+        int pc = 0;
+        int sp = 0;
+        while ((code[pc] >> 8) != 6) {
+            int op = code[pc] >> 8;
+            int arg = code[pc] & 255;
+            if (op == 0) { stack[sp] = arg; sp++; }
+            else if (op == 1) { stack[sp] = getvar(arg)->value; sp++; }
+            else if (op == 2) { sp--; getvar(arg)->value = stack[sp] & 65535; }
+            else if (op == 3) { sp--; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+            else if (op == 4) { sp--; stack[sp - 1] = (stack[sp - 1] * stack[sp]) & 65535; }
+            else { stack[sp] = stack[sp - 1]; sp++; }
+            pc++;
+        }
+    }
+    for (i = 0; i < 8; i++) { total = (total + getvar(i)->value) & 16777215; }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _perl_ref(scale: int) -> List[int]:
+    values = {i: 0 for i in range(8)}
+    for _ in range(scale):
+        for i in range(8):
+            values[i] = ((values[i] + (i + 2)) * 3) & 65535
+    total = 0
+    for i in range(8):
+        total = (total + values[i]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "134.perl",
+        "spec",
+        "bytecode VM: stack machine plus variable hash chains",
+        _PERL_SRC,
+        _perl_ref,
+        default_scale=140,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 147.vortex — object store transactions
+# ---------------------------------------------------------------------------
+
+_VORTEX_SRC = _LCG_C + """
+struct rec { int id; int f1; int f2; struct rec *next; };
+
+struct rec *buckets[256];
+
+struct rec *lookup(int id) {
+    struct rec *r = buckets[id & 255];
+    while (r) {
+        if (r->id == id) { return r; }
+        r = r->next;
+    }
+    return 0;
+}
+
+int main() {
+    int i;
+    int total = 0;
+    int nrecs = 512;
+    for (i = 0; i < nrecs; i++) {
+        struct rec *r = (struct rec *) malloc(sizeof(struct rec));
+        int id = (i * 37 + 11) & 1023;
+        r->id = id;
+        r->f1 = i;
+        r->f2 = i * 2;
+        r->next = buckets[id & 255];
+        buckets[id & 255] = r;
+    }
+    for (i = 0; i < __SCALE__; i++) {
+        int id = ((lcg() * 37) + 11) & 1023;
+        struct rec *r = lookup(id);
+        if (r) {
+            r->f1 = (r->f1 + 1) & 65535;
+            r->f2 = (r->f2 + r->f1) & 65535;
+            total = (total + r->f2) & 16777215;
+        } else {
+            total = (total + 1) & 16777215;
+        }
+        if ((i & 63) == 0) {
+            int b;
+            for (b = 0; b < 256; b++) {
+                struct rec *p = buckets[b];
+                while (p) { total = (total + p->f1) & 16777215; p = p->next; }
+            }
+        }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _vortex_ref(scale: int) -> List[int]:
+    lcg = _Lcg(12345)
+    buckets: List[List[List[int]]] = [[] for _ in range(256)]
+    for i in range(512):
+        rec_id = (i * 37 + 11) & 1023
+        buckets[rec_id & 255].insert(0, [rec_id, i, i * 2])
+    total = 0
+    for i in range(scale):
+        rec_id = ((lcg.next() * 37) + 11) & 1023
+        found = None
+        for rec in buckets[rec_id & 255]:
+            if rec[0] == rec_id:
+                found = rec
+                break
+        if found is not None:
+            found[1] = (found[1] + 1) & 65535
+            found[2] = (found[2] + found[1]) & 65535
+            total = (total + found[2]) & 16777215
+        else:
+            total = (total + 1) & 16777215
+        if (i & 63) == 0:
+            for bucket in buckets:
+                for rec in bucket:
+                    total = (total + rec[1]) & 16777215
+    return [total]
+
+
+register(
+    Workload(
+        "147.vortex",
+        "spec",
+        "hashed object store with field-update transactions",
+        _VORTEX_SRC,
+        _vortex_ref,
+        default_scale=700,
+    )
+)

@@ -1,0 +1,154 @@
+"""Control-flow-graph construction tests."""
+
+from repro.compiler.cfg import CFG
+from repro.isa import Function, Imm, Instruction, Label, Opcode, Reg
+
+
+def I(op, dest=None, srcs=(), target=None):  # noqa: E743
+    return Instruction(op, dest, srcs, target)
+
+
+def make(items):
+    f = Function("f")
+    for item in items:
+        f.append(item)
+    return f
+
+
+def test_straight_line_single_block():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.MOV, Reg(1), [Imm(1)]),
+                I(Opcode.ADD, Reg(1), [Reg(1), Imm(1)]),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].succs == []
+
+
+def test_diamond():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.BEQ, None, [Reg(1), Imm(0)], "then"),
+                I(Opcode.MOV, Reg(2), [Imm(1)]),
+                I(Opcode.JMP, target="end"),
+                Label("then"),
+                I(Opcode.MOV, Reg(2), [Imm(2)]),
+                Label("end"),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    entry = cfg.blocks[0]
+    assert len(entry.succs) == 2
+    end_block = cfg.blocks[cfg.label_block["end"]]
+    assert sorted(end_block.preds) == sorted(
+        [cfg.label_block["then"], 1]
+    )
+
+
+def test_loop_back_edge():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.MOV, Reg(1), [Imm(0)]),
+                Label("loop"),
+                I(Opcode.ADD, Reg(1), [Reg(1), Imm(1)]),
+                I(Opcode.BLT, None, [Reg(1), Imm(10)], "loop"),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    loop_idx = cfg.label_block["loop"]
+    loop_block = cfg.blocks[loop_idx]
+    assert loop_idx in loop_block.succs  # self loop
+
+
+def test_consecutive_labels_share_block():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.JMP, target="a"),
+                Label("a"),
+                Label("b"),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    assert cfg.label_block["a"] == cfg.label_block["b"]
+
+
+def test_call_does_not_split_block():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.MOV, Reg(2), [Imm(1)]),
+                I(Opcode.CALL, target="g"),
+                I(Opcode.MOV, Reg(3), [Reg(1)]),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    assert len(cfg.blocks) == 1
+
+
+def test_ret_has_no_successors():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.RET),
+                Label("dead"),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    assert cfg.blocks[0].succs == []
+
+
+def test_unreachable_dropped_on_rebuild():
+    func = make(
+        [
+            I(Opcode.JMP, target="end"),
+            I(Opcode.MOV, Reg(1), [Imm(1)]),  # unreachable
+            Label("end"),
+            I(Opcode.HALT),
+        ]
+    )
+    CFG(func).to_function()
+    ops = [i.opcode for i in func.instructions()]
+    assert Opcode.MOV not in ops
+
+
+def test_round_trip_preserves_semantics():
+    items = [
+        I(Opcode.MOV, Reg(1), [Imm(0)]),
+        Label("loop"),
+        I(Opcode.ADD, Reg(1), [Reg(1), Imm(1)]),
+        I(Opcode.BLT, None, [Reg(1), Imm(5)], "loop"),
+        I(Opcode.OUT, None, [Reg(1)]),
+        I(Opcode.HALT),
+    ]
+    func = make(items)
+    before = [repr(i) for i in func.instructions()]
+    CFG(func).to_function()
+    after = [repr(i) for i in func.instructions()]
+    assert before == after
+
+
+def test_instructions_iterator():
+    cfg = CFG(
+        make(
+            [
+                I(Opcode.MOV, Reg(1), [Imm(0)]),
+                Label("x"),
+                I(Opcode.HALT),
+            ]
+        )
+    )
+    triples = list(cfg.instructions())
+    assert len(triples) == 2
+    assert triples[0][2].opcode is Opcode.MOV

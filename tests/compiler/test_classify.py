@@ -1,0 +1,269 @@
+"""Section 4 load-classification tests, including Figure 4."""
+
+from repro.compiler.classify import class_counts, compute_s_load
+from repro.compiler.driver import compile_source
+from repro.isa import Imm, Instruction, LoadSpec, Opcode, Reg
+from repro.sim.executor import execute
+
+
+def classified_loads(source, **kwargs):
+    """Map each load (repr of base+disp) to its specifier per function."""
+    result = compile_source(source, **kwargs)
+    return result
+
+
+def loads_of(result, func="main"):
+    return [
+        inst
+        for inst in result.program.functions[func].instructions()
+        if inst.is_load
+    ]
+
+
+class TestSLoad:
+    def test_load_dests_seed_the_set(self):
+        instrs = [
+            Instruction(Opcode.LD, Reg(1), [Reg(9), Imm(0)]),
+        ]
+        assert compute_s_load(instrs) == {Reg(1).key}
+
+    def test_arithmetic_propagation(self):
+        instrs = [
+            Instruction(Opcode.LD, Reg(1), [Reg(9), Imm(0)]),
+            Instruction(Opcode.SLL, Reg(2), [Reg(1), Imm(2)]),
+            Instruction(Opcode.ADD, Reg(3), [Reg(2), Reg(8)]),
+            Instruction(Opcode.ADD, Reg(4), [Reg(8), Imm(1)]),
+        ]
+        s = compute_s_load(instrs)
+        assert Reg(2).key in s  # derived from load via SLL
+        assert Reg(3).key in s  # transitively
+        assert Reg(4).key not in s  # pure arithmetic on a non-load value
+
+    def test_fixed_point_order_independence(self):
+        # use-before-def within the region still converges
+        instrs = [
+            Instruction(Opcode.ADD, Reg(3), [Reg(2), Imm(0)]),
+            Instruction(Opcode.SLL, Reg(2), [Reg(1), Imm(2)]),
+            Instruction(Opcode.LD, Reg(1), [Reg(9), Imm(0)]),
+        ]
+        s = compute_s_load(instrs)
+        assert Reg(3).key in s
+
+
+class TestFigure4:
+    """The paper's worked examples compile to the paper's classes."""
+
+    FOR_LOOP = """
+    int arr1[128];
+    int arr2[128];
+    int ind[128];
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 128; i++) {
+            s += arr1[ind[i]];
+            s += arr2[i];
+        }
+        print_int(s);
+        return 0;
+    }
+    """
+
+    def test_for_loop_classes(self):
+        """Figure 4a/4b: ind[i] and arr2[i] are ld_p; arr1[ind[i]] uses
+        register+register addressing off a loaded index, hence ld_n."""
+        result = classified_loads(self.FOR_LOOP)
+        execute(result.program)  # sanity: it runs
+        loop_loads = [
+            inst
+            for inst in loads_of(result)
+            if not (inst.mem_base.index == 62 and not inst.mem_base.virtual)
+        ]
+        specs = sorted(inst.lspec.value for inst in loop_loads)
+        # the indirection load is ld_n, the two strided streams ld_p —
+        # exactly the paper's op1/op3/op4 classification
+        assert specs == ["n", "p", "p"]
+
+    WHILE_LOOP = """
+    struct node { int f1; int f2; struct node *next; };
+    struct node *head;
+    int main() {
+        struct node *p;
+        int i; int s = 0;
+        for (i = 0; i < 32; i++) {
+            struct node *n = (struct node *) malloc(sizeof(struct node));
+            n->f1 = i; n->f2 = 2 * i; n->next = head;
+            head = n;
+        }
+        p = head;
+        while (p) {
+            s += p->f1;
+            s += p->f2;
+            p = p->next;
+        }
+        print_int(s);
+        return 0;
+    }
+    """
+
+    def test_while_loop_classes(self):
+        """Figure 4c/4d: all three pointer-chase loads share base p and
+        win R_addr: ld_e, ld_e, ld_e."""
+        result = classified_loads(self.WHILE_LOOP)
+        out = execute(result.program)
+        assert out.output == [sum(i + 2 * i for i in range(32))]
+        listing = result.program.functions["main"].dump()
+        assert listing.count("ld_e") >= 3
+
+    def test_paper_example_shapes_together(self):
+        """Both loops in one program keep their own classifications."""
+        src = self.FOR_LOOP.replace("int main() {", "int run_for() {").replace(
+            "print_int(s);\n        return 0;", "return s;"
+        )
+        src += self.WHILE_LOOP.replace(
+            "int main() {", "int main() { print_int(run_for());"
+        )
+        result = classified_loads(src)
+        counts = class_counts(result.program)
+        assert counts["e"] >= 3
+        assert counts["p"] >= 2
+        assert counts["n"] >= 1
+
+
+class TestCyclicHeuristics:
+    def test_strided_global_scan_is_pd(self):
+        result = classified_loads(
+            """
+            int data[64];
+            int main() {
+                int i; int s = 0;
+                for (i = 0; i < 64; i++) { s += data[i]; }
+                print_int(s);
+                return 0;
+            }
+            """
+        )
+        loop_loads = [
+            inst for inst in loads_of(result) if inst.mem_base.index != 62
+        ]
+        assert all(i.lspec is LoadSpec.P for i in loop_loads)
+
+    def test_largest_pointer_group_wins_raddr(self):
+        result = classified_loads(
+            """
+            struct big { int a; int b; int c; struct big *n; };
+            struct big *h1;
+            int *h2;
+            int main() {
+                struct big *p; int s = 0;
+                int i;
+                for (i = 0; i < 8; i++) {
+                    struct big *n = (struct big *) malloc(sizeof(struct big));
+                    n->a = i; n->b = i; n->c = i; n->n = h1; h1 = n;
+                }
+                h2 = (int *) malloc(64);
+                p = h1;
+                while (p) {
+                    s += p->a + p->b + p->c;   /* group of 4 with ->n */
+                    s += h2[s & 7];            /* reg+reg: ld_n */
+                    p = p->n;
+                }
+                print_int(s);
+                return 0;
+            }
+            """
+        )
+        execute(result.program)
+        listing = result.program.functions["main"].dump()
+        assert listing.count("ld_e") >= 4
+
+    def test_unoptimized_classification_degenerates(self):
+        """The paper's observation: without the classical optimizations
+        nearly every load is load-dependent and the classes are useless."""
+        src = """
+        int data[64];
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 64; i++) { s += data[i]; }
+            print_int(s);
+            return 0;
+        }
+        """
+        optimized = compile_source(src).class_counts()
+        naive = compile_source(src, opt_level=0).class_counts()
+        # optimized: the single surviving load is the strided array scan,
+        # correctly ld_p.  Naive: every scalar lives in memory, the array
+        # index itself is loaded, and the hot array access degenerates to
+        # load-dependent ld_n.
+        assert optimized == {"n": 0, "p": 1, "e": 0}
+        assert naive["n"] >= 1
+        assert sum(naive.values()) > sum(optimized.values())
+
+
+class TestAcyclicHeuristics:
+    def test_absolute_loads_are_pd(self):
+        result = classified_loads(
+            """
+            int g1 = 1;
+            int g2 = 2;
+            int main() {
+                print_int(g1 + g2);
+                return 0;
+            }
+            """
+        )
+        absolute = [i for i in loads_of(result) if i.is_absolute]
+        assert absolute
+        assert all(i.lspec is LoadSpec.P for i in absolute)
+
+    def test_acyclic_group_gets_ld_e(self):
+        result = classified_loads(
+            """
+            struct cfg { int a; int b; int c; };
+            struct cfg *make() {
+                struct cfg *c = (struct cfg *) malloc(sizeof(struct cfg));
+                c->a = 1; c->b = 2; c->c = 3;
+                return c;
+            }
+            int main() {
+                struct cfg *c = make();
+                print_int(c->a + c->b + c->c);
+                return 0;
+            }
+            """,
+            inline=False,
+        )
+        loads = loads_of(result)
+        e_loads = [i for i in loads if i.lspec is LoadSpec.E]
+        assert len(e_loads) >= 3  # the c-> group wins R_addr
+
+
+class TestLateLoads:
+    def test_spill_and_restore_loads_classified(self):
+        # a function with many live values forces callee-saved restores
+        decls = "\n".join(f"int g{i} = {i};" for i in range(40))
+        uses = " + ".join(f"g{i}" for i in range(40))
+        stores = "\n".join(f"g{i} = g{i} + 1;" for i in range(40))
+        src = f"""
+        {decls}
+        int touch() {{ return 1; }}
+        int main() {{
+            int a = {uses};
+            touch();
+            {stores}
+            print_int(a + {uses});
+            return 0;
+        }}
+        """
+        result = compile_source(src, inline=False)
+        execute(result.program)
+        main_loads = loads_of(result)
+        sp_loads = [
+            i
+            for i in main_loads
+            if not i.mem_base.virtual and i.mem_base.index == 62
+        ]
+        assert sp_loads  # epilogue restores exist
+        # and they carry a deliberate class (E or N per group size), with
+        # in-loop reloads P; none left accidentally unclassified is not
+        # checkable directly, but every load has *a* specifier:
+        assert all(i.lspec in LoadSpec for i in main_loads)

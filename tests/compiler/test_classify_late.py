@@ -1,0 +1,72 @@
+"""Direct tests for the late (allocator-created-load) classification."""
+
+from repro.compiler.classify import classify_late_loads
+from repro.isa import (
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    LoadSpec,
+    Opcode,
+    Reg,
+)
+from repro.isa.registers import SP
+
+
+def I(op, dest=None, srcs=(), target=None, lspec=LoadSpec.N):  # noqa: E743
+    return Instruction(op, dest, srcs, target, lspec)
+
+
+def sp_load(dest, offset):
+    return I(Opcode.LD, Reg(dest), [Reg(SP), Imm(offset)])
+
+
+def test_in_loop_reload_becomes_pd():
+    reload_inst = sp_load(58, 20)
+    f = Function("f")
+    f.append(I(Opcode.MOV, Reg(6), [Imm(0)]))
+    f.append(Label("loop"))
+    f.append(reload_inst)
+    f.append(I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]))
+    f.append(I(Opcode.BLT, None, [Reg(6), Imm(9)], "loop"))
+    f.append(I(Opcode.RET))
+    classify_late_loads(f, [reload_inst])
+    assert reload_inst.lspec is LoadSpec.P
+
+
+def test_epilogue_restores_win_raddr_when_larger():
+    restores = [sp_load(26 + k, 4 * k) for k in range(4)]
+    old_e = I(Opcode.LD, Reg(9), [Reg(8), Imm(0)], lspec=LoadSpec.E)
+    f = Function("f")
+    f.append(old_e)
+    for restore in restores:
+        f.append(restore)
+    f.append(I(Opcode.RET))
+    classify_late_loads(f, restores)
+    assert all(r.lspec is LoadSpec.E for r in restores)
+    assert old_e.lspec is LoadSpec.N  # demoted: sp group is larger
+
+
+def test_small_restore_group_stays_normal():
+    restore = sp_load(26, 4)
+    group_e = [
+        I(Opcode.LD, Reg(10 + k), [Reg(8), Imm(4 * k)], lspec=LoadSpec.E)
+        for k in range(3)
+    ]
+    f = Function("f")
+    for inst in group_e:
+        f.append(inst)
+    f.append(restore)
+    f.append(I(Opcode.RET))
+    classify_late_loads(f, [restore])
+    assert restore.lspec is LoadSpec.N
+    assert all(inst.lspec is LoadSpec.E for inst in group_e)
+
+
+def test_no_created_loads_is_a_noop():
+    inst = I(Opcode.LD, Reg(9), [Reg(8), Imm(0)], lspec=LoadSpec.E)
+    f = Function("f")
+    f.append(inst)
+    f.append(I(Opcode.RET))
+    classify_late_loads(f, [])
+    assert inst.lspec is LoadSpec.E

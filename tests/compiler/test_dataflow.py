@@ -1,0 +1,117 @@
+"""Liveness-analysis tests."""
+
+from repro.compiler.cfg import CFG
+from repro.compiler.dataflow import Liveness, inst_defs, inst_uses
+from repro.isa import Function, Imm, Instruction, Label, Opcode, Reg
+
+
+def I(op, dest=None, srcs=(), target=None):  # noqa: E743
+    return Instruction(op, dest, srcs, target)
+
+
+def v(i):
+    return Reg(i, virtual=True)
+
+
+def make(items):
+    f = Function("f")
+    for item in items:
+        f.append(item)
+    return f
+
+
+def test_inst_uses_defs():
+    add = I(Opcode.ADD, v(1), [v(2), Imm(3)])
+    assert inst_uses(add) == [v(2).key]
+    assert inst_defs(add) == [v(1).key]
+
+
+def test_call_clobbers_caller_saved():
+    call = I(Opcode.CALL, target="g")
+    defs = set(inst_defs(call))
+    assert ("int", 1, False) in defs  # rv
+    assert ("int", 25, False) in defs  # last caller-saved
+    assert ("int", 26, False) not in defs  # callee-saved survives
+    assert ("int", 63, False) in defs  # ra
+
+
+def test_ret_uses_return_registers():
+    uses = set(inst_uses(I(Opcode.RET)))
+    assert ("int", 63, False) in uses
+    assert ("int", 1, False) in uses
+
+
+def test_straight_line_liveness():
+    func = make(
+        [
+            I(Opcode.MOV, v(1), [Imm(5)]),
+            I(Opcode.ADD, v(2), [v(1), Imm(1)]),
+            I(Opcode.OUT, None, [v(2)]),
+            I(Opcode.HALT),
+        ]
+    )
+    cfg = CFG(func)
+    live = Liveness(cfg)
+    after = live.per_instruction(0)
+    assert v(1).key in after[0]  # live after its def
+    assert v(1).key not in after[1]  # dead after last use
+    assert v(2).key in after[1]
+    assert v(2).key not in after[2]
+
+
+def test_loop_carried_liveness():
+    func = make(
+        [
+            I(Opcode.MOV, v(1), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.ADD, v(1), [v(1), Imm(1)]),
+            I(Opcode.BLT, None, [v(1), Imm(10)], "loop"),
+            I(Opcode.OUT, None, [v(1)]),
+            I(Opcode.HALT),
+        ]
+    )
+    cfg = CFG(func)
+    live = Liveness(cfg)
+    loop_idx = cfg.label_block["loop"]
+    # v1 is live around the back edge
+    assert v(1).key in live.live_in[loop_idx]
+    assert v(1).key in live.live_out[loop_idx]
+
+
+def test_branch_divergent_liveness():
+    func = make(
+        [
+            I(Opcode.MOV, v(1), [Imm(1)]),
+            I(Opcode.MOV, v(2), [Imm(2)]),
+            I(Opcode.BEQ, None, [v(1), Imm(0)], "other"),
+            I(Opcode.OUT, None, [v(1)]),
+            I(Opcode.HALT),
+            Label("other"),
+            I(Opcode.OUT, None, [v(2)]),
+            I(Opcode.HALT),
+        ]
+    )
+    cfg = CFG(func)
+    live = Liveness(cfg)
+    entry_out = live.live_out[0]
+    assert v(1).key in entry_out
+    assert v(2).key in entry_out
+    # in the fallthrough block, v2 is dead
+    fall = cfg.blocks[1]
+    assert v(2).key not in live.live_in[fall.index]
+
+
+def test_dead_def_not_live():
+    func = make(
+        [
+            I(Opcode.MOV, v(1), [Imm(1)]),
+            I(Opcode.MOV, v(1), [Imm(2)]),  # kills previous def
+            I(Opcode.OUT, None, [v(1)]),
+            I(Opcode.HALT),
+        ]
+    )
+    live = Liveness(CFG(func))
+    after = live.per_instruction(0)
+    # after the first MOV, v1's *new* value is not yet needed: the
+    # second MOV redefines it, so the first def is dead.
+    assert v(1).key not in after[0]

@@ -1,0 +1,247 @@
+"""IR-generation unit and error-path tests."""
+
+import pytest
+
+from repro.compiler.irgen import IRGenError, generate_ir
+from repro.isa.instruction import Imm, Reg, Sym
+from repro.isa.opcodes import LoadSpec, Opcode
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from tests.conftest import output_of, run_c
+
+
+def ir_for(source):
+    unit = parse(source)
+    return generate_ir(unit, analyze(unit))
+
+
+def ops(module, name="main"):
+    return [i.opcode for i in module.funcs[name].func.instructions()]
+
+
+def test_too_many_int_arguments_rejected():
+    src = """
+    int f(int a, int b, int c, int d, int e, int f2, int g) { return a; }
+    int main() { return f(1,2,3,4,5,6,7); }
+    """
+    with pytest.raises(IRGenError):
+        ir_for(src)
+
+
+def test_void_call_as_value_rejected():
+    src = """
+    void f() {}
+    int main() { return f() + 1; }
+    """
+    from repro.lang.errors import SemaError
+
+    # sema catches this first (void in arithmetic)
+    with pytest.raises((IRGenError, SemaError)):
+        output_of(src)
+
+
+def test_global_scalar_uses_absolute_addressing():
+    module = ir_for("int g = 3; int main() { return g; }")
+    loads = [
+        i for i in module.funcs["main"].func.instructions() if i.is_load
+    ]
+    assert len(loads) == 1
+    assert isinstance(loads[0].mem_disp, Sym)
+    assert loads[0].is_absolute
+
+
+def test_string_literals_are_interned():
+    module = ir_for(
+        """
+        int main() {
+            char *a = "same";
+            char *b = "same";
+            char *c = "different";
+            return a[0] + b[0] + c[0];
+        }
+        """
+    )
+    strings = [
+        item
+        for name, item in module.program.data.items()
+        if name.startswith("__str")
+    ]
+    assert len(strings) == 2  # "same" interned once
+
+
+def test_float_constants_pooled():
+    module = ir_for(
+        """
+        int main() {
+            double a = 2.5;
+            double b = 2.5;
+            double c = 3.5;
+            return (int) (a + b + c);
+        }
+        """
+    )
+    consts = [
+        name for name in module.program.data if name.startswith("__fc")
+    ]
+    assert len(consts) == 2
+
+
+def test_heap_pointer_global_exists():
+    module = ir_for("int main() { return 0; }")
+    assert "__heap_ptr" in module.program.data
+
+
+def test_malloc_is_inlined_bump_allocation():
+    module = ir_for(
+        "int main() { int *p = (int *) malloc(12); return *p; }"
+    )
+    body_ops = ops(module)
+    assert Opcode.CALL not in body_ops  # no runtime call
+    # bump pattern: load heap ptr, add, store back
+    assert Opcode.LD in body_ops
+    assert Opcode.ST in body_ops
+
+
+def test_malloc_alignment_rounds_to_eight():
+    assert output_of(
+        """
+        int main() {
+            int *a = (int *) malloc(5);
+            int *b = (int *) malloc(5);
+            print_int(((int) b - (int) a));
+            return 0;
+        }
+        """
+    ) == [8]
+
+
+def test_division_uses_div_opcode():
+    module = ir_for("int main() { int a = 10; return a / 3; }")
+    assert Opcode.DIV in ops(module)
+
+
+def test_pointer_scaling_power_of_two_uses_shift():
+    module = ir_for(
+        """
+        int main() {
+            int a[8];
+            int i = 3;
+            return a[i];
+        }
+        """
+    )
+    body_ops = ops(module)
+    assert Opcode.SLL in body_ops
+    assert Opcode.MUL not in body_ops
+
+
+def test_struct_size_scaling_uses_mul_when_odd():
+    module = ir_for(
+        """
+        struct odd { int a; int b; int c; };
+        struct odd arr[4];
+        int main() { int i = 1; return arr[i].b; }
+        """
+    )
+    assert Opcode.MUL in ops(module)
+
+
+def test_constant_index_folds_to_offset():
+    module = ir_for(
+        """
+        int arr[8];
+        int main() { return arr[3]; }
+        """
+    )
+    loads = [
+        i for i in module.funcs["main"].func.instructions() if i.is_load
+    ]
+    assert any(
+        isinstance(i.mem_disp, Imm) and i.mem_disp.value == 12
+        for i in loads
+    )
+
+
+def test_loads_default_to_ld_n():
+    module = ir_for("int g; int main() { return g; }")
+    loads = [
+        i for i in module.funcs["main"].func.instructions() if i.is_load
+    ]
+    assert all(i.lspec is LoadSpec.N for i in loads)
+
+
+def test_comma_free_multi_decl_initializers_run():
+    assert output_of(
+        "int main() { int a = 1, b = a + 1, c = b * 2; "
+        "print_int(a + b + c); return 0; }"
+    ) == [7]
+
+
+def test_negative_offsets_work():
+    assert output_of(
+        """
+        int arr[8];
+        int main() {
+            int *p = &arr[4];
+            p[-1] = 7;
+            print_int(arr[3]);
+            print_int(*(p - 1));
+            return 0;
+        }
+        """
+    ) == [7, 7]
+
+
+def test_char_pointer_walk():
+    res = run_c(
+        """
+        char msg[6] = "hello";
+        int main() {
+            char *p = msg;
+            int n = 0;
+            while (*p) { print_char(*p); p++; n++; }
+            print_int(n);
+            return 0;
+        }
+        """
+    )
+    assert res.text == "hello"
+    assert res.output == [5]
+
+
+def test_ternary_with_doubles():
+    assert output_of(
+        """
+        int main() {
+            double d = 1.0 > 2.0 ? 5.5 : 6.5;
+            print_int((int) d);
+            return 0;
+        }
+        """
+    ) == [6]
+
+
+def test_deeply_nested_calls():
+    assert output_of(
+        """
+        int inc(int x) { return x + 1; }
+        int main() {
+            print_int(inc(inc(inc(inc(0)))));
+            return 0;
+        }
+        """
+    ) == [4]
+
+
+def test_call_argument_evaluation_order_is_safe():
+    # nested calls in arguments must not clobber argument registers
+    assert output_of(
+        """
+        int add(int a, int b) { return a + b; }
+        int main() {
+            print_int(add(add(1, 2), add(3, add(4, 5))));
+            return 0;
+        }
+        """,
+        inline=False,
+    ) == [15]

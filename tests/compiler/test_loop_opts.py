@@ -1,0 +1,273 @@
+"""LICM, strength reduction, and inlining tests."""
+
+from repro.compiler.cfg import CFG
+from repro.compiler.driver import compile_source
+from repro.compiler.irgen import generate_ir
+from repro.compiler.loops import find_loops
+from repro.compiler.opt import (
+    coalesce_moves,
+    constant_propagation,
+    copy_propagation,
+    dead_code_elimination,
+    inline_functions,
+    loop_invariant_code_motion,
+    promote_locals,
+    simplify_control_flow,
+    strength_reduction,
+)
+from repro.isa.opcodes import Opcode
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from tests.conftest import output_of
+
+
+def prepared_ir(source):
+    unit = parse(source)
+    module = generate_ir(unit, analyze(unit))
+    for fir in module.funcs.values():
+        simplify_control_flow(fir)
+        promote_locals(fir)
+        for _ in range(4):
+            changed = constant_propagation(fir)
+            changed |= copy_propagation(fir)
+            changed |= coalesce_moves(fir)
+            changed |= dead_code_elimination(fir)
+            if not changed:
+                break
+    return module
+
+
+def loop_opcodes(fir):
+    """Opcodes of instructions inside any loop of the function."""
+    cfg = CFG(fir.func)
+    inside = set()
+    for loop in find_loops(cfg):
+        inside.update(loop.blocks)
+    return [
+        inst.opcode
+        for index in inside
+        for inst in cfg.blocks[index].instrs
+    ]
+
+
+class TestLicm:
+    SRC = """
+    int g = 7;
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 50; i++) {
+            s += g * 3;     /* g load and the multiply are invariant */
+        }
+        print_int(s);
+        return 0;
+    }
+    """
+
+    def test_invariant_load_hoisted(self):
+        module = prepared_ir(self.SRC)
+        fir = module.funcs["main"]
+        assert Opcode.LD in loop_opcodes(fir)
+        assert loop_invariant_code_motion(fir)
+        assert Opcode.LD not in loop_opcodes(fir)
+
+    def test_output_preserved(self):
+        assert output_of(self.SRC) == [50 * 21]
+
+    def test_store_in_loop_blocks_hoisting_aliased_load(self):
+        src = """
+        int g = 0;
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 10; i++) {
+                g = g + 1;     /* store to g: the load must stay */
+                s += g;
+            }
+            print_int(s);
+            return 0;
+        }
+        """
+        module = prepared_ir(src)
+        fir = module.funcs["main"]
+        loop_invariant_code_motion(fir)
+        assert Opcode.LD in loop_opcodes(fir)
+        assert output_of(src) == [55]
+
+    def test_call_in_loop_blocks_load_hoisting(self):
+        src = """
+        int g = 1;
+        void touch() { g = g + 1; }
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 5; i++) { touch(); s += g; }
+            print_int(s);
+            return 0;
+        }
+        """
+        # inlining is off here, so the call stays
+        module = prepared_ir(src)
+        fir = module.funcs["main"]
+        loop_invariant_code_motion(fir)
+        assert Opcode.LD in loop_opcodes(fir)
+        assert output_of(src, inline=False) == [2 + 3 + 4 + 5 + 6]
+
+    def test_different_global_store_does_not_block(self):
+        src = """
+        int g = 3; int h = 0;
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 10; i++) {
+                h = i;        /* store to a different global */
+                s += g;
+            }
+            print_int(s + h);
+            return 0;
+        }
+        """
+        module = prepared_ir(src)
+        fir = module.funcs["main"]
+        loop_invariant_code_motion(fir)
+        loop_loads = [op for op in loop_opcodes(fir) if op is Opcode.LD]
+        assert not loop_loads  # g hoisted despite the store to h
+        assert output_of(src) == [39]
+
+
+class TestStrengthReduction:
+    SRC = """
+    int arr[64];
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 64; i++) { s += arr[i] * 3; }
+        print_int(s);
+        return 0;
+    }
+    """
+
+    def test_indexing_shift_removed_from_loop(self):
+        module = prepared_ir(self.SRC)
+        fir = module.funcs["main"]
+        loop_invariant_code_motion(fir)
+        before = loop_opcodes(fir).count(Opcode.SLL)
+        assert before >= 1
+        assert strength_reduction(fir)
+        after = [
+            op
+            for op in loop_opcodes(fir)
+            if op in (Opcode.SLL, Opcode.MUL)
+        ]
+        # the i*4 shift became a strided accumulator; the *3 multiply of
+        # the LOADED value is not an induction variable and must remain
+        assert loop_opcodes(fir).count(Opcode.SLL) < before
+
+    def test_output_preserved(self):
+        assert output_of(self.SRC) == [0]
+
+    def test_downcounting_loop(self):
+        src = """
+        int arr[16];
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 16; i++) { arr[i] = i; }
+            for (i = 15; i >= 0; i--) { s += arr[i]; }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert output_of(src) == [120]
+
+    def test_data_multiply_not_reduced(self):
+        # v * k where v is loop-variant data (not an IV) must survive
+        module = prepared_ir(self.SRC)
+        fir = module.funcs["main"]
+        strength_reduction(fir)
+        constant_propagation(fir)
+        dead_code_elimination(fir)
+        assert Opcode.MUL in loop_opcodes(fir) or Opcode.SLL in [
+            op for op in loop_opcodes(fir)
+        ]
+
+
+class TestInlining:
+    def test_small_callee_inlined(self):
+        src = """
+        int add3(int x) { return x + 3; }
+        int main() { print_int(add3(4) + add3(5)); return 0; }
+        """
+        unit = parse(src)
+        module = generate_ir(unit, analyze(unit))
+        assert inline_functions(module)
+        main = module.funcs["main"].func
+        calls = [i for i in main.instructions() if i.opcode is Opcode.CALL]
+        assert not calls
+        assert output_of(src) == [15]
+
+    def test_self_recursive_not_inlined(self):
+        src = """
+        int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+        int main() { print_int(fact(5)); return 0; }
+        """
+        unit = parse(src)
+        module = generate_ir(unit, analyze(unit))
+        inline_functions(module)
+        main = module.funcs["main"].func
+        calls = [i for i in main.instructions() if i.opcode is Opcode.CALL]
+        assert calls  # the recursive callee stayed out of line
+        assert output_of(src) == [120]
+
+    def test_chain_inlining(self):
+        src = """
+        int one() { return 1; }
+        int two() { return one() + one(); }
+        int main() { print_int(two() + one()); return 0; }
+        """
+        unit = parse(src)
+        module = generate_ir(unit, analyze(unit))
+        inline_functions(module)
+        main = module.funcs["main"].func
+        assert not [
+            i for i in main.instructions() if i.opcode is Opcode.CALL
+        ]
+        assert output_of(src) == [3]
+
+    def test_inlined_locals_do_not_collide(self):
+        src = """
+        int f(int x) { int t = x * 2; return t + 1; }
+        int main() {
+            int t = 100;
+            print_int(f(3));
+            print_int(t);
+            return 0;
+        }
+        """
+        assert output_of(src) == [7, 100]
+
+    def test_inlined_array_local_frame_shift(self):
+        src = """
+        int fill(int seed) {
+            int tmp[4];
+            int i;
+            for (i = 0; i < 4; i++) { tmp[i] = seed + i; }
+            return tmp[0] + tmp[3];
+        }
+        int main() {
+            int mine[2];
+            mine[0] = 50;
+            print_int(fill(10));
+            print_int(mine[0]);
+            return 0;
+        }
+        """
+        assert output_of(src) == [23, 50]
+
+    def test_callee_limit_respected(self):
+        unit = parse(
+            """
+            int big(int x) { """
+            + " ".join(f"x = x + {i};" for i in range(100))
+            + """ return x; }
+            int main() { print_int(big(0)); return 0; }
+            """
+        )
+        module = generate_ir(unit, analyze(unit))
+        inline_functions(module, callee_limit=20)
+        main = module.funcs["main"].func
+        assert [i for i in main.instructions() if i.opcode is Opcode.CALL]

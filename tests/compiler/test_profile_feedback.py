@@ -1,0 +1,121 @@
+"""Section 4.3 profile-guided reclassification tests."""
+
+from repro.compiler.driver import compile_source
+from repro.compiler.profile_feedback import (
+    apply_overrides,
+    profile_loads,
+    profile_overrides,
+)
+from repro.isa.opcodes import LoadSpec
+from repro.sim.executor import execute
+
+# A sorted index array makes tbl[idx[i]] highly stride-predictable, yet
+# the heuristics must classify it NT (the index is loaded, reg+reg mode).
+PREDICTABLE_NT = """
+int idx[64];
+int tbl[64];
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 64; i++) { idx[i] = i; tbl[i] = i * 3; }
+    for (i = 0; i < 64; i++) { s += tbl[idx[i]]; }
+    print_int(s);
+    return 0;
+}
+"""
+
+# A pointer-chasing NT load is genuinely unpredictable and must stay NT.
+UNPREDICTABLE_NT = """
+int idx[64];
+int tbl[64];
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 64; i++) { idx[i] = (i * 37 + 11) % 64; tbl[i] = i; }
+    for (i = 0; i < 64; i++) { s += tbl[idx[i]]; }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+def compiled_and_traced(src):
+    result = compile_source(src)
+    trace = execute(result.program).trace
+    return result, trace
+
+
+def nt_loads(program):
+    return [
+        inst for inst in program.static_loads() if inst.lspec is LoadSpec.N
+    ]
+
+
+def test_predictable_nt_flipped_to_pd():
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    assert nt_loads(result.program)  # the heuristics said NT
+    overrides = profile_overrides(result.program, trace)
+    assert overrides  # profiling disagrees
+    assert all(spec is LoadSpec.P for spec in overrides.values())
+
+
+def test_unpredictable_nt_not_flipped():
+    result, trace = compiled_and_traced(UNPREDICTABLE_NT)
+    hot_nt = [
+        i for i in nt_loads(result.program) if not i.is_reg_offset
+    ]
+    assert hot_nt
+    overrides = profile_overrides(result.program, trace)
+    assert all(inst.uid not in overrides for inst in hot_nt)
+
+
+def test_only_nt_loads_are_overruled():
+    """The paper: "nothing else will be overruled" — PD and EC loads
+    keep their classes no matter what the profile says."""
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    overrides = profile_overrides(result.program, trace)
+    non_nt_uids = {
+        inst.uid
+        for inst in result.program.static_loads()
+        if inst.lspec is not LoadSpec.N
+    }
+    assert not set(overrides) & non_nt_uids
+
+
+def test_threshold_respected():
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    strict = profile_overrides(result.program, trace, threshold=0.999)
+    lax = profile_overrides(result.program, trace, threshold=0.0)
+    assert len(strict) <= len(profile_overrides(result.program, trace))
+    assert len(lax) >= len(strict)
+
+
+def test_apply_overrides_mutates():
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    overrides = profile_overrides(result.program, trace)
+    changed = apply_overrides(result.program, overrides)
+    assert changed == len(overrides)
+    for uid, spec in overrides.items():
+        assert result.program.flat[uid].lspec is spec
+    # idempotent
+    assert apply_overrides(result.program, overrides) == 0
+
+
+def test_profile_loads_counts_every_dynamic_load():
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    predictor = profile_loads(trace)
+    assert predictor.accesses == trace.dynamic_load_count()
+
+
+def test_never_executed_loads_not_flipped():
+    src = """
+    int g = 5;
+    int main() {
+        if (0) { print_int(g); }   /* dead load, if it survives at all */
+        print_int(1);
+        return 0;
+    }
+    """
+    result = compile_source(src)
+    trace = execute(result.program).trace
+    overrides = profile_overrides(result.program, trace)
+    executed = {uid for uid, _ in trace.load_addresses()}
+    assert set(overrides) <= executed

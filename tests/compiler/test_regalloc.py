@@ -1,0 +1,193 @@
+"""Register-allocation tests."""
+
+from repro.compiler.driver import compile_source
+from repro.compiler.regalloc import (
+    INT_CALLEE_POOL,
+    INT_CALLER_POOL,
+    INT_SCRATCH,
+)
+from repro.isa.instruction import Reg
+from repro.isa.opcodes import Opcode
+from repro.sim.executor import execute
+from tests.conftest import output_of
+
+
+def all_regs(program):
+    regs = set()
+    for func in program.functions.values():
+        for inst in func.instructions():
+            if inst.dest is not None:
+                regs.add(inst.dest)
+            for src in inst.srcs:
+                if isinstance(src, Reg):
+                    regs.add(src)
+    return regs
+
+
+def test_no_virtual_registers_survive():
+    result = compile_source(
+        """
+        int main() {
+            int a = 1; int b = 2; int c = a + b;
+            print_int(c * (a - b));
+            return 0;
+        }
+        """
+    )
+    assert all(not r.virtual for r in all_regs(result.program))
+
+
+def test_values_live_across_calls_get_callee_saved():
+    result = compile_source(
+        """
+        int id(int x) { return x; }
+        int main() {
+            int keep = 41;
+            id(0);
+            print_int(keep + 1);
+            return 0;
+        }
+        """,
+        inline=False,
+    )
+    assert execute(result.program).output == [42]
+
+
+def test_prologue_epilogue_balance():
+    result = compile_source(
+        """
+        int helper(int a) { return a * 2; }
+        int main() { print_int(helper(21)); return 0; }
+        """,
+        inline=False,
+    )
+    main = result.program.functions["main"]
+    instrs = list(main.instructions())
+    subs = [
+        i
+        for i in instrs
+        if i.opcode is Opcode.SUB
+        and i.dest is not None
+        and i.dest.index == 62
+    ]
+    adds = [
+        i
+        for i in instrs
+        if i.opcode is Opcode.ADD
+        and i.dest is not None
+        and i.dest.index == 62
+    ]
+    assert len(subs) == 1 and len(adds) == 1
+    assert subs[0].srcs[1].value == adds[0].srcs[1].value
+    assert subs[0].srcs[1].value % 16 == 0  # frame alignment
+
+
+def test_ra_saved_in_non_leaf():
+    result = compile_source(
+        """
+        int f() { return 3; }
+        int main() { return f() + f(); }
+        """,
+        inline=False,
+    )
+    main = result.program.functions["main"]
+    ra_stores = [
+        i
+        for i in main.instructions()
+        if i.is_store
+        and isinstance(i.srcs[0], Reg)
+        and i.srcs[0].index == 63
+    ]
+    assert ra_stores
+
+
+def test_leaf_function_does_not_save_ra():
+    result = compile_source(
+        """
+        int leaf(int x) { return x + 1; }
+        int main() { print_int(leaf(1)); return 0; }
+        """,
+        inline=False,
+    )
+    leaf = result.program.functions["leaf"]
+    ra_stores = [
+        i
+        for i in leaf.instructions()
+        if i.is_store
+        and isinstance(i.srcs[0], Reg)
+        and i.srcs[0].index == 63
+    ]
+    assert not ra_stores
+
+
+def test_high_pressure_spills_correctly():
+    """More simultaneously-live values than registers: spill path."""
+    n = 60
+    decls = "\n".join(
+        f"int v{i} = {i} + k;" for i in range(n)
+    )
+    total = " + ".join(f"v{i}" for i in range(n))
+    src = f"""
+    int mix(int k) {{
+        {decls}
+        k = k * 2;
+        return {total} + k;
+    }}
+    int main() {{ print_int(mix(1)); print_int(mix(3)); return 0; }}
+    """
+    expected1 = sum(i + 1 for i in range(n)) + 2
+    expected2 = sum(i + 3 for i in range(n)) + 6
+    assert output_of(src) == [expected1, expected2]
+
+
+def test_spill_slots_do_not_clobber_locals():
+    n = 40
+    decls = "\n".join(f"int v{i} = arr[{i}] * 2;" for i in range(n))
+    total = " + ".join(f"v{i}" for i in range(n))
+    src = f"""
+    int arr[{n}];
+    int main() {{
+        int i;
+        for (i = 0; i < {n}; i++) {{ arr[i] = i; }}
+        {decls}
+        print_int({total});
+        return 0;
+    }}
+    """
+    assert output_of(src) == [sum(i * 2 for i in range(n))]
+
+
+def test_fp_register_allocation():
+    src = """
+    double a; double b; double c; double d;
+    int main() {
+        a = 1.5; b = 2.5; c = a * b; d = c - a;
+        double e = d / b;
+        print_int((int) (e * 100.0));
+        return 0;
+    }
+    """
+    assert output_of(src) == [int((1.5 * 2.5 - 1.5) / 2.5 * 100)]
+
+
+def test_allocated_registers_stay_in_pools():
+    result = compile_source(
+        """
+        int f(int a, int b) { return a * b + a - b; }
+        int main() {
+            int x = f(3, 4);
+            int y = f(x, 5);
+            print_int(x + y);
+            return 0;
+        }
+        """
+    )
+    allowed = (
+        set(INT_CALLER_POOL)
+        | set(INT_CALLEE_POOL)
+        | set(INT_SCRATCH)
+        | {0, 1, 2, 3, 4, 5, 6, 7, 62, 63}
+    )
+    for reg in all_regs(result.program):
+        if reg.bank == "int":
+            assert reg.index in allowed, reg

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.driver import CompileResult, compile_source
+from repro.sim.executor import ExecResult, Executor
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+
+
+def compile_c(source: str, **kwargs) -> CompileResult:
+    """Compile mini-C source with the default (paper) options."""
+    return compile_source(source, **kwargs)
+
+
+def run_c(source: str, **kwargs) -> ExecResult:
+    """Compile and emulate mini-C source; returns the ExecResult."""
+    result = compile_source(source, **kwargs)
+    return Executor(result.program).run()
+
+
+def output_of(source: str, **kwargs) -> list:
+    """The OUT stream produced by a mini-C program."""
+    return run_c(source, **kwargs).output
+
+
+def run_all_levels(source: str) -> list:
+    """Run a program at opt levels 0/1/2; asserts identical output."""
+    outputs = [output_of(source, opt_level=level) for level in (0, 1, 2)]
+    assert outputs[0] == outputs[1] == outputs[2], (
+        f"optimization changed behaviour: {outputs}"
+    )
+    return outputs[0]
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return MachineConfig()
+
+
+@pytest.fixture
+def proposed() -> EarlyGenConfig:
+    """The paper's proposed configuration."""
+    return EarlyGenConfig(
+        table_entries=256, cached_regs=1, selection=SelectionMode.COMPILER
+    )

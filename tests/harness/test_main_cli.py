@@ -1,0 +1,28 @@
+"""CLI smoke tests for ``python -m repro.harness.main``."""
+
+import pytest
+
+from repro.harness.main import main
+
+
+def test_cli_media_suite(capsys):
+    assert main(["--scale", "0.05", "--suite", "media"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "adpcm_decode" in out
+    assert "Table 2" not in out
+
+
+def test_cli_spec_suite_subset(capsys):
+    # spec suite includes all five SPEC artifacts
+    assert main(["--scale", "0.03", "--suite", "spec"]) == 0
+    out = capsys.readouterr().out
+    for artifact in ("Table 2", "Figure 5a", "Figure 5b", "Figure 5c",
+                     "Table 3"):
+        assert artifact in out
+    assert "Table 4" not in out
+
+
+def test_cli_rejects_bad_suite():
+    with pytest.raises(SystemExit):
+        main(["--suite", "nope"])

@@ -1,0 +1,225 @@
+"""Assembler tests: parsing, execution, and round-tripping."""
+
+import pytest
+
+from repro.isa.asm import AsmError, format_program, parse_asm
+from repro.isa.opcodes import LoadSpec, Opcode
+from repro.sim.executor import execute
+
+
+def test_minimal_program():
+    program = parse_asm(
+        """
+        main:
+            mov r1, 7
+            out r1
+            halt
+        """
+    )
+    assert execute(program).output == [7]
+
+
+def test_data_and_loads():
+    program = parse_asm(
+        """
+        .data tbl 12 = 10 20 30
+        main:
+            lea r4, tbl
+            ld_p r5, r4(4)
+            out r5
+            ld_n r6, r0(tbl+8)      ; absolute with symbol+offset
+            out r6
+            halt
+        """
+    )
+    result = execute(program)
+    assert result.output == [20, 30]
+    loads = program.static_loads()
+    assert loads[0].lspec is LoadSpec.P
+    assert loads[1].lspec is LoadSpec.N
+    assert loads[1].is_absolute
+
+
+def test_ascii_directive():
+    program = parse_asm(
+        """
+        .ascii msg "hi\\n"
+        main:
+            lea r4, msg
+        loop:
+            ldb_n r5, r4(0)
+            beq r5, 0, done
+            outc r5
+            add r4, r4, 1
+            jmp loop
+        done:
+            halt
+        """
+    )
+    assert execute(program).text == "hi\n"
+
+
+def test_loop_and_branches():
+    program = parse_asm(
+        """
+        main:
+            mov r5, 0
+            mov r6, 0
+        loop:
+            add r5, r5, r6
+            add r6, r6, 1
+            blt r6, 10, loop
+            out r5
+            halt
+        """
+    )
+    assert execute(program).output == [45]
+
+
+def test_functions_and_calls():
+    program = parse_asm(
+        """
+        .entry main
+        .func main
+        main:
+            mov r2, 5
+            call triple
+            out r1
+            halt
+        .func triple
+        triple:
+            mul r1, r2, 3
+            ret
+        """
+    )
+    assert execute(program).output == [15]
+    assert set(program.functions) == {"main", "triple"}
+
+
+def test_store_forms():
+    program = parse_asm(
+        """
+        .data buf 16
+        main:
+            lea r4, buf
+            mov r5, 99
+            st r5, r4(0)
+            mov r6, 8
+            st r5, r4(r6)          ; register displacement
+            ld_n r7, r4(0)
+            out r7
+            halt
+        """
+    )
+    assert execute(program).output == [99]
+
+
+def test_comments_and_blank_lines():
+    program = parse_asm(
+        """
+        ; leading comment
+
+        main:            ; function
+            mov r1, 1    ; set
+            halt         ; stop
+        """
+    )
+    assert execute(program).steps == 2
+
+
+@pytest.mark.parametrize(
+    "bad,fragment",
+    [
+        ("main:\n  bogus r1, r2\n", "unknown mnemonic"),
+        ("main:\n  ld_p r1\n", "loads take"),
+        ("main:\n  ld_p r1, r2\n", "bad memory operand"),
+        ("main:\n  mov 5, r1\n", "destination must be a register"),
+        ("  mov r1, 1\n", "before any label"),
+        ("main:\n  blt r1, 5\n", "branches take"),
+        (".data x\nmain:\n  halt\n", ".data takes"),
+        (".wat 3\nmain:\n  halt\n", "unknown directive"),
+        ("main:\n  mov r1, @@\n", "bad operand"),
+        ("", "no code"),
+    ],
+)
+def test_errors(bad, fragment):
+    with pytest.raises(AsmError) as exc:
+        parse_asm(bad)
+    assert fragment in str(exc.value)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AsmError) as exc:
+        parse_asm("main:\n  halt\n  bogus\n")
+    assert exc.value.line == 3
+
+
+def test_round_trip_compiled_program():
+    """compiler output -> format_program -> parse_asm -> same behavior."""
+    from repro.compiler.driver import compile_source
+
+    result = compile_source(
+        """
+        int tbl[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        int sum(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) { s += tbl[i]; }
+            return s;
+        }
+        int main() { print_int(sum(8)); return 0; }
+        """,
+        inline=False,
+    )
+    original = execute(result.program)
+    text = format_program(result.program)
+    reparsed = parse_asm(text)
+    replayed = execute(reparsed)
+    assert replayed.output == original.output
+    # classifications survive the round trip
+    orig_specs = [i.lspec for i in result.program.static_loads()]
+    new_specs = [i.lspec for i in reparsed.static_loads()]
+    assert orig_specs == new_specs
+
+
+def test_round_trip_preserves_fld_spec():
+    from repro.isa import (
+        DataItem,
+        Function,
+        Imm,
+        Instruction,
+        Program,
+        Reg,
+        Sym,
+    )
+    import struct
+
+    p = Program()
+    f = Function("main")
+    f.append(
+        Instruction(
+            Opcode.FLD, Reg(1, "fp"), [Reg(0), Sym("c")], lspec=LoadSpec.P
+        )
+    )
+    f.append(Instruction(Opcode.CVTFI, Reg(1), [Reg(1, "fp")]))
+    f.append(Instruction(Opcode.OUT, None, [Reg(1)]))
+    f.append(Instruction(Opcode.HALT))
+    p.add_function(f)
+    p.add_data(DataItem("c", 8, struct.pack("<d", 4.0), 8))
+    p.layout()
+    text = format_program(p)
+    reparsed = parse_asm(text)
+    assert reparsed.static_loads()[0].lspec is LoadSpec.P
+    assert execute(reparsed).output == [4]
+
+
+def test_hex_and_negative_immediates():
+    program = parse_asm(
+        """
+        main:
+            mov r1, 0x10
+            add r1, r1, -6
+            out r1
+            halt
+        """
+    )
+    assert execute(program).output == [10]

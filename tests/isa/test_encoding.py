@@ -1,0 +1,119 @@
+"""Binary encoding round-trip tests (Table 1: the scheme specifier fits
+in the instruction encoding)."""
+
+import pytest
+
+from repro.isa import Imm, Instruction, LoadSpec, Opcode, Reg
+from repro.isa.encoding import EncodingError, decode, encode, encode_program
+
+
+def round_trip(inst, target_index=None):
+    word, reloc = encode(inst, target_index)
+    return decode(word, reloc)
+
+
+def assert_same(a, b):
+    assert a.opcode is b.opcode
+    assert a.dest == b.dest
+    assert a.srcs == b.srcs
+    assert a.lspec is b.lspec
+
+
+def test_alu_round_trip():
+    inst = Instruction(Opcode.ADD, Reg(5), [Reg(6), Reg(7)])
+    assert_same(inst, round_trip(inst))
+
+
+def test_alu_immediate_round_trip():
+    inst = Instruction(Opcode.ADD, Reg(5), [Reg(6), Imm(-12345)])
+    assert_same(inst, round_trip(inst))
+
+
+@pytest.mark.parametrize("spec", list(LoadSpec))
+def test_load_spec_round_trip(spec):
+    """Table 1: all three load specifiers are encodable."""
+    inst = Instruction(Opcode.LD, Reg(1), [Reg(2), Imm(4)], lspec=spec)
+    back = round_trip(inst)
+    assert back.lspec is spec
+    assert_same(inst, back)
+
+
+def test_reg_reg_load_round_trip():
+    inst = Instruction(Opcode.LD, Reg(1), [Reg(2), Reg(3)], lspec=LoadSpec.E)
+    assert_same(inst, round_trip(inst))
+
+
+def test_store_round_trip():
+    inst = Instruction(Opcode.ST, None, [Reg(1), Reg(2), Imm(8)])
+    assert_same(inst, round_trip(inst))
+
+
+def test_reg_reg_store_round_trip():
+    inst = Instruction(Opcode.STB, None, [Reg(1), Reg(2), Reg(3)])
+    assert_same(inst, round_trip(inst))
+
+
+def test_fp_round_trip():
+    inst = Instruction(Opcode.FADD, Reg(2, "fp"), [Reg(3, "fp"), Reg(4, "fp")])
+    back = round_trip(inst)
+    assert back.dest.bank == "fp"
+    assert_same(inst, back)
+
+
+def test_branch_with_target():
+    inst = Instruction(Opcode.BEQ, None, [Reg(1), Imm(0)], target="somewhere")
+    word, reloc = encode(inst, 17)
+    assert reloc == 17
+    back = decode(word, reloc, {17: "somewhere"})
+    assert back.target == "somewhere"
+
+
+def test_branch_without_target_index_rejected():
+    inst = Instruction(Opcode.JMP, target="L")
+    with pytest.raises(EncodingError):
+        encode(inst)
+
+
+def test_virtual_register_rejected():
+    inst = Instruction(Opcode.ADD, Reg(1, virtual=True), [Reg(2), Imm(0)])
+    with pytest.raises(EncodingError):
+        encode(inst)
+
+
+def test_out_of_range_immediate_rejected():
+    inst = Instruction(Opcode.MOV, Reg(1), [Imm(1 << 40)])
+    with pytest.raises(EncodingError):
+        encode(inst)
+
+
+def test_extreme_immediates():
+    for value in (-(1 << 31), (1 << 31) - 1, 0, -1):
+        inst = Instruction(Opcode.MOV, Reg(1), [Imm(value)])
+        assert round_trip(inst).srcs[0] == Imm(value)
+
+
+def test_encode_whole_program():
+    from tests.isa.test_program import simple_program
+
+    p = simple_program().layout()
+    encoded = encode_program(p.flat, p.label_index)
+    assert len(encoded) == len(p.flat)
+    index_to_label = {v: k for k, v in p.label_index.items()}
+    for (word, reloc), original in zip(encoded, p.flat):
+        back = decode(word, reloc, index_to_label)
+        assert back.opcode is original.opcode
+        if original.target:
+            assert back.target == original.target
+
+
+def test_specifier_uses_two_bits():
+    """The paper's claim: the three cases need only two opcode bits."""
+    words = set()
+    for spec in LoadSpec:
+        inst = Instruction(Opcode.LD, Reg(1), [Reg(2), Imm(4)], lspec=spec)
+        word, _ = encode(inst)
+        words.add(word)
+    # The three encodings differ only in bits [8:10).
+    masked = {w & ~(0x3 << 8) for w in words}
+    assert len(words) == 3
+    assert len(masked) == 1

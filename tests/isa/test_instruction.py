@@ -1,0 +1,112 @@
+"""Instruction and operand representation tests."""
+
+import pytest
+
+from repro.isa import Imm, Instruction, LoadSpec, Opcode, Reg, Sym
+
+
+def ld(dest, base, disp, spec=LoadSpec.N):
+    return Instruction(Opcode.LD, dest, [base, disp], lspec=spec)
+
+
+def test_reg_equality_and_hash():
+    assert Reg(5) == Reg(5)
+    assert Reg(5) != Reg(6)
+    assert Reg(5) != Reg(5, "fp")
+    assert Reg(5, virtual=True) != Reg(5)
+    assert hash(Reg(5)) == hash(Reg(5))
+    assert Reg(5).key == ("int", 5, False)
+
+
+def test_reg_repr():
+    assert repr(Reg(4)) == "r4"
+    assert repr(Reg(62)) == "sp"
+    assert repr(Reg(3, "fp")) == "f3"
+    assert repr(Reg(9, virtual=True)) == "v9"
+    assert repr(Reg(9, "fp", virtual=True)) == "vf9"
+
+
+def test_bad_bank_rejected():
+    with pytest.raises(ValueError):
+        Reg(1, "vector")
+
+
+def test_imm_and_sym():
+    assert Imm(5) == Imm(5)
+    assert Imm(5) != Imm(6)
+    assert Sym("a") == Sym("a")
+    assert Sym("a", 4) != Sym("a")
+    assert repr(Sym("tbl", 8)) == "tbl+8"
+
+
+def test_load_accessors():
+    inst = ld(Reg(1), Reg(2), Imm(8))
+    assert inst.is_load and not inst.is_store
+    assert inst.mem_base == Reg(2)
+    assert inst.mem_disp == Imm(8)
+    assert inst.is_reg_offset
+    assert not inst.is_absolute
+
+
+def test_reg_reg_addressing_mode():
+    inst = ld(Reg(1), Reg(2), Reg(3))
+    assert not inst.is_reg_offset
+    assert not inst.is_absolute
+
+
+def test_absolute_addressing():
+    inst = ld(Reg(1), Reg(0), Imm(0x2000))
+    assert inst.is_absolute
+    sym = ld(Reg(1), Reg(0), Sym("glob"))
+    assert sym.is_absolute
+    assert sym.is_reg_offset  # symbolic displacement is constant
+
+
+def test_store_accessors():
+    inst = Instruction(Opcode.ST, None, [Reg(1), Reg(2), Imm(4)])
+    assert inst.is_store
+    assert inst.mem_base == Reg(2)
+    assert inst.mem_disp == Imm(4)
+
+
+def test_mem_accessors_reject_non_memory():
+    inst = Instruction(Opcode.ADD, Reg(1), [Reg(2), Reg(3)])
+    with pytest.raises(ValueError):
+        _ = inst.mem_base
+    with pytest.raises(ValueError):
+        _ = inst.mem_disp
+
+
+def test_uses_and_defs():
+    inst = Instruction(Opcode.ADD, Reg(1), [Reg(2), Imm(3)])
+    assert inst.uses() == (Reg(2),)
+    assert inst.defs() == (Reg(1),)
+    branch = Instruction(Opcode.BEQ, None, [Reg(1), Reg(2)], target="L")
+    assert set(branch.uses()) == {Reg(1), Reg(2)}
+    assert branch.defs() == ()
+
+
+def test_mnemonic_includes_load_spec():
+    assert ld(Reg(1), Reg(2), Imm(0)).mnemonic() == "ld_n"
+    assert ld(Reg(1), Reg(2), Imm(0), LoadSpec.P).mnemonic() == "ld_p"
+    assert ld(Reg(1), Reg(2), Imm(0), LoadSpec.E).mnemonic() == "ld_e"
+    assert Instruction(Opcode.ADD, Reg(1), [Reg(2), Imm(1)]).mnemonic() == "add"
+
+
+def test_branch_properties():
+    jmp = Instruction(Opcode.JMP, target="L1")
+    assert jmp.is_branch and not jmp.is_cond_branch
+    beq = Instruction(Opcode.BEQ, None, [Reg(1), Imm(0)], target="L1")
+    assert beq.is_branch and beq.is_cond_branch
+
+
+def test_copy_preserves_fields():
+    inst = ld(Reg(1), Reg(2), Imm(8), LoadSpec.E)
+    inst.uid = 42
+    inst.addr = 0x1000
+    dup = inst.copy()
+    assert dup.opcode is inst.opcode
+    assert dup.lspec is LoadSpec.E
+    assert dup.uid == 42
+    assert dup.addr == 0x1000
+    assert dup is not inst

@@ -1,0 +1,89 @@
+"""Opcode classification and latency tests."""
+
+from repro.isa.opcodes import (
+    ARITHMETIC_OPS,
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    FP_ALU_OPS,
+    INT_ALU_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    STORE_OPS,
+    TERMINATOR_OPS,
+    FuncUnit,
+    LoadSpec,
+    Opcode,
+    func_unit_of,
+    latency_of,
+)
+
+
+def test_load_store_partition():
+    assert LOAD_OPS & STORE_OPS == frozenset()
+    assert LOAD_OPS | STORE_OPS == MEM_OPS
+
+
+def test_classes_are_disjoint():
+    assert not INT_ALU_OPS & MEM_OPS
+    assert not INT_ALU_OPS & BRANCH_OPS
+    assert not FP_ALU_OPS & INT_ALU_OPS
+    assert not MEM_OPS & BRANCH_OPS
+
+
+def test_every_opcode_has_a_home():
+    from repro.isa.opcodes import SYSTEM_OPS
+
+    covered = INT_ALU_OPS | FP_ALU_OPS | MEM_OPS | BRANCH_OPS | SYSTEM_OPS
+    assert covered == frozenset(Opcode)
+
+
+def test_cond_branches_subset_of_branches():
+    assert COND_BRANCH_OPS < BRANCH_OPS
+    assert Opcode.JMP in BRANCH_OPS
+    assert Opcode.CALL in BRANCH_OPS
+    assert Opcode.RET in BRANCH_OPS
+    assert Opcode.JMP not in COND_BRANCH_OPS
+
+
+def test_terminators():
+    assert Opcode.HALT in TERMINATOR_OPS
+    assert Opcode.JMP in TERMINATOR_OPS
+    assert Opcode.ADD not in TERMINATOR_OPS
+    assert Opcode.LD not in TERMINATOR_OPS
+
+
+def test_pa7100_like_latencies():
+    # Most integer ops are single-cycle; loads are two-cycle.
+    assert latency_of(Opcode.ADD) == 1
+    assert latency_of(Opcode.MOV) == 1
+    assert latency_of(Opcode.CMPEQ) == 1
+    assert latency_of(Opcode.LD) == 2
+    assert latency_of(Opcode.LDB) == 2
+    assert latency_of(Opcode.FLD) == 2
+    assert latency_of(Opcode.MUL) > 1
+    assert latency_of(Opcode.DIV) > latency_of(Opcode.MUL)
+
+
+def test_functional_units():
+    assert func_unit_of(Opcode.ADD) is FuncUnit.INT_ALU
+    assert func_unit_of(Opcode.LD) is FuncUnit.MEM_PORT
+    assert func_unit_of(Opcode.ST) is FuncUnit.MEM_PORT
+    assert func_unit_of(Opcode.FADD) is FuncUnit.FP_ALU
+    assert func_unit_of(Opcode.BEQ) is FuncUnit.BRANCH
+    assert func_unit_of(Opcode.CALL) is FuncUnit.BRANCH
+    assert func_unit_of(Opcode.NOP) is FuncUnit.NONE
+
+
+def test_arithmetic_ops_for_s_load():
+    # The S_load fixed point propagates through integer arithmetic,
+    # including MOV (the paper lists "mov, add, sub").
+    assert Opcode.MOV in ARITHMETIC_OPS
+    assert Opcode.ADD in ARITHMETIC_OPS
+    assert Opcode.SUB in ARITHMETIC_OPS
+    assert Opcode.SLL in ARITHMETIC_OPS
+    assert Opcode.LD not in ARITHMETIC_OPS
+    assert Opcode.BEQ not in ARITHMETIC_OPS
+
+
+def test_load_spec_values():
+    assert {s.value for s in LoadSpec} == {"n", "p", "e"}

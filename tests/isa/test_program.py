@@ -1,0 +1,118 @@
+"""Program container and layout tests."""
+
+import pytest
+
+from repro.isa import (
+    CODE_BASE,
+    DATA_BASE,
+    INSTR_SIZE,
+    DataItem,
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    Opcode,
+    Program,
+    Reg,
+)
+
+
+def simple_program():
+    p = Program()
+    f = Function("main")
+    f.append(Instruction(Opcode.MOV, Reg(1), [Imm(1)]))
+    f.append(Label("loop"))
+    f.append(Instruction(Opcode.ADD, Reg(1), [Reg(1), Imm(1)]))
+    f.append(Instruction(Opcode.BLT, None, [Reg(1), Imm(5)], target="loop"))
+    f.append(Instruction(Opcode.HALT))
+    p.add_function(f)
+    return p
+
+
+def test_layout_assigns_uids_and_addrs():
+    p = simple_program().layout()
+    assert [i.uid for i in p.flat] == [0, 1, 2, 3]
+    assert p.flat[0].addr == CODE_BASE
+    assert p.flat[3].addr == CODE_BASE + 3 * INSTR_SIZE
+
+
+def test_resolve_label():
+    p = simple_program().layout()
+    assert p.resolve_label("loop") == 1
+    assert p.resolve_label("main") == 0
+    with pytest.raises(KeyError):
+        p.resolve_label("nope")
+
+
+def test_entry_function_laid_first():
+    p = Program()
+    other = Function("helper")
+    other.append(Instruction(Opcode.RET))
+    p.add_function(other)
+    main = Function("main")
+    main.append(Instruction(Opcode.HALT))
+    p.add_function(main)
+    p.layout()
+    assert p.func_index["main"] == 0
+    assert p.func_index["helper"] == 1
+
+
+def test_duplicate_function_rejected():
+    p = simple_program()
+    with pytest.raises(ValueError):
+        p.add_function(Function("main"))
+
+
+def test_duplicate_label_rejected():
+    p = Program()
+    f = Function("main")
+    f.append(Label("x"))
+    f.append(Instruction(Opcode.NOP))
+    f.append(Label("x"))
+    f.append(Instruction(Opcode.HALT))
+    p.add_function(f)
+    with pytest.raises(ValueError):
+        p.layout()
+
+
+def test_data_layout_alignment():
+    p = simple_program()
+    p.add_data(DataItem("a", 3, align=1))
+    p.add_data(DataItem("b", 8, align=8))
+    p.layout()
+    assert p.data_addr("a") == DATA_BASE
+    assert p.data_addr("b") % 8 == 0
+    assert p.data_addr("b") >= DATA_BASE + 3
+
+
+def test_data_item_initial_bytes():
+    item = DataItem("x", 8, init=[1, -1])
+    raw = item.initial_bytes()
+    assert raw == b"\x01\x00\x00\x00\xff\xff\xff\xff"
+    assert DataItem("y", 4).initial_bytes() == bytes(4)
+    assert DataItem("z", 4, init=b"ab").initial_bytes() == b"ab\x00\x00"
+
+
+def test_data_item_oversized_init_rejected():
+    with pytest.raises(ValueError):
+        DataItem("x", 2, init=[1]).initial_bytes()
+
+
+def test_static_loads():
+    p = Program()
+    f = Function("main")
+    f.append(Instruction(Opcode.LD, Reg(1), [Reg(2), Imm(0)]))
+    f.append(Instruction(Opcode.ADD, Reg(1), [Reg(1), Imm(1)]))
+    f.append(Instruction(Opcode.FLD, Reg(0, "fp"), [Reg(2), Imm(8)]))
+    f.append(Instruction(Opcode.HALT))
+    p.add_function(f)
+    p.layout()
+    loads = p.static_loads()
+    assert len(loads) == 2
+    assert all(i.is_load for i in loads)
+
+
+def test_not_laid_out_guard():
+    p = simple_program()
+    with pytest.raises(RuntimeError):
+        p.resolve_label("loop")

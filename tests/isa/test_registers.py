@@ -1,0 +1,86 @@
+"""Register-convention tests."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+def test_register_counts():
+    assert R.NUM_INT_REGS == 64
+    assert R.NUM_FP_REGS == 64
+
+
+def test_special_registers_distinct():
+    specials = {R.ZERO, R.RV, R.SP, R.RA}
+    assert len(specials) == 4
+    assert R.SP == 62
+    assert R.RA == 63
+    assert R.ZERO == 0
+
+
+def test_arg_regs_do_not_overlap_pools():
+    from repro.compiler.regalloc import INT_CALLER_POOL, INT_CALLEE_POOL
+
+    pools = set(INT_CALLER_POOL) | set(INT_CALLEE_POOL)
+    assert not pools & set(R.ARG_REGS)
+    assert R.RV not in pools
+    assert R.SP not in pools
+    assert R.RA not in pools
+    assert R.ZERO not in pools
+
+
+def test_scratch_not_allocatable():
+    from repro.compiler.regalloc import (
+        INT_CALLEE_POOL,
+        INT_CALLER_POOL,
+        INT_SCRATCH,
+    )
+
+    pools = set(INT_CALLER_POOL) | set(INT_CALLEE_POOL)
+    assert not pools & set(INT_SCRATCH)
+
+
+def test_int_reg_names():
+    assert R.int_reg_name(0) == "r0"
+    assert R.int_reg_name(17) == "r17"
+    assert R.int_reg_name(R.SP) == "sp"
+    assert R.int_reg_name(R.RA) == "ra"
+    with pytest.raises(ValueError):
+        R.int_reg_name(64)
+    with pytest.raises(ValueError):
+        R.int_reg_name(-1)
+
+
+def test_fp_reg_names():
+    assert R.fp_reg_name(0) == "f0"
+    assert R.fp_reg_name(63) == "f63"
+    with pytest.raises(ValueError):
+        R.fp_reg_name(64)
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("r0", ("int", 0)),
+        ("r63", ("int", 63)),
+        ("sp", ("int", 62)),
+        ("ra", ("int", 63)),
+        ("f12", ("fp", 12)),
+    ],
+)
+def test_parse_reg_name(name, expected):
+    assert R.parse_reg_name(name) == expected
+
+
+@pytest.mark.parametrize("bad", ["r64", "f64", "x1", "r", "r-1", ""])
+def test_parse_reg_name_rejects(bad):
+    with pytest.raises(ValueError):
+        R.parse_reg_name(bad)
+
+
+def test_round_trip_all_names():
+    for i in range(64):
+        bank, idx = R.parse_reg_name(R.int_reg_name(i))
+        assert (bank, idx) == ("int", i)
+        bank, idx = R.parse_reg_name(R.fp_reg_name(i))
+        assert (bank, idx) == ("fp", i)

@@ -1,0 +1,107 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_empty_source():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokKind.EOF
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("int foo while whilefoo _bar x1")
+    assert toks[0].kind is TokKind.KEYWORD
+    assert toks[1].kind is TokKind.IDENT
+    assert toks[2].kind is TokKind.KEYWORD
+    assert toks[3].kind is TokKind.IDENT  # not a keyword prefix match
+    assert toks[4].value == "_bar"
+    assert toks[5].value == "x1"
+
+
+def test_decimal_and_hex_literals():
+    assert values("0 42 0x10 0xFF") == [0, 42, 16, 255]
+
+
+def test_float_literals():
+    toks = tokenize("1.5 0.25 2e3 1.5e-2")
+    assert [t.kind for t in toks[:-1]] == [TokKind.FLOAT_LIT] * 4
+    assert toks[0].value == 1.5
+    assert toks[2].value == 2000.0
+    assert toks[3].value == 0.015
+
+
+def test_int_then_member_not_float():
+    # "x.y" after an int literal boundary: "1 .x" should not merge.
+    toks = tokenize("a.b")
+    assert [t.value for t in toks[:-1]] == ["a", ".", "b"]
+
+
+def test_char_literals():
+    assert values("'a' '\\n' '\\0' '\\\\'") == [97, 10, 0, 92]
+
+
+def test_string_literal():
+    toks = tokenize('"hi\\nthere"')
+    assert toks[0].kind is TokKind.STR_LIT
+    assert toks[0].value == "hi\nthere"
+
+
+def test_multichar_punctuators_longest_match():
+    assert values("<<= >>= -> ++ -- << >> <= >= == != && || +=") == [
+        "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+        "!=", "&&", "||", "+=",
+    ]
+
+
+def test_line_comments():
+    assert values("a // comment\n b") == ["a", "b"]
+
+
+def test_block_comments():
+    assert values("a /* x\n y */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* never ends")
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+    with pytest.raises(LexError):
+        tokenize('"abc\ndef"')
+
+
+def test_bad_escape():
+    with pytest.raises(LexError):
+        tokenize("'\\q'")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_positions_tracked():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_malformed_hex():
+    with pytest.raises(LexError):
+        tokenize("0x")

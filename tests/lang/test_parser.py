@@ -1,0 +1,223 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+from repro.lang.types import ArrayType, PtrType, StructType
+
+
+def parse_expr(text):
+    unit = parse(f"int main() {{ return {text}; }}")
+    func = unit.decls[0]
+    return func.body.stmts[0].value
+
+
+def test_empty_unit():
+    assert parse("").decls == []
+
+
+def test_global_scalar():
+    unit = parse("int x = 5;")
+    decl = unit.decls[0]
+    assert isinstance(decl, ast.GlobalVar)
+    assert decl.init == 5
+
+
+def test_global_negative_init():
+    assert parse("int x = -3;").decls[0].init == -3
+
+
+def test_global_array_with_list():
+    decl = parse("int a[4] = {1, 2, -3};").decls[0]
+    assert isinstance(decl.var_type, ArrayType)
+    assert decl.var_type.length == 4
+    assert decl.init == [1, 2, -3]
+
+
+def test_global_char_array_string():
+    decl = parse('char s[8] = "hi";').decls[0]
+    assert decl.init == "hi"
+
+
+def test_struct_definition_layout():
+    unit = parse("struct point { int x; int y; char tag; };")
+    struct = unit.decls[0].struct_type
+    assert isinstance(struct, StructType)
+    assert struct.field("x") == (struct.field("x")[0], 0)
+    assert struct.field("y")[1] == 4
+    assert struct.field("tag")[1] == 8
+    assert struct.size == 12  # padded to int alignment
+
+
+def test_struct_multi_declarator_fields():
+    struct = parse("struct v { int a, b; };").decls[0].struct_type
+    assert struct.field("a")[1] == 0
+    assert struct.field("b")[1] == 4
+
+
+def test_function_params():
+    func = parse("int f(int a, char *b, int c[4]) { return 0; }").decls[0]
+    assert [p.name for p in func.params] == ["a", "b", "c"]
+    assert isinstance(func.params[1].param_type, PtrType)
+    # array parameters decay to pointers
+    assert isinstance(func.params[2].param_type, PtrType)
+
+
+def test_void_param_list():
+    func = parse("int f(void) { return 0; }").decls[0]
+    assert func.params == []
+
+
+def test_precedence():
+    e = parse_expr("1 + 2 * 3")
+    assert isinstance(e, ast.Binary) and e.op == "+"
+    assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+
+def test_left_associativity():
+    e = parse_expr("10 - 3 - 2")
+    assert e.op == "-" and isinstance(e.left, ast.Binary)
+    assert e.left.op == "-"
+
+
+def test_comparison_and_logic_precedence():
+    e = parse_expr("a < b && c == d || e")
+    assert e.op == "||"
+    assert e.left.op == "&&"
+
+
+def test_assignment_right_associative():
+    unit = parse("int main() { int a; int b; a = b = 1; return a; }")
+    stmt = unit.decls[0].body.stmts[2]
+    assert isinstance(stmt.expr, ast.Assign)
+    assert isinstance(stmt.expr.rhs, ast.Assign)
+
+
+def test_ternary():
+    e = parse_expr("a ? 1 : 2")
+    assert isinstance(e, ast.Cond)
+
+
+def test_unary_chain():
+    e = parse_expr("-~!x")
+    assert e.op == "-"
+    assert e.operand.op == "~"
+    assert e.operand.operand.op == "!"
+
+
+def test_postfix_chain():
+    e = parse_expr("a.b[2]->c")
+    assert isinstance(e, ast.Member) and e.arrow
+    assert isinstance(e.base, ast.Index)
+    assert isinstance(e.base.base, ast.Member)
+
+
+def test_incdec_postfix_vs_prefix():
+    post = parse_expr("x++")
+    pre = parse_expr("++x")
+    assert post.postfix and not pre.postfix
+
+
+def test_cast_vs_parenthesized():
+    cast = parse_expr("(int) x")
+    assert isinstance(cast, ast.Cast)
+    grouped = parse_expr("(x)")
+    assert isinstance(grouped, ast.Ident)
+
+
+def test_struct_pointer_cast():
+    unit = parse(
+        "struct n { int v; };\n"
+        "int main() { int p; return ((struct n *) p)->v; }"
+    )
+    ret = unit.decls[1].body.stmts[1]
+    assert isinstance(ret.value, ast.Member)
+
+
+def test_sizeof():
+    e = parse_expr("sizeof(int)")
+    assert isinstance(e, ast.SizeOf)
+    assert e.target_type.size == 4
+
+
+def test_call_with_args():
+    e = parse_expr("f(1, g(2), x + 1)")
+    assert isinstance(e, ast.Call)
+    assert len(e.args) == 3
+    assert isinstance(e.args[1], ast.Call)
+
+
+def test_statements_roundtrip():
+    unit = parse(
+        """
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) { print_int(i); }
+            while (i > 0) { i--; }
+            do { i++; } while (i < 3);
+            if (i == 3) { i = 0; } else { i = 1; }
+            return i;
+        }
+        """
+    )
+    body = unit.decls[0].body.stmts
+    assert isinstance(body[1], ast.For)
+    assert isinstance(body[2], ast.While)
+    assert isinstance(body[3], ast.DoWhile)
+    assert isinstance(body[4], ast.If)
+
+
+def test_for_with_declaration_init():
+    unit = parse("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+    loop = unit.decls[0].body.stmts[0]
+    assert isinstance(loop.init, ast.VarDecl)
+
+
+def test_empty_for_clauses():
+    unit = parse("int main() { for (;;) { break; } return 0; }")
+    loop = unit.decls[0].body.stmts[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_break_continue_return():
+    unit = parse(
+        "int main() { while (1) { break; continue; } return; }"
+    )
+    body = unit.decls[0].body.stmts[0].body.stmts
+    assert isinstance(body[0], ast.Break)
+    assert isinstance(body[1], ast.Continue)
+
+
+def test_multi_declarator_locals():
+    unit = parse("int main() { int a = 1, b = 2, *c; return a + b; }")
+    group = unit.decls[0].body.stmts[0]
+    assert isinstance(group, ast.DeclList)  # no scope is opened
+    assert len(group.decls) == 3
+    assert isinstance(group.decls[2].var_type, PtrType)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "int main() { return 1 }",  # missing semicolon
+        "int main() { if 1 {} }",  # missing parens
+        "int f(int) { return 0; }",  # unnamed param
+        "int a[x];",  # non-constant array size
+        "int main() { do {} }",  # do without while
+        "struct s { int x; }",  # missing trailing semicolon
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+def test_error_position_reported():
+    try:
+        parse("int main() {\n  return 1 }\n")
+    except ParseError as exc:
+        assert exc.line == 2
+    else:  # pragma: no cover
+        pytest.fail("expected ParseError")

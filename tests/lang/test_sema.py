@@ -1,0 +1,219 @@
+"""Semantic-analysis tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import SemaError
+from repro.lang.parser import parse
+from repro.lang.sema import SymKind, analyze
+from repro.lang.types import DOUBLE, INT, DoubleType, PtrType
+
+
+def check(source):
+    unit = parse(source)
+    return analyze(unit), unit
+
+
+def expect_error(source, fragment=""):
+    with pytest.raises(SemaError) as exc:
+        check(source)
+    if fragment:
+        assert fragment in str(exc.value)
+
+
+def test_requires_main():
+    expect_error("int f() { return 0; }", "main")
+
+
+def test_forward_function_reference():
+    check("int main() { return f(); } int f() { return 1; }")
+
+
+def test_undeclared_identifier():
+    expect_error("int main() { return x; }", "undeclared")
+
+
+def test_redeclaration_in_same_scope():
+    expect_error("int main() { int x; int x; return 0; }", "redeclaration")
+
+
+def test_shadowing_in_nested_scope_ok():
+    check("int main() { int x = 1; { int x = 2; } return x; }")
+
+
+def test_call_arity_checked():
+    expect_error(
+        "int f(int a) { return a; } int main() { return f(1, 2); }",
+        "expects",
+    )
+
+
+def test_call_undeclared():
+    expect_error("int main() { return g(); }", "undeclared function")
+
+
+def test_builtins_available():
+    check("int main() { print_int(1); print_char(65); halt(); return 0; }")
+
+
+def test_malloc_returns_void_star():
+    _, unit = check(
+        "struct n { int v; };\n"
+        "int main() { struct n *p; p = (struct n*) malloc(8); return p->v; }"
+    )
+
+
+def test_void_star_assignable_without_cast():
+    check("int main() { int *p; p = malloc(8); return 0; }")
+
+
+def test_pointer_int_mismatch_rejected():
+    expect_error("int main() { int *p; int x; p = x; return 0; }")
+
+
+def test_null_pointer_constant_ok():
+    check("int main() { int *p = 0; return p == 0; }")
+
+
+def test_assignment_to_rvalue_rejected():
+    expect_error("int main() { 1 = 2; return 0; }", "non-lvalue")
+
+
+def test_assignment_to_array_rejected():
+    expect_error("int a[4]; int b[4]; int main() { a = b; return 0; }")
+
+
+def test_address_of_non_lvalue():
+    expect_error("int main() { int *p = &1; return 0; }")
+
+
+def test_address_of_marks_symbol():
+    _, unit = check("int main() { int x; int *p = &x; return *p; }")
+    func = unit.decls[0]
+    decl = func.body.stmts[0]
+    assert decl.symbol.addr_taken
+
+
+def test_scalar_local_not_addr_taken():
+    _, unit = check("int main() { int x = 1; return x; }")
+    assert not unit.decls[0].body.stmts[0].symbol.addr_taken
+
+
+def test_deref_non_pointer_rejected():
+    expect_error("int main() { int x; return *x; }")
+
+
+def test_member_on_non_struct():
+    expect_error("int main() { int x; return x.f; }")
+
+
+def test_unknown_field():
+    expect_error(
+        "struct s { int a; }; int main() { struct s v; return v.b; }",
+        "no field",
+    )
+
+
+def test_arrow_requires_pointer():
+    expect_error(
+        "struct s { int a; }; int main() { struct s v; return v->a; }"
+    )
+
+
+def test_break_outside_loop():
+    expect_error("int main() { break; return 0; }", "outside")
+
+
+def test_return_type_checked():
+    expect_error("void f() { return 1; } int main() { f(); return 0; }")
+    expect_error("int f() { return; } int main() { return f(); }")
+
+
+def test_mixed_arith_promotes_to_double():
+    _, unit = check("int main() { double d = 1.5 + 2; return (int) d; }")
+    decl = unit.decls[0].body.stmts[0]
+    add = decl.init
+    assert isinstance(add.type, DoubleType)
+    # the int side got an inserted cast
+    assert isinstance(add.right, ast.Cast)
+
+
+def test_double_to_int_assignment_casts():
+    _, unit = check("int main() { int x; x = 2.5; return x; }")
+    assign = unit.decls[0].body.stmts[1].expr
+    assert isinstance(assign.rhs, ast.Cast)
+    assert assign.rhs.type == INT
+
+
+def test_comparison_yields_int():
+    _, unit = check("int main() { return 1.5 < 2.5; }")
+    ret = unit.decls[0].body.stmts[0]
+    assert ret.value.type == INT
+
+
+def test_pointer_arith_typing():
+    _, unit = check(
+        "int main() { int a[4]; int *p = a; int *q = p + 2; return q - p; }"
+    )
+    body = unit.decls[0].body.stmts
+    assert isinstance(body[2].init.type, PtrType)
+    assert body[3].value.type == INT
+
+
+def test_shift_requires_integers():
+    expect_error("int main() { return 1.5 << 2; }")
+
+
+def test_mod_requires_integers():
+    expect_error("int main() { return 5.0 % 2; }")
+
+
+def test_condition_must_be_scalar():
+    expect_error(
+        "struct s { int a; }; int main() { struct s v; if (v) {} return 0; }"
+    )
+
+
+def test_aggregate_param_rejected():
+    expect_error(
+        "struct s { int a; }; int f(struct s v) { return 0; } "
+        "int main() { return 0; }"
+    )
+
+
+def test_incomplete_struct_rejected():
+    expect_error("struct nope x; int main() { return 0; }")
+
+
+def test_symbol_kinds():
+    analyzer, unit = check(
+        "int g; int f(int p) { int l; return p + l + g; } "
+        "int main() { return f(1); }"
+    )
+    func = unit.decls[1]
+    assert func.params[0].symbol.kind is SymKind.PARAM
+    assert func.body.stmts[0].symbol.kind is SymKind.LOCAL
+    assert unit.decls[0].symbol.kind is SymKind.GLOBAL
+
+
+def test_string_literal_type():
+    analyzer, unit = check('int main() { char *s = "hi"; return s[0]; }')
+    assert len(analyzer.strings) == 1
+
+
+def test_global_init_validation():
+    expect_error('int x = "str";')
+    expect_error("int a[2] = {1, 2, 3};", "too many")
+    expect_error('char s[2] = "abc";', "too long")
+    expect_error('int a[2] = 5;')
+
+
+def test_function_as_value_rejected():
+    expect_error("int f() { return 0; } int main() { return f + 1; }")
+
+
+def test_compound_assign_type_rules():
+    check("int main() { int x = 1; x += 2; x <<= 1; x %= 3; return x; }")
+    expect_error("int main() { double d = 1.0; d %= 2.0; return 0; }")
+    check("int main() { int a[4]; int *p = a; p += 2; return *p; }")
+    expect_error("int main() { int a[4]; int *p = a; p *= 2; return 0; }")

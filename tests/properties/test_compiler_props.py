@@ -1,0 +1,221 @@
+"""Property tests: randomly generated programs, compiled at every
+optimization level, must agree with a Python oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.driver import compile_source
+from repro.sim.executor import Executor
+
+_MASK = 0xFFFFFFFF
+
+
+def _i32(v):
+    v &= _MASK
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+# --- random expression programs -------------------------------------------
+
+_VARS = ["a", "b", "c", "d"]
+
+_binop = st.sampled_from(["+", "-", "*", "&", "|", "^"])
+_shift = st.sampled_from(["<<", ">>"])
+_cmp = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """A C expression string over _VARS with a Python-evaluable twin."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            # non-negative literals keep the oracle's literal-wrapping
+            # regex unambiguous (no unary-minus confusion)
+            return str(draw(st.integers(0, 100)))
+        return draw(st.sampled_from(_VARS))
+    kind = draw(st.integers(0, 2))
+    left = draw(expressions(depth + 1))
+    right = draw(expressions(depth + 1))
+    if kind == 0:
+        op = draw(_binop)
+        return f"({left} {op} {right})"
+    if kind == 1:
+        op = draw(_shift)
+        amount = draw(st.integers(0, 8))
+        return f"({left} {op} {amount})"
+    op = draw(_cmp)
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def straightline_programs(draw):
+    """A list of assignments followed by printing every variable."""
+    lines = [f"int {v} = {draw(st.integers(-50, 50))};" for v in _VARS]
+    for _ in range(draw(st.integers(1, 6))):
+        target = draw(st.sampled_from(_VARS))
+        expr = draw(expressions())
+        lines.append(f"{target} = {expr};")
+    return lines
+
+
+def evaluate_oracle(lines):
+    """Run the same program in Python with 32-bit semantics."""
+    env = {}
+
+    class W:
+        def __init__(self, v):
+            self.v = _i32(v)
+
+        def _b(self, other, f):
+            return W(f(self.v, other.v if isinstance(other, W) else other))
+
+        def __add__(self, o):
+            return self._b(o, lambda a, b: a + b)
+
+        def __sub__(self, o):
+            return self._b(o, lambda a, b: a - b)
+
+        def __mul__(self, o):
+            return self._b(o, lambda a, b: a * b)
+
+        def __and__(self, o):
+            return self._b(o, lambda a, b: a & b)
+
+        def __or__(self, o):
+            return self._b(o, lambda a, b: a | b)
+
+        def __xor__(self, o):
+            return self._b(o, lambda a, b: _i32(a ^ b))
+
+        def __lshift__(self, o):
+            return self._b(o, lambda a, b: a << (b & 31))
+
+        def __rshift__(self, o):
+            return self._b(o, lambda a, b: a >> (b & 31))
+
+        def __lt__(self, o):
+            return W(1 if self.v < (o.v if isinstance(o, W) else o) else 0)
+
+        def __le__(self, o):
+            return W(1 if self.v <= (o.v if isinstance(o, W) else o) else 0)
+
+        def __gt__(self, o):
+            return W(1 if self.v > (o.v if isinstance(o, W) else o) else 0)
+
+        def __ge__(self, o):
+            return W(1 if self.v >= (o.v if isinstance(o, W) else o) else 0)
+
+        def __eq__(self, o):
+            return W(1 if self.v == (o.v if isinstance(o, W) else o) else 0)
+
+        def __ne__(self, o):
+            return W(1 if self.v != (o.v if isinstance(o, W) else o) else 0)
+
+    for line in lines:
+        stmt = line.strip().rstrip(";")
+        if stmt.startswith("int "):
+            name, _, value = stmt[4:].partition(" = ")
+            env[name] = W(int(value))
+        else:
+            import re
+
+            name, _, expr = stmt.partition(" = ")
+            # Wrap every literal so intermediate results use 32-bit
+            # semantics exactly like the compiled code.
+            py = re.sub(r"\b\d+\b", lambda m: f"W({m.group()})", expr)
+            scope = {k: v for k, v in env.items()}
+            scope["W"] = W
+            env[name.strip()] = eval(  # noqa: S307 - test oracle
+                py, {"__builtins__": {}}, scope
+            )
+    return [env[v].v for v in _VARS]
+
+
+def run_compiled(lines, opt_level):
+    body = "\n    ".join(lines)
+    prints = "\n    ".join(f"print_int({v});" for v in _VARS)
+    src = f"int main() {{\n    {body}\n    {prints}\n    return 0;\n}}"
+    result = compile_source(src, opt_level=opt_level)
+    return Executor(result.program).run().output
+
+
+@settings(max_examples=60, deadline=None)
+@given(straightline_programs())
+def test_random_straightline_matches_oracle(lines):
+    expected = evaluate_oracle(lines)
+    assert run_compiled(lines, 2) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_programs())
+def test_optimization_levels_agree(lines):
+    assert run_compiled(lines, 0) == run_compiled(lines, 2)
+
+
+# --- random loop programs ----------------------------------------------------
+
+
+@st.composite
+def loop_programs(draw):
+    start = draw(st.integers(0, 5))
+    bound = draw(st.integers(6, 25))
+    step = draw(st.integers(1, 3))
+    acc_op = draw(st.sampled_from(["+", "^", "|"]))
+    scale = draw(st.integers(1, 9))
+    return start, bound, step, acc_op, scale
+
+
+@settings(max_examples=30, deadline=None)
+@given(loop_programs())
+def test_random_loops_match_oracle(params):
+    start, bound, step, acc_op, scale = params
+    src = f"""
+    int main() {{
+        int i; int acc = 0;
+        for (i = {start}; i < {bound}; i += {step}) {{
+            acc = acc {acc_op} (i * {scale});
+        }}
+        print_int(acc);
+        return 0;
+    }}
+    """
+    acc = 0
+    i = start
+    while i < bound:
+        term = _i32(i * scale)
+        if acc_op == "+":
+            acc = _i32(acc + term)
+        elif acc_op == "^":
+            acc = _i32(acc ^ term)
+        else:
+            acc = _i32(acc | term)
+        i += step
+    for level in (0, 2):
+        out = Executor(
+            compile_source(src, opt_level=level).program
+        ).run().output
+        assert out == [acc]
+
+
+# --- random array/global programs ------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=12),
+    st.integers(1, 4),
+)
+def test_array_sum_scan(values, stride):
+    n = len(values)
+    init = ", ".join(str(v) for v in values)
+    src = f"""
+    int arr[{n}] = {{{init}}};
+    int main() {{
+        int i; int s = 0;
+        for (i = 0; i < {n}; i += {stride}) {{ s += arr[i]; }}
+        print_int(s);
+        return 0;
+    }}
+    """
+    expected = _i32(sum(values[::stride]))
+    assert Executor(compile_source(src).program).run().output == [expected]

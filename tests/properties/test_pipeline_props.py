@@ -1,0 +1,163 @@
+"""Property tests for the timing model over randomly generated loop
+kernels: determinism, structural cycle bounds, and counter consistency."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    DataItem,
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    LoadSpec,
+    Opcode,
+    Program,
+    Reg,
+    Sym,
+)
+from repro.sim.executor import execute
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+
+
+def I(op, dest=None, srcs=(), target=None, lspec=LoadSpec.N):  # noqa: E743
+    return Instruction(op, dest, srcs, target, lspec)
+
+
+@st.composite
+def loop_kernels(draw):
+    """A loop mixing loads, stores, and ALU ops in random order."""
+    n_loads = draw(st.integers(1, 4))
+    n_alus = draw(st.integers(0, 4))
+    has_store = draw(st.booleans())
+    iters = draw(st.integers(5, 60))
+    spec = draw(st.sampled_from(list(LoadSpec)))
+    stride = draw(st.sampled_from([0, 4, 8]))
+    return n_loads, n_alus, has_store, iters, spec, stride
+
+
+def build_trace(params):
+    n_loads, n_alus, has_store, iters, spec, stride = params
+    p = Program()
+    f = Function("main")
+    f.append(I(Opcode.LEA, Reg(4), [Sym("arr")]))
+    f.append(I(Opcode.MOV, Reg(6), [Imm(0)]))
+    f.append(I(Opcode.MOV, Reg(5), [Imm(0)]))
+    f.append(Label("loop"))
+    for k in range(n_loads):
+        f.append(
+            I(Opcode.LD, Reg(8 + k), [Reg(4), Imm(4 * k)], lspec=spec)
+        )
+        f.append(I(Opcode.ADD, Reg(5), [Reg(5), Reg(8 + k)]))
+    for k in range(n_alus):
+        f.append(I(Opcode.XOR, Reg(20 + k), [Reg(5), Imm(k)]))
+    if has_store:
+        f.append(I(Opcode.ST, None, [Reg(5), Reg(4), Imm(64)]))
+    if stride:
+        f.append(I(Opcode.ADD, Reg(4), [Reg(4), Imm(stride)]))
+    f.append(I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]))
+    f.append(I(Opcode.BLT, None, [Reg(6), Imm(iters)], "loop"))
+    f.append(I(Opcode.HALT))
+    p.add_function(f)
+    p.add_data(DataItem("arr", 128 + stride * 64))
+    p.layout()
+    return execute(p).trace
+
+
+CONFIGS = [
+    EarlyGenConfig(0, 0),
+    EarlyGenConfig(64, 0, SelectionMode.COMPILER),
+    EarlyGenConfig(64, 1, SelectionMode.COMPILER),
+    EarlyGenConfig(64, 4, SelectionMode.HARDWARE),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(loop_kernels())
+def test_simulation_is_deterministic(params):
+    trace = build_trace(params)
+    config = MachineConfig().with_earlygen(CONFIGS[2])
+    a = TimingSimulator(trace, config).run()
+    b = TimingSimulator(trace, config).run()
+    assert a.cycles == b.cycles
+    assert a.pred_success == b.pred_success
+    assert a.calc_success == b.calc_success
+
+
+@settings(max_examples=40, deadline=None)
+@given(loop_kernels(), st.sampled_from(CONFIGS))
+def test_structural_cycle_bounds(params, earlygen):
+    trace = build_trace(params)
+    config = MachineConfig().with_earlygen(earlygen)
+    stats = TimingSimulator(trace, config).run()
+    # can never beat the issue width...
+    assert stats.cycles >= len(trace) / config.issue_width
+    # ...and a sane model never exceeds a full serialization with the
+    # worst per-instruction penalty.
+    worst = 3 + config.dcache.miss_penalty + config.mispredict_penalty
+    assert stats.cycles <= len(trace) * worst + 100
+    assert stats.instructions == len(trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(loop_kernels())
+def test_counter_consistency(params):
+    trace = build_trace(params)
+    config = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 1, SelectionMode.COMPILER)
+    )
+    stats = TimingSimulator(trace, config).run()
+    assert stats.pred_success <= stats.pred_spec_dispatched
+    assert stats.pred_spec_dispatched <= stats.pred_loads
+    assert stats.calc_success <= stats.calc_spec_dispatched
+    assert stats.calc_spec_dispatched <= stats.calc_loads
+    assert (
+        stats.scheme_counts["n"]
+        + stats.scheme_counts["p"]
+        + stats.scheme_counts["e"]
+        == stats.loads
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(loop_kernels())
+def test_scheme_routing_respects_specifier(params):
+    n_loads, n_alus, has_store, iters, spec, stride = params
+    trace = build_trace(params)
+    config = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 1, SelectionMode.COMPILER)
+    )
+    stats = TimingSimulator(trace, config).run()
+    if spec is LoadSpec.N:
+        assert stats.pred_loads == 0 and stats.calc_loads == 0
+    elif spec is LoadSpec.P:
+        assert stats.pred_loads == stats.loads
+    else:
+        assert stats.calc_loads == stats.loads
+
+
+@settings(max_examples=25, deadline=None)
+@given(loop_kernels())
+def test_wider_machine_never_slower(params):
+    trace = build_trace(params)
+    narrow = TimingSimulator(
+        trace, MachineConfig(issue_width=2, int_alus=2, mem_ports=1)
+    ).run()
+    wide = TimingSimulator(trace, MachineConfig()).run()
+    assert wide.cycles <= narrow.cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(loop_kernels())
+def test_zero_latency_loads_lower_bound(params):
+    """No early-gen configuration can beat ideal (zero-latency) loads by
+    more than port-contention noise."""
+    trace = build_trace(params)
+    ideal = TimingSimulator(
+        trace, MachineConfig(load_latency=0)
+    ).run()
+    for earlygen in CONFIGS[1:]:
+        stats = TimingSimulator(
+            trace, MachineConfig().with_earlygen(earlygen)
+        ).run()
+        assert stats.cycles >= ideal.cycles - 2

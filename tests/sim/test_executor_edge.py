@@ -1,0 +1,180 @@
+"""Executor edge cases: FP faults, control-flow corners, determinism."""
+
+import pytest
+
+from repro.isa import (
+    DataItem,
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    Opcode,
+    Program,
+    Reg,
+    Sym,
+    parse_asm,
+)
+from repro.sim.executor import EmulationError, Executor, execute
+
+
+def I(op, dest=None, srcs=(), target=None):  # noqa: E743
+    return Instruction(op, dest, srcs, target)
+
+
+def test_fp_division_by_zero_raises():
+    import struct
+
+    p = Program()
+    f = Function("main")
+    f.append(I(Opcode.FLD, Reg(1, "fp"), [Reg(0), Sym("z")]))
+    f.append(I(Opcode.CVTIF, Reg(2, "fp"), [Imm(1)]))
+    f.append(I(Opcode.FDIV, Reg(3, "fp"), [Reg(2, "fp"), Reg(1, "fp")]))
+    f.append(I(Opcode.HALT))
+    p.add_function(f)
+    p.add_data(DataItem("z", 8, init=struct.pack("<d", 0.0), align=8))
+    p.layout()
+    with pytest.raises(EmulationError):
+        Executor(p).run()
+
+
+def test_cvtfi_truncates_toward_zero():
+    program = parse_asm(
+        """
+        .data c 8
+        main:
+            mov r1, -11
+            cvtif f1, r1
+            cvtif f2, 4
+            fdiv f3, f1, f2       ; -2.75
+            cvtfi r2, f3
+            out r2
+            halt
+        """
+    )
+    assert execute(program).output == [-2]
+
+
+def test_empty_program_rejected():
+    p = Program()
+    p.add_function(Function("main"))
+    p.layout()
+    with pytest.raises(EmulationError):
+        Executor(p).run()
+
+
+def test_unconditional_forward_and_backward_jumps():
+    program = parse_asm(
+        """
+        main:
+            jmp fwd
+        back:
+            out r5
+            halt
+        fwd:
+            mov r5, 3
+            jmp back
+        """
+    )
+    assert execute(program).output == [3]
+
+
+def test_byte_store_masks_value():
+    program = parse_asm(
+        """
+        .data b 4
+        main:
+            lea r4, b
+            mov r5, 511
+            stb r5, r4(0)
+            ldb_n r6, r4(0)
+            out r6
+            halt
+        """
+    )
+    assert execute(program).output == [255]
+
+
+def test_sym_plus_offset_operand():
+    program = parse_asm(
+        """
+        .data words 12 = 5 6 7
+        main:
+            ld_n r1, r0(words+8)
+            out r1
+            halt
+        """
+    )
+    assert execute(program).output == [7]
+
+
+def test_call_chain_depth():
+    # a -> b -> c, return values threaded back up
+    program = parse_asm(
+        """
+        .entry main
+        .func main
+        main:
+            mov r2, 1
+            call a
+            out r1
+            halt
+        .func a
+        a:
+            sub sp, sp, 16
+            st ra, sp(0)
+            add r2, r2, 10
+            call b
+            ld_n ra, sp(0)
+            add sp, sp, 16
+            ret
+        .func b
+        b:
+            sub sp, sp, 16
+            st ra, sp(0)
+            add r2, r2, 100
+            call c
+            ld_n ra, sp(0)
+            add sp, sp, 16
+            ret
+        .func c
+        c:
+            add r1, r2, 1000
+            ret
+        """
+    )
+    assert execute(program).output == [1111]
+
+
+def test_max_steps_override_per_run():
+    program = parse_asm(
+        """
+        main:
+            mov r1, 0
+        spin:
+            add r1, r1, 1
+            blt r1, 100000, spin
+            halt
+        """
+    )
+    ex = Executor(program)
+    with pytest.raises(EmulationError):
+        ex.run(max_steps=10)
+    # the same executor still completes with the default budget
+    assert ex.run().steps > 100000
+
+
+def test_memory_isolated_between_runs():
+    program = parse_asm(
+        """
+        .data cell 4 = 1
+        main:
+            ld_n r1, r0(cell)
+            add r1, r1, 1
+            st r1, r0(cell)
+            out r1
+            halt
+        """
+    )
+    ex = Executor(program)
+    assert ex.run().output == [2]
+    assert ex.run().output == [2]  # fresh memory image every run

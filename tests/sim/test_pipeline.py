@@ -1,0 +1,385 @@
+"""Timing-model tests: stall accounting and both early-gen paths."""
+
+import pytest
+
+from repro.isa import (
+    DataItem,
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    LoadSpec,
+    Opcode,
+    Program,
+    Reg,
+    Sym,
+)
+from repro.sim.executor import execute
+from repro.sim.machine import (
+    BASELINE,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import TimingSimulator, simulate
+
+
+def I(op, dest=None, srcs=(), target=None, lspec=LoadSpec.N):  # noqa: E743
+    return Instruction(op, dest, srcs, target, lspec)
+
+
+def build_and_trace(items, data=()):
+    p = Program()
+    f = Function("main")
+    for item in items:
+        f.append(item)
+    p.add_function(f)
+    for d in data:
+        p.add_data(d)
+    p.layout()
+    return execute(p).trace
+
+
+def strided_loop(spec, iters=200):
+    """sum += arr[i] with the load marked *spec*."""
+    return build_and_trace(
+        [
+            I(Opcode.LEA, Reg(4), [Sym("arr")]),
+            I(Opcode.MOV, Reg(5), [Imm(0)]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=spec),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(7)]),
+            I(Opcode.ADD, Reg(4), [Reg(4), Imm(4)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(iters)], "loop"),
+            I(Opcode.HALT),
+        ],
+        data=[DataItem("arr", 4 * iters, init=list(range(iters)))],
+    )
+
+
+def pointer_block_loop(spec, iters=200):
+    """Loads off a base register that is stable within the iteration."""
+    return build_and_trace(
+        [
+            I(Opcode.LEA, Reg(4), [Sym("arr")]),
+            I(Opcode.MOV, Reg(5), [Imm(0)]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=spec),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(7)]),
+            I(Opcode.LD, Reg(8), [Reg(4), Imm(4)], lspec=spec),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(8)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(iters)], "loop"),
+            I(Opcode.HALT),
+        ],
+        data=[DataItem("arr", 64, init=[3, 4])],
+    )
+
+
+def cycles(trace, earlygen=BASELINE, **machine_kwargs):
+    config = MachineConfig(**machine_kwargs).with_earlygen(earlygen)
+    return TimingSimulator(trace, config).run()
+
+
+class TestBaseline:
+    def test_load_use_stall_costs_cycles(self):
+        dependent = build_and_trace(
+            [
+                I(Opcode.MOV, Reg(1), [Imm(0x2000)]),
+                I(Opcode.LD, Reg(2), [Reg(1), Imm(0)]),
+                I(Opcode.ADD, Reg(3), [Reg(2), Imm(1)]),  # immediate use
+                I(Opcode.HALT),
+            ]
+        )
+        independent = build_and_trace(
+            [
+                I(Opcode.MOV, Reg(1), [Imm(0x2000)]),
+                I(Opcode.LD, Reg(2), [Reg(1), Imm(0)]),
+                I(Opcode.ADD, Reg(3), [Reg(1), Imm(1)]),  # no dependence
+                I(Opcode.HALT),
+            ]
+        )
+        assert cycles(dependent).cycles > cycles(independent).cycles
+
+    def test_issue_width_bound(self):
+        # 24 independent ALU ops cannot finish faster than the 4-ALU bound.
+        items = [I(Opcode.MOV, Reg(1), [Imm(0)])]
+        for i in range(24):
+            items.append(I(Opcode.ADD, Reg(2 + i % 8), [Reg(1), Imm(i)]))
+        items.append(I(Opcode.HALT))
+        stats = cycles(build_and_trace(items))
+        assert stats.cycles >= 24 // 4
+
+    def test_dcache_miss_penalty(self):
+        from repro.sim.machine import CacheConfig
+
+        # Alternating accesses to two blocks: a one-block cache conflicts
+        # on every access, the default cache only takes compulsory misses.
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("arr")]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)]),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(7)]),
+            I(Opcode.LD, Reg(8), [Reg(4), Imm(64)]),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(8)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(50)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(items, data=[DataItem("arr", 128)])
+        fast = cycles(trace)
+        slow = TimingSimulator(
+            trace,
+            MachineConfig(
+                dcache=CacheConfig(size=64, block_size=64, miss_penalty=40)
+            ),
+        ).run()
+        assert slow.cycles > fast.cycles
+        assert slow.dcache_misses > fast.dcache_misses
+
+    def test_mispredict_penalty_costs(self):
+        trace = strided_loop(LoadSpec.N, iters=100)
+        base = cycles(trace)
+        cheap = cycles(trace, mispredict_penalty=0, jump_bubble=0)
+        assert base.cycles >= cheap.cycles
+
+    def test_stats_instruction_count(self):
+        trace = strided_loop(LoadSpec.N, iters=10)
+        stats = cycles(trace)
+        assert stats.instructions == len(trace)
+        assert stats.loads == 10
+
+
+class TestPredictionPath:
+    def test_ld_p_speeds_up_strided_loop(self):
+        trace = strided_loop(LoadSpec.P)
+        base = cycles(trace)
+        pred = cycles(trace, EarlyGenConfig(256, 0, SelectionMode.COMPILER))
+        assert pred.cycles < base.cycles
+        assert pred.pred_success > 150  # warmup losses only
+
+    def test_ld_n_is_never_speculated(self):
+        trace = strided_loop(LoadSpec.N)
+        stats = cycles(trace, EarlyGenConfig(256, 1, SelectionMode.COMPILER))
+        assert stats.pred_loads == 0
+        assert stats.calc_loads == 0
+        assert stats.scheme_counts["n"] == stats.loads
+
+    def test_hardware_mode_ignores_specifiers(self):
+        trace = strided_loop(LoadSpec.N)
+        stats = cycles(trace, EarlyGenConfig(256, 0, SelectionMode.HARDWARE))
+        assert stats.pred_loads == stats.loads
+
+    def test_small_table_conflicts_hurt(self):
+        """Many distinct strided loads: a tiny table thrashes."""
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("arr")]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+        ]
+        # 8 loads at distinct PCs, all strided.
+        for k in range(8):
+            items.append(
+                I(Opcode.LD, Reg(8 + k), [Reg(4), Imm(4 * k)], lspec=LoadSpec.P)
+            )
+        items += [
+            I(Opcode.ADD, Reg(4), [Reg(4), Imm(32)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(
+            items, data=[DataItem("arr", 32 * 101)]
+        )
+        big = cycles(trace, EarlyGenConfig(256, 0, SelectionMode.COMPILER))
+        # a 2-entry table cannot hold 8 loads mapping over the same PCs
+        tiny = cycles(trace, EarlyGenConfig(2, 0, SelectionMode.COMPILER))
+        assert big.pred_success > tiny.pred_success
+        assert big.cycles <= tiny.cycles
+
+    def test_spec_override_changes_routing(self):
+        trace = strided_loop(LoadSpec.N)
+        uid = next(
+            inst.uid for inst in trace.program.flat if inst.is_load
+        )
+        config = MachineConfig().with_earlygen(
+            EarlyGenConfig(256, 0, SelectionMode.COMPILER)
+        )
+        stats = TimingSimulator(
+            trace, config, spec_override={uid: LoadSpec.P}
+        ).run()
+        assert stats.pred_loads == stats.loads
+
+
+class TestEarlyCalcPath:
+    def test_ld_e_zero_cycle_loads(self):
+        trace = pointer_block_loop(LoadSpec.E)
+        base = cycles(trace)
+        calc = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.COMPILER))
+        assert calc.cycles < base.cycles
+        assert calc.calc_success > 0
+
+    def test_ld_e_beats_ld_p_on_same_code(self):
+        """Zero-cycle forwarding saves more than the 1-cycle table path."""
+        calc = cycles(
+            pointer_block_loop(LoadSpec.E),
+            EarlyGenConfig(0, 1, SelectionMode.COMPILER),
+        )
+        pred = cycles(
+            pointer_block_loop(LoadSpec.P),
+            EarlyGenConfig(256, 0, SelectionMode.COMPILER),
+        )
+        assert calc.cycles <= pred.cycles
+
+    def test_binding_switch_hazard(self):
+        """Alternating base registers thrash the single R_addr."""
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("a")]),
+            I(Opcode.LEA, Reg(5), [Sym("b")]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=LoadSpec.E),
+            I(Opcode.LD, Reg(8), [Reg(5), Imm(0)], lspec=LoadSpec.E),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(
+            items, data=[DataItem("a", 4), DataItem("b", 4)]
+        )
+        stats = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.COMPILER))
+        # every probe misses: the binding always belongs to the other load
+        assert stats.calc_success == 0
+
+    def test_bric_two_registers_fix_the_thrash(self):
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("a")]),
+            I(Opcode.LEA, Reg(5), [Sym("b")]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)]),
+            I(Opcode.LD, Reg(8), [Reg(5), Imm(0)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(
+            items, data=[DataItem("a", 4), DataItem("b", 4)]
+        )
+        one = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.HARDWARE))
+        two = cycles(trace, EarlyGenConfig(0, 2, SelectionMode.HARDWARE))
+        assert two.calc_success > one.calc_success
+        assert two.cycles <= one.cycles
+
+    def test_raddr_interlock_blocks_chained_base(self):
+        """A base register produced by the immediately preceding load is
+        not ready at ID1: the chain load cannot forward."""
+        p = Program()
+        f = Function("main")
+        f.append(I(Opcode.LEA, Reg(4), [Sym("cell")]))
+        f.append(I(Opcode.MOV, Reg(6), [Imm(0)]))
+        f.append(Label("loop"))
+        # self-loop pointer: cell points at itself
+        f.append(I(Opcode.LD, Reg(4), [Reg(4), Imm(0)], lspec=LoadSpec.E))
+        f.append(I(Opcode.LD, Reg(4), [Reg(4), Imm(0)], lspec=LoadSpec.E))
+        f.append(I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]))
+        f.append(I(Opcode.BLT, None, [Reg(6), Imm(50)], "loop"))
+        f.append(I(Opcode.HALT))
+        p.add_function(f)
+        from repro.isa.program import DATA_BASE
+
+        p.add_data(DataItem("cell", 4, init=[DATA_BASE]))
+        p.layout()
+        trace = execute(p).trace
+        stats = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.COMPILER))
+        # base always comes from a 2-cycle-old load: never ready at ID1
+        assert stats.calc_success < stats.calc_loads * 0.1
+
+
+class TestDualPath:
+    def test_eickemeyer_selection_routes_both_ways(self):
+        trace = strided_loop(LoadSpec.N)
+        stats = cycles(trace, EarlyGenConfig(256, 1, SelectionMode.HARDWARE))
+        assert stats.pred_loads + stats.calc_loads == stats.loads
+
+    def test_compiler_dual_uses_both_paths(self):
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("arr")]),
+            I(Opcode.LEA, Reg(9), [Sym("box")]),
+            I(Opcode.MOV, Reg(5), [Imm(0)]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=LoadSpec.P),
+            I(Opcode.LD, Reg(8), [Reg(9), Imm(0)], lspec=LoadSpec.E),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(7)]),
+            I(Opcode.ADD, Reg(5), [Reg(5), Reg(8)]),
+            I(Opcode.ADD, Reg(4), [Reg(4), Imm(4)]),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(
+            items,
+            data=[DataItem("arr", 404), DataItem("box", 4, init=[5])],
+        )
+        stats = cycles(trace, EarlyGenConfig(256, 1, SelectionMode.COMPILER))
+        assert stats.pred_success > 0
+        assert stats.calc_success > 0
+        assert stats.cycles < cycles(trace).cycles
+
+
+class TestMemInterlock:
+    def test_store_to_same_word_blocks_forwarding(self):
+        """A store writing the loaded word right before a speculative
+        load must suppress forwarding (Mem_Interlock)."""
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("box")]),
+            I(Opcode.MOV, Reg(5), [Imm(1)]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.ADD, Reg(5), [Reg(5), Imm(1)]),
+            I(Opcode.ST, None, [Reg(5), Reg(4), Imm(0)]),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=LoadSpec.E),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(items, data=[DataItem("box", 4)])
+        stats = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.COMPILER))
+        assert stats.spec_mem_interlock > 50
+
+    def test_store_to_other_word_does_not_block(self):
+        items = [
+            I(Opcode.LEA, Reg(4), [Sym("box")]),
+            I(Opcode.MOV, Reg(5), [Imm(1)]),
+            I(Opcode.MOV, Reg(6), [Imm(0)]),
+            Label("loop"),
+            I(Opcode.ST, None, [Reg(5), Reg(4), Imm(32)]),
+            I(Opcode.LD, Reg(7), [Reg(4), Imm(0)], lspec=LoadSpec.E),
+            I(Opcode.ADD, Reg(6), [Reg(6), Imm(1)]),
+            I(Opcode.BLT, None, [Reg(6), Imm(100)], "loop"),
+            I(Opcode.HALT),
+        ]
+        trace = build_and_trace(items, data=[DataItem("box", 64)])
+        stats = cycles(trace, EarlyGenConfig(0, 1, SelectionMode.COMPILER))
+        assert stats.spec_mem_interlock == 0
+        assert stats.calc_success > 50
+
+
+class TestSimulateHelpers:
+    def test_simulate_wrapper(self):
+        trace = strided_loop(LoadSpec.P, iters=20)
+        stats = simulate(trace, earlygen=EarlyGenConfig(64, 0))
+        assert stats.cycles > 0
+
+    def test_speedup_helper(self):
+        from repro.sim.pipeline import speedup
+
+        trace = strided_loop(LoadSpec.P)
+        ratio, stats, base = speedup(trace, EarlyGenConfig(256, 1))
+        assert ratio == pytest.approx(base.cycles / stats.cycles)
+        assert ratio > 1.0

@@ -1,0 +1,80 @@
+"""Timeline/debug-view tests."""
+
+import pytest
+
+from repro.isa import parse_asm
+from repro.sim.executor import execute
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.timeline import debug_run, render_timeline
+
+PROGRAM = """
+.data arr 400
+main:
+    lea r4, arr
+    mov r6, 0
+loop:
+    ld_p r7, r4(0)
+    add r5, r5, r7
+    add r4, r4, 4
+    add r6, r6, 1
+    blt r6, 40, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return execute(parse_asm(PROGRAM)).trace
+
+
+def test_timeline_disabled_by_default(trace):
+    stats = TimingSimulator(trace, MachineConfig()).run()
+    assert stats.timeline is None
+    with pytest.raises(ValueError):
+        render_timeline(trace, stats)
+
+
+def test_timeline_records_every_instruction(trace):
+    stats = TimingSimulator(
+        trace, MachineConfig(), collect_timeline=True
+    ).run()
+    assert stats.timeline is not None
+    assert len(stats.timeline) == len(trace)
+    cycles = [cycle for _, cycle, _ in stats.timeline]
+    assert cycles == sorted(cycles)  # in-order issue is monotone
+
+
+def test_timeline_collection_does_not_change_timing(trace):
+    plain = TimingSimulator(trace, MachineConfig()).run()
+    collected = TimingSimulator(
+        trace, MachineConfig(), collect_timeline=True
+    ).run()
+    assert plain.cycles == collected.cycles
+
+
+def test_timeline_notes_early_gen_outcomes(trace):
+    config = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 0, SelectionMode.COMPILER)
+    )
+    stats = TimingSimulator(trace, config, collect_timeline=True).run()
+    notes = [note for _, _, note in stats.timeline]
+    assert any(note.startswith("p-hit") for note in notes)
+    assert any(note == "branch" or note.startswith("branch") for note in notes)
+
+
+def test_render_window(trace):
+    stats = TimingSimulator(
+        trace, MachineConfig(), collect_timeline=True
+    ).run()
+    text = render_timeline(trace, stats, start=2, count=8)
+    assert "cycle" in text
+    assert text.count("\n") == 9  # header + rule + 8 rows
+    assert "ld_" in text
+
+
+def test_debug_run_helper(trace):
+    text = debug_run(trace, count=12)
+    assert text.startswith("cycles=")
+    assert "ipc=" in text
+    assert "ld_" in text

@@ -1,0 +1,51 @@
+"""The README's code snippet must keep working."""
+
+from repro.compiler.driver import compile_source
+from repro.sim.executor import Executor
+from repro.sim.machine import EarlyGenConfig, SelectionMode
+from repro.sim.pipeline import speedup
+
+
+def test_readme_quickstart_snippet():
+    result = compile_source(
+        """
+        int arr[256];
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 256; i++) { arr[i] = i; }
+            for (i = 0; i < 256; i++) { s += arr[i]; }
+            print_int(s);
+            return 0;
+        }
+        """
+    )
+    counts = result.class_counts()
+    assert counts == {"n": 0, "p": 1, "e": 0}
+
+    run = Executor(result.program).run()
+    assert run.output == [sum(range(256))]
+
+    proposed = EarlyGenConfig(
+        table_entries=256, cached_regs=1, selection=SelectionMode.COMPILER
+    )
+    ratio, stats, baseline = speedup(run.trace, proposed)
+    assert ratio > 1.0
+    assert stats.pred_success > 0
+
+
+def test_examples_are_importable_scripts():
+    """Every example file parses and has a main() entry point."""
+    import ast as python_ast
+    import pathlib
+
+    examples = pathlib.Path(__file__).parent.parent / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        tree = python_ast.parse(script.read_text())
+        names = {
+            node.name
+            for node in tree.body
+            if isinstance(node, python_ast.FunctionDef)
+        }
+        assert "main" in names, script.name
