@@ -13,19 +13,27 @@ Optimization levels:
   demonstrating the paper's dependence on the classical passes.
 * ``opt_level=1`` — scalar optimizations without loop transforms.
 * ``opt_level=2`` (default) — everything, matching the paper's setup.
+
+With ``verify=True`` the structural IR verifier
+(:mod:`repro.compiler.verify`) runs after IR generation, after every
+optimization pass, and after register allocation; a pass that breaks an
+invariant raises :class:`~repro.errors.IRVerificationError` naming that
+pass.  ``post_pass_hook`` is a test seam (used by the harness fault
+injector) called as ``hook(pass_name, fir)`` after each per-function
+pass, *before* verification — corrupting the IR there must be caught.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.compiler.classify import (
     class_counts,
     classify_late_loads,
     classify_program,
 )
-from repro.compiler.ir import ModuleIR
+from repro.compiler.ir import FuncIR, ModuleIR
 from repro.compiler.irgen import generate_ir
 from repro.compiler.opt import (
     coalesce_moves,
@@ -40,9 +48,13 @@ from repro.compiler.opt import (
     strength_reduction,
 )
 from repro.compiler.regalloc import allocate_registers
+from repro.compiler.verify import verify_func, verify_module
 from repro.isa.program import Program
 from repro.lang.parser import parse
 from repro.lang.sema import analyze
+
+#: Signature of the post-pass test hook: ``(pass_name, fir) -> None``.
+PassHook = Callable[[str, FuncIR], None]
 
 
 @dataclass
@@ -53,6 +65,10 @@ class CompileOptions:
     classify: bool = True
     inline: bool = True
     max_scalar_rounds: int = 4
+    #: Run the structural IR verifier between passes.
+    verify: bool = False
+    #: Test seam called after each per-function pass (fault injection).
+    post_pass_hook: Optional[PassHook] = None
 
 
 @dataclass
@@ -73,14 +89,26 @@ class CompileResult:
         return self.program.dump()
 
 
-def _scalar_round(fir) -> bool:
+def _run_pass(pass_fn, fir: FuncIR, options: CompileOptions) -> bool:
+    """Run one per-function pass, then the hook and the verifier."""
+    name = pass_fn.__name__
+    changed = pass_fn(fir)
+    hook = options.post_pass_hook
+    if hook is not None:
+        hook(name, fir)
+    if options.verify:
+        verify_func(fir.func, pass_name=name)
+    return bool(changed)
+
+
+def _scalar_round(fir, options: CompileOptions) -> bool:
     changed = False
-    changed |= constant_propagation(fir)
-    changed |= copy_propagation(fir)
-    changed |= coalesce_moves(fir)
-    changed |= redundant_load_elimination(fir)
-    changed |= dead_code_elimination(fir)
-    changed |= simplify_control_flow(fir)
+    changed |= _run_pass(constant_propagation, fir, options)
+    changed |= _run_pass(copy_propagation, fir, options)
+    changed |= _run_pass(coalesce_moves, fir, options)
+    changed |= _run_pass(redundant_load_elimination, fir, options)
+    changed |= _run_pass(dead_code_elimination, fir, options)
+    changed |= _run_pass(simplify_control_flow, fir, options)
     return changed
 
 
@@ -101,20 +129,29 @@ def compile_source(
     analyzer = analyze(unit)
     module = generate_ir(unit, analyzer)
 
+    if options.verify:
+        verify_module(module, pass_name="irgen")
+
     if options.opt_level >= 1:
         if options.inline:
             inline_functions(module)
+            hook = options.post_pass_hook
+            if hook is not None:
+                for fir in module.funcs.values():
+                    hook("inline_functions", fir)
+            if options.verify:
+                verify_module(module, pass_name="inline_functions")
         for fir in module.funcs.values():
-            simplify_control_flow(fir)
-            promote_locals(fir)
+            _run_pass(simplify_control_flow, fir, options)
+            _run_pass(promote_locals, fir, options)
             for _ in range(options.max_scalar_rounds):
-                if not _scalar_round(fir):
+                if not _scalar_round(fir, options):
                     break
             if options.opt_level >= 2:
-                loop_invariant_code_motion(fir)
-                strength_reduction(fir)
+                _run_pass(loop_invariant_code_motion, fir, options)
+                _run_pass(strength_reduction, fir, options)
                 for _ in range(2):
-                    if not _scalar_round(fir):
+                    if not _scalar_round(fir, options):
                         break
 
     # Classification runs on virtual-register code, as IMPACT's heuristics
@@ -129,6 +166,10 @@ def compile_source(
         created = allocate_registers(fir)
         if options.classify:
             classify_late_loads(fir.func, created)
+    if options.verify:
+        verify_module(
+            module, pass_name="allocate_registers", require_physical=True
+        )
 
     module.program.layout()
     return CompileResult(module.program, module, options, source)

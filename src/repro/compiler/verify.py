@@ -1,0 +1,510 @@
+"""Structural IR verifier.
+
+Checks the invariants every compiler pass must preserve, so that a
+miscompile raises an :class:`~repro.errors.IRVerificationError` naming
+the offending pass instead of surfacing as a bizarre
+``EmulationError`` (or a silently wrong table) many stages later:
+
+* **Branch/CFG consistency** — every branch target resolves to a label
+  in the same function (or, for ``CALL``, to a known function), and the
+  rebuilt CFG's predecessor/successor lists agree with each other.
+* **Terminator placement** — the function cannot fall off the end of
+  its body: the last instruction is an unconditional terminator
+  (``jmp``/``ret``/``halt``).
+* **Def-before-use** — every use of a *virtual* register is preceded by
+  a definition on all paths from the entry (a forward must-define
+  dataflow over the CFG; physical registers are exempt because the ABI
+  defines them at entry).
+* **Operand-kind legality** — per-opcode operand shapes: arity, register
+  banks, and constant positions match what the emulator and the timing
+  model dereference (e.g. ``fadd`` sources must be FP registers — an
+  immediate there would silently read the trash slot).
+* **Load-spec validity** — scheme specifiers only appear on loads, and
+  ``ld_e`` is only legal in base+offset addressing mode (the single
+  ``R_addr`` caches a base register; a base+index ``ld_e`` can never
+  forward).
+
+The driver runs :func:`verify_func` between optimization passes when
+``CompileOptions.verify`` is set; ``pass_name`` flows into the raised
+diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.compiler.cfg import CFG
+from repro.errors import IRVerificationError
+from repro.isa.instruction import Imm, Instruction, Reg, Sym
+from repro.isa.opcodes import (
+    COND_BRANCH_OPS,
+    LOAD_OPS,
+    LoadSpec,
+    Opcode,
+)
+from repro.isa.program import Function, Label, Program
+
+__all__ = ["verify_func", "verify_module", "verify_program"]
+
+#: Opcodes whose ``srcs`` are ``(a, b)`` with each operand an integer
+#: register or a constant.
+_INT_BINOPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPLTU,
+    }
+)
+
+#: FP arithmetic whose ``srcs`` are two FP registers.
+_FP_BINOPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+)
+
+#: FP compares: integer destination, two FP register sources.
+_FP_COMPARES = frozenset({Opcode.FCMPEQ, Opcode.FCMPLT, Opcode.FCMPLE})
+
+
+def _fail(message: str, *, func: str, pass_name: Optional[str],
+          inst: Optional[Instruction] = None) -> None:
+    context = {}
+    if inst is not None:
+        context["inst"] = repr(inst)
+    raise IRVerificationError(
+        message, func=func, pass_name=pass_name, **context
+    )
+
+
+def _is_int_value(op) -> bool:
+    """Register-or-constant operand readable as an integer."""
+    if isinstance(op, Reg):
+        return op.bank == "int"
+    return isinstance(op, (Imm, Sym))
+
+
+def _is_int_reg(op) -> bool:
+    return isinstance(op, Reg) and op.bank == "int"
+
+
+def _is_fp_reg(op) -> bool:
+    return isinstance(op, Reg) and op.bank == "fp"
+
+
+def _is_disp(op) -> bool:
+    """Legal displacement: immediate/symbol (base+offset) or int register
+    (base+index)."""
+    return _is_int_value(op)
+
+
+def _check_dest(inst: Instruction, bank: Optional[str], func: str,
+                pass_name: Optional[str]) -> None:
+    if bank is None:
+        if inst.dest is not None:
+            _fail(
+                f"{inst.opcode.value} must not have a destination",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        return
+    if not isinstance(inst.dest, Reg) or inst.dest.bank != bank:
+        _fail(
+            f"{inst.opcode.value} destination must be an {bank} register",
+            func=func, pass_name=pass_name, inst=inst,
+        )
+
+
+def _check_operands(inst: Instruction, func: str,
+                    pass_name: Optional[str]) -> None:
+    """Per-opcode operand-shape legality."""
+    op = inst.opcode
+    srcs = inst.srcs
+
+    def need(count: int) -> None:
+        if len(srcs) != count:
+            _fail(
+                f"{op.value} expects {count} source operand(s), "
+                f"got {len(srcs)}",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+
+    if op in _INT_BINOPS:
+        _check_dest(inst, "int", func, pass_name)
+        need(2)
+        if not all(_is_int_value(s) for s in srcs):
+            _fail(
+                f"{op.value} sources must be integer registers or "
+                "constants",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op is Opcode.MOV:
+        _check_dest(inst, "int", func, pass_name)
+        need(1)
+        if not _is_int_value(srcs[0]):
+            _fail(
+                "mov source must be an integer register or constant",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op is Opcode.LEA:
+        _check_dest(inst, "int", func, pass_name)
+        need(1)
+        if not isinstance(srcs[0], Sym):
+            _fail(
+                "lea source must be a data-segment symbol",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in (Opcode.LD, Opcode.LDB, Opcode.FLD):
+        _check_dest(inst, "fp" if op is Opcode.FLD else "int",
+                    func, pass_name)
+        need(2)
+        if not _is_int_reg(srcs[0]):
+            _fail(
+                f"{op.value} base must be an integer register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        if not _is_disp(srcs[1]):
+            _fail(
+                f"{op.value} displacement must be a constant or an "
+                "integer register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in (Opcode.ST, Opcode.STB, Opcode.FST):
+        _check_dest(inst, None, func, pass_name)
+        need(3)
+        value = srcs[0]
+        if op is Opcode.FST:
+            if not _is_fp_reg(value):
+                _fail(
+                    "fst value must be an FP register",
+                    func=func, pass_name=pass_name, inst=inst,
+                )
+        elif not _is_int_value(value):
+            _fail(
+                f"{op.value} value must be an integer register or "
+                "constant",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        if not _is_int_reg(srcs[1]):
+            _fail(
+                f"{op.value} base must be an integer register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        if not _is_disp(srcs[2]):
+            _fail(
+                f"{op.value} displacement must be a constant or an "
+                "integer register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in COND_BRANCH_OPS:
+        _check_dest(inst, None, func, pass_name)
+        need(2)
+        if not all(_is_int_value(s) for s in srcs):
+            _fail(
+                f"{op.value} operands must be integer registers or "
+                "constants",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        if inst.target is None:
+            _fail(
+                f"{op.value} must have a target",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in (Opcode.JMP, Opcode.CALL):
+        _check_dest(inst, None, func, pass_name)
+        need(0)
+        if inst.target is None:
+            _fail(
+                f"{op.value} must have a target",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+        _check_dest(inst, None, func, pass_name)
+        need(0)
+    elif op in (Opcode.OUT, Opcode.OUTC):
+        _check_dest(inst, None, func, pass_name)
+        need(1)
+        if not _is_int_value(srcs[0]):
+            _fail(
+                f"{op.value} source must be an integer register or "
+                "constant",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in _FP_BINOPS:
+        _check_dest(inst, "fp", func, pass_name)
+        need(2)
+        if not all(_is_fp_reg(s) for s in srcs):
+            _fail(
+                f"{op.value} sources must be FP registers",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op is Opcode.FMOV:
+        _check_dest(inst, "fp", func, pass_name)
+        need(1)
+        if not _is_fp_reg(srcs[0]):
+            _fail(
+                "fmov source must be an FP register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op in _FP_COMPARES:
+        _check_dest(inst, "int", func, pass_name)
+        need(2)
+        if not all(_is_fp_reg(s) for s in srcs):
+            _fail(
+                f"{op.value} sources must be FP registers",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op is Opcode.CVTIF:
+        _check_dest(inst, "fp", func, pass_name)
+        need(1)
+        if not _is_int_value(srcs[0]):
+            _fail(
+                "cvtif source must be an integer register or constant",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif op is Opcode.CVTFI:
+        _check_dest(inst, "int", func, pass_name)
+        need(1)
+        if not _is_fp_reg(srcs[0]):
+            _fail(
+                "cvtfi source must be an FP register",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    else:  # pragma: no cover - every Opcode is handled above
+        _fail(
+            f"unknown opcode {op!r}",
+            func=func, pass_name=pass_name, inst=inst,
+        )
+
+
+def _check_load_spec(inst: Instruction, func: str,
+                     pass_name: Optional[str]) -> None:
+    if not isinstance(inst.lspec, LoadSpec):
+        _fail(
+            f"bad load-spec {inst.lspec!r}",
+            func=func, pass_name=pass_name, inst=inst,
+        )
+    if inst.opcode in LOAD_OPS:
+        if inst.lspec is LoadSpec.E and not inst.is_reg_offset:
+            _fail(
+                "ld_e requires base+offset addressing "
+                "(R_addr caches only the base register)",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif inst.lspec is not LoadSpec.N:
+        _fail(
+            f"non-load carries load-spec {inst.lspec.value!r}",
+            func=func, pass_name=pass_name, inst=inst,
+        )
+
+
+def _check_branches(func: Function, known_funcs: Optional[Set[str]],
+                    pass_name: Optional[str]) -> None:
+    labels = {
+        item.name for item in func.body if isinstance(item, Label)
+    }
+    labels.add(func.name)
+    for inst in func.instructions():
+        if inst.target is None:
+            continue
+        if inst.opcode is Opcode.CALL:
+            if known_funcs is not None and inst.target not in known_funcs:
+                _fail(
+                    f"call to unknown function {inst.target!r}",
+                    func=func.name, pass_name=pass_name, inst=inst,
+                )
+        elif inst.target not in labels:
+            _fail(
+                f"branch to undefined label {inst.target!r}",
+                func=func.name, pass_name=pass_name, inst=inst,
+            )
+
+
+def _check_terminators(func: Function, pass_name: Optional[str]) -> None:
+    last: Optional[Instruction] = None
+    for item in func.body:
+        if isinstance(item, Instruction):
+            last = item
+    if last is None:
+        _fail("function has no instructions",
+              func=func.name, pass_name=pass_name)
+    if last.opcode not in (Opcode.JMP, Opcode.RET, Opcode.HALT):
+        _fail(
+            "function falls off the end of its body "
+            f"(last instruction is {last.opcode.value!r})",
+            func=func.name, pass_name=pass_name, inst=last,
+        )
+
+
+def _check_cfg_edges(cfg: CFG, func_name: str,
+                     pass_name: Optional[str]) -> None:
+    count = len(cfg.blocks)
+    for block in cfg.blocks:
+        for succ in block.succs:
+            if not 0 <= succ < count:
+                _fail(
+                    f"block {block.index} has out-of-range successor "
+                    f"{succ}",
+                    func=func_name, pass_name=pass_name,
+                )
+            if block.index not in cfg.blocks[succ].preds:
+                _fail(
+                    f"edge {block.index}->{succ} missing from the "
+                    "successor's predecessor list",
+                    func=func_name, pass_name=pass_name,
+                )
+        for pred in block.preds:
+            if not 0 <= pred < count or (
+                block.index not in cfg.blocks[pred].succs
+            ):
+                _fail(
+                    f"edge {pred}->{block.index} missing from the "
+                    "predecessor's successor list",
+                    func=func_name, pass_name=pass_name,
+                )
+
+
+def _check_def_before_use(cfg: CFG, func_name: str,
+                          pass_name: Optional[str]) -> None:
+    """Forward must-define analysis over virtual registers.
+
+    A use of a virtual register is legal only if a definition reaches it
+    along *every* path from the entry.  Physical registers are exempt
+    (the ABI defines arguments, ``sp``, and ``ra`` at function entry).
+    """
+    blocks = cfg.blocks
+    gen: List[Set] = []
+    for block in blocks:
+        defined: Set = set()
+        for inst in block.instrs:
+            if inst.dest is not None and inst.dest.virtual:
+                defined.add(inst.dest.key)
+        gen.append(defined)
+
+    # None = not yet reached (top); entry starts with nothing defined.
+    ins: List[Optional[Set]] = [None] * len(blocks)
+    outs: List[Optional[Set]] = [None] * len(blocks)
+    ins[0] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            index = block.index
+            if index == 0:
+                new_in: Optional[Set] = set()
+            else:
+                reached = [
+                    outs[p] for p in block.preds if outs[p] is not None
+                ]
+                if not reached:
+                    continue
+                new_in = set.intersection(*reached)
+            new_out = new_in | gen[index]
+            if new_in != ins[index] or new_out != outs[index]:
+                ins[index] = new_in
+                outs[index] = new_out
+                changed = True
+
+    for block in blocks:
+        defined = ins[block.index]
+        if defined is None:  # unreachable: nothing to check
+            continue
+        defined = set(defined)
+        for inst in block.instrs:
+            for src in inst.srcs:
+                if (
+                    isinstance(src, Reg)
+                    and src.virtual
+                    and src.key not in defined
+                ):
+                    _fail(
+                        f"use of possibly-undefined virtual register "
+                        f"{src!r}",
+                        func=func_name, pass_name=pass_name, inst=inst,
+                    )
+            if inst.dest is not None and inst.dest.virtual:
+                defined.add(inst.dest.key)
+
+
+def _check_physical(func: Function, pass_name: Optional[str]) -> None:
+    for inst in func.instructions():
+        operands = list(inst.srcs)
+        if inst.dest is not None:
+            operands.append(inst.dest)
+        for op in operands:
+            if isinstance(op, Reg) and op.virtual:
+                _fail(
+                    f"virtual register {op!r} survives register "
+                    "allocation",
+                    func=func.name, pass_name=pass_name, inst=inst,
+                )
+
+
+def verify_func(
+    func: Function,
+    *,
+    pass_name: Optional[str] = None,
+    known_funcs: Optional[Set[str]] = None,
+    require_physical: bool = False,
+) -> None:
+    """Check every structural invariant on *func*; raise on violation.
+
+    ``pass_name`` names the transformation whose output is being
+    checked and is embedded in the diagnostic.  ``known_funcs`` enables
+    CALL-target checking.  ``require_physical`` additionally rejects any
+    surviving virtual register (for post-regalloc verification).
+    """
+    for inst in func.instructions():
+        _check_operands(inst, func.name, pass_name)
+        _check_load_spec(inst, func.name, pass_name)
+    _check_branches(func, known_funcs, pass_name)
+    _check_terminators(func, pass_name)
+    cfg = CFG(func)
+    _check_cfg_edges(cfg, func.name, pass_name)
+    if require_physical:
+        _check_physical(func, pass_name)
+    else:
+        _check_def_before_use(cfg, func.name, pass_name)
+
+
+def verify_program(
+    program: Program,
+    *,
+    pass_name: Optional[str] = None,
+    require_physical: bool = False,
+) -> None:
+    """Verify every function of *program* (CALL targets included)."""
+    known = set(program.functions)
+    for func in program.functions.values():
+        verify_func(
+            func,
+            pass_name=pass_name,
+            known_funcs=known,
+            require_physical=require_physical,
+        )
+
+
+def verify_module(
+    module,
+    *,
+    pass_name: Optional[str] = None,
+    require_physical: bool = False,
+) -> None:
+    """Convenience wrapper over a :class:`~repro.compiler.ir.ModuleIR`."""
+    verify_program(
+        module.program,
+        pass_name=pass_name,
+        require_physical=require_physical,
+    )

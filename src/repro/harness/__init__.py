@@ -1,4 +1,9 @@
-"""Experiment harness: one entry point per table/figure of the paper."""
+"""Experiment harness: one entry point per table/figure of the paper.
+
+The fault-isolation layer (:class:`WorkloadRunner`, :class:`FaultInjector`,
+checkpoint/resume on :class:`ExperimentContext`) lives here too; see
+``repro.harness.runner`` and ``repro.harness.faults``.
+"""
 
 from repro.harness.experiments import (
     ExperimentContext,
@@ -9,10 +14,22 @@ from repro.harness.experiments import (
     table3,
     table4,
 )
+from repro.harness.faults import FaultInjector
 from repro.harness.reporting import format_table
+from repro.harness.runner import (
+    RunnerConfig,
+    WorkloadOutcome,
+    WorkloadRunner,
+    assemble_table,
+)
 
 __all__ = [
     "ExperimentContext",
+    "FaultInjector",
+    "RunnerConfig",
+    "WorkloadOutcome",
+    "WorkloadRunner",
+    "assemble_table",
     "fig5a",
     "fig5b",
     "fig5c",

@@ -23,11 +23,16 @@ table4    MediaBench mix, prediction rates, and speedup
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
-from repro.compiler.driver import CompileResult, compile_source
+from repro.compiler.driver import CompileOptions, CompileResult, compile_source
+from repro.errors import OutputMismatchError
 from repro.compiler.profile_feedback import (
     DEFAULT_THRESHOLD,
     profile_overrides,
@@ -69,18 +74,39 @@ class WorkloadRun:
         return self.profile
 
 
+#: Version stamp of the per-workload checkpoint JSON schema.
+CHECKPOINT_SCHEMA = 1
+
+
 class ExperimentContext:
-    """Compiles, emulates, and simulates workloads with caching."""
+    """Compiles, emulates, and simulates workloads with caching.
+
+    ``verify`` checks emulated output against the pure-Python reference;
+    ``verify_ir`` additionally runs the structural IR verifier between
+    compiler passes.  With ``checkpoint_dir`` set, per-workload results
+    can be persisted as JSON (see :meth:`store_checkpoint`) so a
+    partially failed run resumes without recomputing completed
+    workloads.  ``fault_injector`` is the test seam that lets a chosen
+    workload crash, hang, or corrupt its IR/output.
+    """
 
     def __init__(
         self,
         scale: float = 1.0,
         machine: Optional[MachineConfig] = None,
         verify: bool = True,
+        verify_ir: bool = True,
+        checkpoint_dir: Union[None, str, Path] = None,
+        fault_injector=None,
     ):
         self.scale = scale
         self.machine = machine if machine is not None else MachineConfig()
         self.verify = verify
+        self.verify_ir = verify_ir
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.fault_injector = fault_injector
         self._runs: Dict[str, WorkloadRun] = {}
 
     def _scaled(self, name: str) -> int:
@@ -93,20 +119,86 @@ class ExperimentContext:
             return cached
         workload = get_workload(name)
         scale = self._scaled(name)
-        result = compile_source(workload.source(scale))
+        injector = self.fault_injector
+        options = CompileOptions(
+            verify=self.verify_ir,
+            post_pass_hook=(
+                injector.post_pass_hook(name) if injector else None
+            ),
+        )
+        result = compile_source(workload.source(scale), options)
         exec_result = Executor(result.program).run()
+        output = exec_result.output
+        if injector:
+            output = injector.corrupt_output(name, output)
         if self.verify:
             expected = workload.expected_output(scale)
-            if exec_result.output != expected:
-                raise AssertionError(
-                    f"{name}: emulated output {exec_result.output} != "
-                    f"reference {expected}"
+            if output != expected:
+                raise OutputMismatchError(
+                    f"emulated output {output} != reference {expected}",
+                    workload=name,
                 )
         run = WorkloadRun(
             name, result, exec_result.trace, exec_result.steps
         )
         self._runs[name] = run
         return run
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint_path(self, name: str) -> Path:
+        """Checkpoint file for one workload (requires checkpoint_dir)."""
+        if self.checkpoint_dir is None:
+            raise ValueError("no checkpoint_dir configured")
+        safe = name.replace("/", "_")
+        return self.checkpoint_dir / f"{safe}.json"
+
+    def load_checkpoint(self, name: str) -> Optional[dict]:
+        """The stored result payload for *name*, or None.
+
+        Stale artifacts — unreadable JSON, another schema version, or a
+        different workload scale — are ignored, so resuming after a
+        flag change recomputes instead of mixing incompatible rows.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        path = self.checkpoint_path(name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            return None
+        if payload.get("name") != name or payload.get("scale") != self.scale:
+            return None
+        return payload
+
+    def store_checkpoint(self, name: str, payload: dict) -> Path:
+        """Atomically persist *payload* for *name* (write + rename)."""
+        if self.checkpoint_dir is None:
+            raise ValueError("no checkpoint_dir configured")
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        path = self.checkpoint_path(name)
+        payload = dict(
+            payload, schema=CHECKPOINT_SCHEMA, name=name, scale=self.scale
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.checkpoint_dir), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
 
     def baseline_stats(self, name: str) -> SimStats:
         run = self.run(name)

@@ -3,9 +3,20 @@
 Usage::
 
     python -m repro.harness.main [--scale 1.0] [--suite all|spec|media]
+                                 [--timeout SECS] [--retries N]
+                                 [--checkpoint-dir DIR]
+                                 [--inject WORKLOAD=MODE]...
 
 Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
 configuration recorded in EXPERIMENTS.md.
+
+Workloads run under the fault-isolated :class:`WorkloadRunner`: a
+crashing or hanging workload degrades to an ERROR/TIMEOUT row instead of
+aborting the run, and the exit status is non-zero whenever any row
+degraded.  With ``--checkpoint-dir`` a re-invocation skips workloads
+that already completed and re-runs only the failed ones.  ``--inject``
+plants deterministic faults (crash, hang, flaky:N, corrupt-ir,
+corrupt-output) for exercising that machinery end to end.
 """
 
 from __future__ import annotations
@@ -13,42 +24,41 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
-from repro.harness.experiments import (
-    ExperimentContext,
-    fig5a,
-    fig5b,
-    fig5c,
-    table2,
-    table3,
-    table4,
-)
+from repro.harness.experiments import ExperimentContext
+from repro.harness.faults import FaultInjector
 from repro.harness.reporting import (
+    FIG5A_HEADERS,
+    FIG5B_HEADERS,
     FIG5C_HEADERS,
     TABLE2_HEADERS,
     TABLE3_HEADERS,
     TABLE4_HEADERS,
     format_table,
 )
+from repro.harness.runner import (
+    TABLES,
+    RunnerConfig,
+    WorkloadRunner,
+    assemble_table,
+)
+from repro.workloads import workload_names
 
-FIG5A_HEADERS = {
-    "benchmark": "Benchmark",
-    "hw_4": "HW 4",
-    "hw_16": "HW 16",
-    "hw_64": "HW 64",
-    "hw_128": "HW 128",
-    "hw_256": "HW 256",
-    "cc_4": "CC 4",
-    "cc_16": "CC 16",
-    "cc_64": "CC 64",
-    "cc_128": "CC 128",
-    "cc_256": "CC 256",
-}
-FIG5B_HEADERS = {
-    "benchmark": "Benchmark",
-    "regs_4": "4 regs",
-    "regs_8": "8 regs",
-    "regs_16": "16 regs",
+__all__ = [
+    "FIG5A_HEADERS",
+    "FIG5B_HEADERS",
+    "FIG5C_HEADERS",
+    "TABLE2_HEADERS",
+    "TABLE3_HEADERS",
+    "TABLE4_HEADERS",
+    "main",
+]
+
+_SUITES = {
+    "all": ("spec", "mediabench"),
+    "spec": ("spec",),
+    "media": ("mediabench",),
 }
 
 
@@ -60,44 +70,93 @@ def main(argv=None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--suite", choices=("all", "spec", "media"),
                         default="all")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help="wall-clock seconds per workload attempt; "
+                        "0 disables (default)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retries per workload after a failure "
+                        "(timeouts are not retried; default 0)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        help="base seconds of exponential retry backoff "
+                        "(default 0.5)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="persist per-workload results as JSON and "
+                        "resume, skipping completed workloads")
+    parser.add_argument("--inject", action="append", default=[],
+                        metavar="WORKLOAD=MODE",
+                        help="inject a fault (crash, hang, flaky:N, "
+                        "corrupt-ir[:PASS], corrupt-output); repeatable")
+    parser.add_argument("--no-verify-ir", action="store_true",
+                        help="skip the per-pass IR verifier")
     args = parser.parse_args(argv)
 
-    ctx = ExperimentContext(scale=args.scale)
-    started = time.time()
+    try:
+        injector = FaultInjector.parse(args.inject) if args.inject else None
+    except ValueError as exc:
+        parser.error(str(exc))
+    if injector is not None:
+        known = set(workload_names())
+        for entry in args.inject:
+            name = entry.partition("=")[0]
+            if name not in known:
+                parser.error(f"--inject names unknown workload {name!r}")
 
-    def section(title, rows, headers):
+    if args.checkpoint_dir is not None:
+        ckpt = Path(args.checkpoint_dir)
+        if ckpt.exists() and not ckpt.is_dir():
+            parser.error(
+                f"--checkpoint-dir {args.checkpoint_dir!r} is not a "
+                "directory"
+            )
+
+    ctx = ExperimentContext(
+        scale=args.scale,
+        verify_ir=not args.no_verify_ir,
+        checkpoint_dir=args.checkpoint_dir,
+        fault_injector=injector,
+    )
+    try:
+        config = RunnerConfig(
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    runner = WorkloadRunner(
+        ctx,
+        config,
+        progress=lambda msg: print(msg, file=sys.stderr, flush=True),
+    )
+
+    suites = _SUITES[args.suite]
+    names = [n for s in suites for n in workload_names(s)]
+    started = time.time()
+    outcomes = runner.run_suite(names)
+
+    for spec in TABLES:
+        if spec.suite not in suites:
+            continue
+        rows = assemble_table(spec, outcomes)
         print()
-        print(format_table(rows, headers=headers, title=title))
+        print(format_table(
+            rows,
+            columns=list(spec.headers),
+            headers=spec.headers,
+            title=spec.title,
+        ))
         sys.stdout.flush()
 
-    if args.suite in ("all", "spec"):
-        section(
-            "Table 2 — SPEC load classes and prediction rates",
-            table2(ctx), TABLE2_HEADERS,
-        )
-        section(
-            "Figure 5a — prediction-table-only speedup",
-            fig5a(ctx), FIG5A_HEADERS,
-        )
-        section(
-            "Figure 5b — early-calculation-only speedup (hardware BRIC)",
-            fig5b(ctx), FIG5B_HEADERS,
-        )
-        section(
-            "Figure 5c — dual-path comparison",
-            fig5c(ctx), FIG5C_HEADERS,
-        )
-        section(
-            "Table 3 — profile-guided classification (threshold 60%)",
-            table3(ctx), TABLE3_HEADERS,
-        )
-    if args.suite in ("all", "media"):
-        section(
-            "Table 4 — MediaBench",
-            table4(ctx), TABLE4_HEADERS,
-        )
+    degraded = [o for o in outcomes if o.degraded]
     print(f"\ntotal wall time: {time.time() - started:.0f}s "
           f"(scale {args.scale})")
+    if degraded:
+        print(f"\nDegraded workloads ({len(degraded)}/{len(outcomes)}):")
+        for outcome in degraded:
+            detail = outcome.error or outcome.status
+            print(f"  {outcome.name}: {outcome.status.upper()} "
+                  f"[{outcome.error_type}] {detail}")
+        return 1
     return 0
 
 

@@ -43,6 +43,27 @@ def format_table(
     return "\n".join(out)
 
 
+FIG5A_HEADERS = {
+    "benchmark": "Benchmark",
+    "hw_4": "HW 4",
+    "hw_16": "HW 16",
+    "hw_64": "HW 64",
+    "hw_128": "HW 128",
+    "hw_256": "HW 256",
+    "cc_4": "CC 4",
+    "cc_16": "CC 16",
+    "cc_64": "CC 64",
+    "cc_128": "CC 128",
+    "cc_256": "CC 256",
+}
+
+FIG5B_HEADERS = {
+    "benchmark": "Benchmark",
+    "regs_4": "4 regs",
+    "regs_8": "8 regs",
+    "regs_16": "16 regs",
+}
+
 TABLE2_HEADERS = {
     "benchmark": "Benchmark",
     "dyn_loads": "Loads",

@@ -1,0 +1,384 @@
+"""Fault-isolated execution of the per-workload experiment pipeline.
+
+The full-scale reproduction executes 25 workloads; before this layer
+existed, one ``EmulationError`` or wedged scoreboard aborted every table
+and figure.  The :class:`WorkloadRunner` gives each workload's
+compile→emulate→simulate pipeline:
+
+* a **wall-clock timeout** (the attempt runs on a daemon worker thread;
+  on expiry the workload degrades to a ``TIMEOUT`` row),
+* **bounded retries with exponential backoff** for transient failures
+  (timeouts are not retried — a deterministic hang would just double
+  the cost),
+* **graceful degradation** — any failure becomes an ``ERROR`` row
+  carrying the exception summary instead of killing the run,
+* **checkpoint/resume** — with a checkpoint directory configured on the
+  :class:`~repro.harness.experiments.ExperimentContext`, each completed
+  workload's row fragments persist as JSON and a re-invocation skips
+  them, re-running only failed/timed-out workloads.
+
+Per workload, the runner computes the row fragments of every experiment
+that workload participates in (Table 2, Figures 5a–5c, and Table 3 for
+SPEC; Table 4 for MediaBench) through the unchanged experiment drivers,
+then :func:`assemble_table` rebuilds each paper artifact from the
+surviving fragments — summary rows (geomean/average) are computed over
+successful workloads only, and degraded workloads appear as
+ERROR/TIMEOUT rows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.harness.experiments import (
+    ExperimentContext,
+    _geomean,
+    fig5a,
+    fig5b,
+    fig5c,
+    table2,
+    table3,
+    table4,
+)
+from repro.harness.reporting import (
+    FIG5A_HEADERS,
+    FIG5B_HEADERS,
+    FIG5C_HEADERS,
+    TABLE2_HEADERS,
+    TABLE3_HEADERS,
+    TABLE4_HEADERS,
+)
+from repro.workloads import get_workload
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class RunnerConfig:
+    """Fault-isolation policy for one run."""
+
+    #: Wall-clock seconds per attempt; 0 disables the timeout (and the
+    #: worker thread — attempts then run inline).
+    timeout: float = 0.0
+    #: Extra attempts after the first failure (timeouts not retried).
+    retries: int = 0
+    #: Base of the exponential backoff between attempts, in seconds.
+    backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0 or self.retries < 0 or self.backoff < 0:
+            raise ValueError("timeout/retries/backoff must be >= 0")
+
+
+@dataclass
+class WorkloadOutcome:
+    """Result of running one workload under fault isolation."""
+
+    name: str
+    suite: str
+    status: str
+    rows: Dict[str, dict] = field(default_factory=dict)
+    error: str = ""
+    error_type: str = ""
+    attempts: int = 1
+    elapsed: float = 0.0
+    #: True when the result was loaded from a checkpoint, not computed.
+    cached: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return self.status != STATUS_OK
+
+    def payload(self) -> dict:
+        """JSON-serializable checkpoint body."""
+        return {
+            "suite": self.suite,
+            "status": self.status,
+            "rows": self.rows,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "elapsed": round(self.elapsed, 3),
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "WorkloadOutcome":
+        return cls(
+            name=name,
+            suite=payload.get("suite", ""),
+            status=payload.get("status", STATUS_ERROR),
+            rows=payload.get("rows", {}),
+            error=payload.get("error", ""),
+            error_type=payload.get("error_type", ""),
+            attempts=payload.get("attempts", 1),
+            elapsed=payload.get("elapsed", 0.0),
+            cached=True,
+        )
+
+
+def compute_rows(ctx: ExperimentContext, name: str) -> Dict[str, dict]:
+    """Row fragments of every experiment *name* participates in."""
+    suite = get_workload(name).suite
+    rows: Dict[str, dict] = {}
+    if suite == "spec":
+        rows["table2"] = table2(ctx, [name])[0]
+        rows["fig5a"] = fig5a(ctx, [name])[0]
+        rows["fig5b"] = fig5b(ctx, [name])[0]
+        rows["fig5c"] = fig5c(ctx, [name])[0]
+        rows["table3"] = table3(ctx, [name])[0]
+    else:
+        rows["table4"] = table4(ctx, [name])[0]
+    return rows
+
+
+class _Attempt(threading.Thread):
+    """One fault-isolated attempt on a worker thread."""
+
+    def __init__(self, fn: Callable[[], Dict[str, dict]]):
+        super().__init__(daemon=True)
+        self._fn = fn
+        self.rows: Optional[Dict[str, dict]] = None
+        self.exc: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - trivial thread body
+        try:
+            self.rows = self._fn()
+        except BaseException as exc:
+            self.exc = exc
+
+
+class WorkloadRunner:
+    """Runs workloads under timeout/retry policy with checkpointing."""
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        config: Optional[RunnerConfig] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.ctx = ctx
+        self.config = config if config is not None else RunnerConfig()
+        self._progress = progress
+
+    def _say(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    # -- single workload ---------------------------------------------------
+
+    def _attempt(self, name: str) -> Dict[str, dict]:
+        """One attempt: fire injected faults, then compute the rows."""
+        injector = self.ctx.fault_injector
+        if injector is not None:
+            injector.fire(name)
+        return compute_rows(self.ctx, name)
+
+    def _attempt_with_timeout(self, name: str) -> Dict[str, dict]:
+        timeout = self.config.timeout
+        if not timeout:
+            return self._attempt(name)
+        worker = _Attempt(lambda: self._attempt(name))
+        worker.start()
+        worker.join(timeout)
+        if worker.is_alive():
+            # Abandon the attempt: wake any injected hang so the daemon
+            # thread exits instead of parking forever.
+            injector = self.ctx.fault_injector
+            if injector is not None:
+                injector.stop_event.set()
+            raise _AttemptTimeout(timeout)
+        if worker.exc is not None:
+            raise worker.exc
+        assert worker.rows is not None
+        return worker.rows
+
+    def run_workload(self, name: str) -> WorkloadOutcome:
+        """Run one workload, honoring checkpoints and the retry policy."""
+        ctx = self.ctx
+        checkpoint = ctx.load_checkpoint(name) if ctx.checkpoint_dir else None
+        if checkpoint is not None and checkpoint.get("status") == STATUS_OK:
+            return WorkloadOutcome.from_payload(name, checkpoint)
+
+        suite = get_workload(name).suite
+        started = time.monotonic()
+        attempts = 0
+        outcome: Optional[WorkloadOutcome] = None
+        while True:
+            attempts += 1
+            try:
+                rows = self._attempt_with_timeout(name)
+            except _AttemptTimeout as exc:
+                outcome = WorkloadOutcome(
+                    name, suite, STATUS_TIMEOUT,
+                    error=f"no result within {exc.timeout:g}s",
+                    error_type="Timeout",
+                    attempts=attempts,
+                    elapsed=time.monotonic() - started,
+                )
+                break  # deterministic hang: retrying doubles the cost
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if isinstance(exc, ReproError):
+                    exc.add_context(workload=name)
+                if attempts <= self.config.retries:
+                    delay = self.config.backoff * (2 ** (attempts - 1))
+                    self._say(
+                        f"{name}: attempt {attempts} failed "
+                        f"({type(exc).__name__}); retrying in {delay:g}s"
+                    )
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                outcome = WorkloadOutcome(
+                    name, suite, STATUS_ERROR,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    attempts=attempts,
+                    elapsed=time.monotonic() - started,
+                )
+                break
+            else:
+                outcome = WorkloadOutcome(
+                    name, suite, STATUS_OK, rows=rows,
+                    attempts=attempts,
+                    elapsed=time.monotonic() - started,
+                )
+                break
+
+        if ctx.checkpoint_dir is not None:
+            ctx.store_checkpoint(name, outcome.payload())
+        return outcome
+
+    # -- suites ------------------------------------------------------------
+
+    def run_suite(self, names: Sequence[str]) -> List[WorkloadOutcome]:
+        """Run every workload in *names*, degrading failures to rows."""
+        outcomes: List[WorkloadOutcome] = []
+        total = len(names)
+        for i, name in enumerate(names, 1):
+            outcome = self.run_workload(name)
+            outcomes.append(outcome)
+            note = outcome.status.upper()
+            if outcome.cached:
+                note += " (checkpointed)"
+            elif outcome.attempts > 1:
+                note += f" ({outcome.attempts} attempts)"
+            self._say(
+                f"[{i}/{total}] {name}: {note} in {outcome.elapsed:.1f}s"
+            )
+        return outcomes
+
+
+class _AttemptTimeout(Exception):
+    """Internal: one attempt exceeded the wall-clock budget."""
+
+    def __init__(self, timeout: float):
+        super().__init__(f"attempt exceeded {timeout:g}s")
+        self.timeout = timeout
+
+
+# ---------------------------------------------------------------------------
+# Table assembly from per-workload fragments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One paper artifact assembled from per-workload row fragments."""
+
+    key: str
+    suite: str
+    title: str
+    headers: Dict[str, str]
+    #: "geomean" = geomean every column; "average" = geomean the
+    #: ``speedup`` column, arithmetic-mean the rest; None = no summary.
+    summary: Optional[str]
+
+
+TABLES = (
+    TableSpec(
+        "table2", "spec",
+        "Table 2 — SPEC load classes and prediction rates",
+        TABLE2_HEADERS, None,
+    ),
+    TableSpec(
+        "fig5a", "spec",
+        "Figure 5a — prediction-table-only speedup",
+        FIG5A_HEADERS, "geomean",
+    ),
+    TableSpec(
+        "fig5b", "spec",
+        "Figure 5b — early-calculation-only speedup (hardware BRIC)",
+        FIG5B_HEADERS, "geomean",
+    ),
+    TableSpec(
+        "fig5c", "spec",
+        "Figure 5c — dual-path comparison",
+        FIG5C_HEADERS, "geomean",
+    ),
+    TableSpec(
+        "table3", "spec",
+        "Table 3 — profile-guided classification (threshold 60%)",
+        TABLE3_HEADERS, "average",
+    ),
+    TableSpec(
+        "table4", "mediabench",
+        "Table 4 — MediaBench",
+        TABLE4_HEADERS, "average",
+    ),
+)
+
+
+def _summary_row(spec: TableSpec, rows: List[dict]) -> Optional[dict]:
+    if spec.summary is None or not rows:
+        return None
+    columns = [key for key in spec.headers if key != "benchmark"]
+    if spec.summary == "geomean":
+        summary = {"benchmark": "geomean"}
+        for key in columns:
+            summary[key] = _geomean([row[key] for row in rows])
+        return summary
+    summary = {"benchmark": "average"}
+    for key in columns:
+        values = [row[key] for row in rows]
+        if key == "speedup":
+            summary[key] = _geomean(values)
+        else:
+            summary[key] = sum(values) / len(values)
+    return summary
+
+
+def degraded_row(spec: TableSpec, outcome: WorkloadOutcome) -> dict:
+    """An ERROR/TIMEOUT placeholder row for a degraded workload."""
+    columns = list(spec.headers)
+    marker = outcome.status.upper()
+    row = {"benchmark": outcome.name}
+    if len(columns) > 1:
+        row[columns[1]] = marker
+    return row
+
+
+def assemble_table(
+    spec: TableSpec, outcomes: Sequence[WorkloadOutcome]
+) -> List[dict]:
+    """Rebuild one artifact's rows from per-workload outcomes."""
+    good: List[dict] = []
+    bad: List[dict] = []
+    for outcome in outcomes:
+        if outcome.suite != spec.suite:
+            continue
+        if outcome.status == STATUS_OK and spec.key in outcome.rows:
+            good.append(outcome.rows[spec.key])
+        else:
+            bad.append(degraded_row(spec, outcome))
+    rows = good + bad
+    summary = _summary_row(spec, good)
+    if summary is not None:
+        rows.append(summary)
+    return rows

@@ -7,7 +7,12 @@ in-order scoreboard timing model of the 6-stage pipeline, including both
 early-address-generation paths.
 """
 
-from repro.sim.executor import ExecResult, Executor, EmulationError
+from repro.sim.executor import (
+    EmulationError,
+    ExecResult,
+    Executor,
+    StepLimitExceeded,
+)
 from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
 from repro.sim.pipeline import TimingSimulator, simulate
 from repro.sim.stats import SimStats
@@ -21,6 +26,7 @@ __all__ = [
     "MachineConfig",
     "SelectionMode",
     "SimStats",
+    "StepLimitExceeded",
     "TimingSimulator",
     "Trace",
     "simulate",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import EmulationError, StepLimitExceeded
 from repro.isa.instruction import Imm, Instruction, Reg, Sym
 from repro.isa.opcodes import Opcode
 from repro.isa.program import CODE_BASE, Program
@@ -131,8 +132,13 @@ _KIND = {
 }
 
 
-class EmulationError(Exception):
-    """Raised on illegal execution (bad register, div-by-zero, runaway)."""
+__all__ = [
+    "EmulationError",
+    "ExecResult",
+    "Executor",
+    "StepLimitExceeded",
+    "execute",
+]
 
 
 class ExecResult:
@@ -261,9 +267,7 @@ class Executor:
 
         while 0 <= pc < ncode:
             if steps >= limit:
-                raise EmulationError(
-                    f"step limit exceeded ({limit}) at uid {pc}"
-                )
+                raise StepLimitExceeded(limit, pc, steps)
             steps += 1
             k, d, ai, av, bi, bv, ci, cv, tg = code[pc]
             uids_append(pc)

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.errors import SimulationHang
 from repro.isa.instruction import Reg as _REG_TYPE
 from repro.isa.opcodes import (
     COND_BRANCH_OPS,
@@ -65,9 +66,33 @@ from repro.sim.trace import Trace
 #: Pipeline drain after the last issue (EXE -> MEM -> WB).
 _DRAIN = 3
 
+#: Watchdog default: no single instruction may wait this many cycles to
+#: issue.  Legitimate stalls are bounded by a few cache-miss penalties
+#: (tens of cycles); anything near this bound means a wedged scoreboard.
+DEFAULT_STALL_LIMIT = 100_000
+
+#: Watchdog default cycle budget per dynamic instruction (plus a fixed
+#: grace amount); the worst legitimate CPI in this model is ~30.
+_CYCLES_PER_INSTRUCTION_BOUND = 1_000
+_CYCLE_BUDGET_GRACE = 100_000
+
 
 class TimingSimulator:
-    """Replays a trace against one machine configuration."""
+    """Replays a trace against one machine configuration.
+
+    Two watchdogs guard against a wedged scoreboard (which, before this
+    layer existed, surfaced as an apparently-hung full-scale run):
+
+    * ``max_cycles`` — total cycle budget; ``None`` derives a generous
+      bound from the trace length (1000 cycles per instruction), and
+      ``0`` disables the check.
+    * ``stall_limit`` — the most cycles a single instruction may wait
+      between becoming the oldest unissued instruction and issuing;
+      ``0`` disables the check.
+
+    Both raise :class:`~repro.errors.SimulationHang` carrying a
+    pipeline-state dump (cycle, trace index, uid, opcode, queue depths).
+    """
 
     def __init__(
         self,
@@ -75,6 +100,8 @@ class TimingSimulator:
         config: MachineConfig,
         spec_override: Optional[Dict[int, LoadSpec]] = None,
         collect_timeline: bool = False,
+        max_cycles: Optional[int] = None,
+        stall_limit: int = DEFAULT_STALL_LIMIT,
     ):
         self.trace = trace
         self.config = config
@@ -86,6 +113,25 @@ class TimingSimulator:
         #: tuple per dynamic instruction in ``SimStats.timeline`` —
         #: useful for the debug view, too heavy for experiments.
         self.collect_timeline = collect_timeline
+        if max_cycles is None:
+            max_cycles = (
+                len(trace.uids) * _CYCLES_PER_INSTRUCTION_BOUND
+                + _CYCLE_BUDGET_GRACE
+            )
+        self.max_cycles = max_cycles
+        self.stall_limit = stall_limit
+
+    def _hang_dump(self, i: int, uid: int, op, t_next: int,
+                   store_q: list) -> dict:
+        """Pipeline-state snapshot embedded in SimulationHang."""
+        return {
+            "cycle": t_next,
+            "trace_index": i,
+            "trace_length": len(self.trace.uids),
+            "uid": uid,
+            "opcode": getattr(op, "name", str(op)),
+            "pending_stores": len(store_q),
+        }
 
     # -- helpers ---------------------------------------------------------
 
@@ -161,11 +207,14 @@ class TimingSimulator:
         t_last = 0
         fp_ops = FP_ALU_OPS
         cond_ops = COND_BRANCH_OPS
+        max_cycles = self.max_cycles
+        stall_limit = self.stall_limit
 
         for i in range(n):
             uid = uids[i]
             inst = flat[uid]
             op = inst.opcode
+            t_enter = t_next
 
             # ---- instruction fetch -------------------------------------
             iblock = inst.addr >> 6
@@ -446,6 +495,17 @@ class TimingSimulator:
 
             if t_next > t_last:
                 t_last = t_next
+            if stall_limit and t_next - t_enter > stall_limit:
+                raise SimulationHang(
+                    f"no retirement for {t_next - t_enter} cycles "
+                    f"(stall limit {stall_limit})",
+                    dump=self._hang_dump(i, uid, op, t_next, store_q),
+                )
+            if max_cycles and t_next > max_cycles:
+                raise SimulationHang(
+                    f"cycle budget exceeded ({max_cycles})",
+                    dump=self._hang_dump(i, uid, op, t_next, store_q),
+                )
 
         stats.cycles = t_last + 1 + _DRAIN
         stats.scheme_counts = scheme_counts

@@ -8,6 +8,22 @@ from repro.compiler.driver import CompileResult, compile_source
 from repro.sim.executor import ExecResult, Executor
 from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Deterministic, CI-friendly property testing: a fixed seed keeps
+    # failures reproducible across runs, and a generous deadline stops
+    # slow shared runners from flaking on per-example timing.
+    settings.register_profile(
+        "repro",
+        derandomize=True,
+        deadline=1000,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    pass
+
 
 def compile_c(source: str, **kwargs) -> CompileResult:
     """Compile mini-C source with the default (paper) options."""

@@ -1,0 +1,80 @@
+"""CLI acceptance tests for the fault-isolated runner path.
+
+These exercise the ISSUE's end-to-end scenario at a small scale: with
+injected crashing and hanging workloads, the run completes every other
+row, marks the victims ERROR/TIMEOUT, exits non-zero — and a second
+invocation against the same checkpoint directory re-runs only the
+previously failed workloads.
+"""
+
+import pytest
+
+from repro.harness.main import main
+
+MEDIA_ARGS = ["--scale", "0.05", "--suite", "media"]
+
+
+def test_injected_crash_degrades_and_exits_nonzero(capsys):
+    code = main(MEDIA_ARGS + ["--inject", "adpcm_decode=crash"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out
+    assert "Degraded workloads (1/13)" in out
+    assert "InjectedFault" in out
+    # Every other workload still produced a real row.
+    assert "gsm_decode" in out
+    assert "average" in out
+
+
+def test_injected_hang_times_out(capsys):
+    code = main(
+        MEDIA_ARGS
+        + ["--timeout", "3", "--inject", "adpcm_decode=hang"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "TIMEOUT" in out
+    assert "Degraded workloads (1/13)" in out
+
+
+def test_checkpoint_resume_reruns_only_failures(tmp_path, capsys):
+    ckpt = str(tmp_path)
+    assert main(
+        MEDIA_ARGS
+        + ["--checkpoint-dir", ckpt, "--inject", "adpcm_decode=crash"]
+    ) == 1
+    capsys.readouterr()
+
+    # Without the injected fault, the resume run recovers and exits 0.
+    assert main(MEDIA_ARGS + ["--checkpoint-dir", ckpt]) == 0
+    err = capsys.readouterr().err
+    assert err.count("checkpointed") == 12
+    assert "[1/13] adpcm_decode: OK" in err
+
+
+def test_retries_recover_flaky_workload(capsys):
+    code = main(
+        MEDIA_ARGS
+        + [
+            "--retries", "2",
+            "--backoff", "0",
+            "--inject", "adpcm_decode=flaky:2",
+        ]
+    )
+    assert code == 0
+    assert "3 attempts" in capsys.readouterr().err
+
+
+def test_corrupt_ir_is_pinned_on_the_pass(capsys):
+    code = main(MEDIA_ARGS + ["--inject", "adpcm_decode=corrupt-ir"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "IRVerificationError" in out
+    assert "constant_propagation" in out
+
+
+def test_bad_inject_spec_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(MEDIA_ARGS + ["--inject", "bogus"])
+    with pytest.raises(SystemExit):
+        main(MEDIA_ARGS + ["--inject", "adpcm_decode=explode"])

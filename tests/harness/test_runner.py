@@ -1,0 +1,234 @@
+"""Fault-isolated runner: degradation, retries, timeout, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.harness.experiments import CHECKPOINT_SCHEMA, ExperimentContext
+from repro.harness.faults import FaultInjector
+from repro.harness.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    TABLES,
+    RunnerConfig,
+    WorkloadOutcome,
+    WorkloadRunner,
+    assemble_table,
+    compute_rows,
+)
+
+SPEC = "023.eqntott"
+MEDIA = "adpcm_decode"
+SCALE = 0.05
+
+
+def make_runner(tmp_path=None, injector=None, **cfg):
+    ctx = ExperimentContext(
+        scale=SCALE,
+        checkpoint_dir=tmp_path,
+        fault_injector=injector,
+    )
+    return WorkloadRunner(ctx, RunnerConfig(**cfg))
+
+
+# -- FaultInjector ---------------------------------------------------------
+
+def test_parse_rejects_malformed_entries():
+    with pytest.raises(ValueError, match="WORKLOAD=MODE"):
+        FaultInjector.parse(["no-equals-sign"])
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultInjector.parse([f"{SPEC}=explode"])
+
+
+def test_flaky_requires_positive_count():
+    with pytest.raises(ValueError, match="N >= 1"):
+        FaultInjector().add(SPEC, "flaky:0")
+
+
+def test_crash_fires_every_attempt():
+    injector = FaultInjector.parse([f"{SPEC}=crash"])
+    for _ in range(3):
+        with pytest.raises(InjectedFault, match="injected crash"):
+            injector.fire(SPEC)
+    injector.fire("other")  # unconfigured workloads are untouched
+
+
+def test_flaky_succeeds_after_n_failures():
+    injector = FaultInjector().add(SPEC, "flaky:2")
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            injector.fire(SPEC)
+    injector.fire(SPEC)  # third attempt passes
+
+
+# -- degradation and retries ----------------------------------------------
+
+def test_successful_workload():
+    outcome = make_runner().run_workload(MEDIA)
+    assert outcome.status == STATUS_OK
+    assert outcome.suite == "mediabench"
+    assert outcome.attempts == 1
+    assert not outcome.degraded
+    assert outcome.rows["table4"]["benchmark"] == MEDIA
+    assert outcome.rows["table4"]["speedup"] > 0
+
+
+def test_spec_workload_produces_all_five_fragments():
+    rows = compute_rows(ExperimentContext(scale=SCALE), SPEC)
+    assert set(rows) == {"table2", "fig5a", "fig5b", "fig5c", "table3"}
+    for row in rows.values():
+        assert row["benchmark"] == SPEC
+
+
+def test_crash_degrades_to_error_row():
+    injector = FaultInjector().add(MEDIA, "crash")
+    outcome = make_runner(injector=injector).run_workload(MEDIA)
+    assert outcome.status == STATUS_ERROR
+    assert outcome.degraded
+    assert outcome.error_type == "InjectedFault"
+    assert MEDIA in outcome.error  # workload context attached
+
+
+def test_flaky_workload_recovers_with_retries():
+    injector = FaultInjector().add(MEDIA, "flaky:2")
+    runner = make_runner(injector=injector, retries=2, backoff=0.0)
+    outcome = runner.run_workload(MEDIA)
+    assert outcome.status == STATUS_OK
+    assert outcome.attempts == 3
+
+
+def test_retries_exhausted_degrades():
+    injector = FaultInjector().add(MEDIA, "flaky:5")
+    runner = make_runner(injector=injector, retries=1, backoff=0.0)
+    outcome = runner.run_workload(MEDIA)
+    assert outcome.status == STATUS_ERROR
+    assert outcome.attempts == 2
+
+
+def test_hang_degrades_to_timeout_without_retry():
+    injector = FaultInjector().add(MEDIA, "hang")
+    runner = make_runner(injector=injector, timeout=0.2, retries=3)
+    outcome = runner.run_workload(MEDIA)
+    assert outcome.status == STATUS_TIMEOUT
+    assert outcome.attempts == 1  # timeouts are not retried
+    assert injector.stop_event.is_set()  # abandoned worker was released
+
+
+def test_corrupt_output_degrades_with_mismatch():
+    injector = FaultInjector().add(MEDIA, "corrupt-output")
+    outcome = make_runner(injector=injector).run_workload(MEDIA)
+    assert outcome.status == STATUS_ERROR
+    assert outcome.error_type == "OutputMismatchError"
+
+
+def test_corrupt_ir_degrades_naming_the_pass():
+    injector = FaultInjector().add(MEDIA, "corrupt-ir")
+    outcome = make_runner(injector=injector).run_workload(MEDIA)
+    assert outcome.status == STATUS_ERROR
+    assert outcome.error_type == "IRVerificationError"
+    assert "constant_propagation" in outcome.error
+
+
+def test_bad_config_rejected():
+    with pytest.raises(ValueError):
+        RunnerConfig(timeout=-1)
+
+
+# -- checkpoint/resume -----------------------------------------------------
+
+def test_checkpoint_written_and_resumed(tmp_path):
+    outcome = make_runner(tmp_path).run_workload(MEDIA)
+    assert not outcome.cached
+    path = tmp_path / f"{MEDIA}.json"
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == CHECKPOINT_SCHEMA
+    assert payload["status"] == STATUS_OK
+
+    # A fresh runner (fresh context) resumes from the file.
+    resumed = make_runner(tmp_path).run_workload(MEDIA)
+    assert resumed.cached
+    assert resumed.rows == outcome.rows
+
+
+def test_failed_workload_is_rerun_on_resume(tmp_path):
+    injector = FaultInjector().add(MEDIA, "crash")
+    first = make_runner(tmp_path, injector=injector).run_workload(MEDIA)
+    assert first.status == STATUS_ERROR
+
+    # Second run without the fault recomputes and overwrites.
+    second = make_runner(tmp_path).run_workload(MEDIA)
+    assert not second.cached
+    assert second.status == STATUS_OK
+    payload = json.loads((tmp_path / f"{MEDIA}.json").read_text())
+    assert payload["status"] == STATUS_OK
+
+
+def test_checkpoint_ignored_on_scale_change(tmp_path):
+    make_runner(tmp_path).run_workload(MEDIA)
+    ctx = ExperimentContext(scale=0.07, checkpoint_dir=tmp_path)
+    outcome = WorkloadRunner(ctx).run_workload(MEDIA)
+    assert not outcome.cached
+
+
+def test_corrupt_checkpoint_ignored(tmp_path):
+    (tmp_path / f"{MEDIA}.json").write_text("{not json")
+    outcome = make_runner(tmp_path).run_workload(MEDIA)
+    assert not outcome.cached
+    assert outcome.status == STATUS_OK
+
+
+def test_run_suite_isolates_failures(tmp_path):
+    injector = FaultInjector().add(MEDIA, "crash")
+    runner = make_runner(tmp_path, injector=injector)
+    outcomes = runner.run_suite([MEDIA, "adpcm_encode"])
+    assert [o.status for o in outcomes] == [STATUS_ERROR, STATUS_OK]
+
+
+# -- table assembly --------------------------------------------------------
+
+def media_spec():
+    (spec,) = [t for t in TABLES if t.key == "table4"]
+    return spec
+
+
+def test_assemble_table_appends_degraded_and_summary():
+    ok = WorkloadOutcome(
+        "adpcm_encode", "mediabench", STATUS_OK,
+        rows={"table4": {
+            "benchmark": "adpcm_encode", "dyn_loads": 10, "static_nt": 1.0,
+            "static_pd": 2.0, "static_ec": 3.0, "dyn_nt": 4.0,
+            "dyn_pd": 5.0, "dyn_ec": 6.0, "rate_nt": 7.0, "rate_pd": 8.0,
+            "speedup": 1.5,
+        }},
+    )
+    bad = WorkloadOutcome(MEDIA, "mediabench", STATUS_TIMEOUT)
+    rows = assemble_table(media_spec(), [ok, bad])
+    assert [r["benchmark"] for r in rows] == [
+        "adpcm_encode", MEDIA, "average",
+    ]
+    assert rows[1]["dyn_loads"] == "TIMEOUT"
+    # Summary computed over successes only.
+    assert rows[2]["speedup"] == pytest.approx(1.5)
+
+
+def test_assemble_table_skips_other_suites():
+    outcome = WorkloadOutcome(SPEC, "spec", STATUS_ERROR)
+    assert assemble_table(media_spec(), [outcome]) == []
+
+
+def test_outcome_payload_round_trip():
+    outcome = WorkloadOutcome(
+        MEDIA, "mediabench", STATUS_ERROR,
+        error="boom", error_type="RuntimeError", attempts=2, elapsed=1.25,
+    )
+    restored = WorkloadOutcome.from_payload(MEDIA, outcome.payload())
+    assert restored.cached
+    assert restored.status == STATUS_ERROR
+    assert restored.error == "boom"
+    assert restored.attempts == 2

@@ -1,0 +1,146 @@
+"""EmulationError paths of the functional emulator.
+
+Every illegal-execution condition must surface as an
+:class:`~repro.errors.EmulationError` (or a subclass) with enough
+context for the harness to degrade the workload into an ERROR row.
+"""
+
+import pytest
+
+from repro.errors import EmulationError, ReproError, StepLimitExceeded
+from repro.isa import Function, Imm, Instruction, Opcode, Program, Reg
+from repro.sim.executor import Executor, execute
+
+
+def build(items):
+    p = Program()
+    f = Function("main")
+    for item in items:
+        f.append(item)
+    p.add_function(f)
+    p.layout()
+    return p
+
+
+def I(op, dest=None, srcs=(), target=None):  # noqa: E743
+    return Instruction(op, dest, srcs, target)
+
+
+def test_division_by_zero():
+    program = build(
+        [
+            I(Opcode.MOV, Reg(1), [Imm(7)]),
+            I(Opcode.DIV, Reg(2), [Reg(1), Imm(0)]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="division by zero"):
+        execute(program)
+
+
+def test_remainder_by_zero():
+    program = build(
+        [
+            I(Opcode.REM, Reg(2), [Imm(7), Imm(0)]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="division by zero"):
+        execute(program)
+
+
+def test_fp_division_by_zero():
+    program = build(
+        [
+            I(Opcode.FDIV, Reg(1, bank="fp"),
+              [Reg(2, bank="fp"), Reg(3, bank="fp")]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="fp division by zero"):
+        execute(program)
+
+
+def test_load_out_of_range():
+    program = build(
+        [
+            I(Opcode.MOV, Reg(1), [Imm(-5000)]),
+            I(Opcode.LD, Reg(2), [Reg(1), Imm(0)]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="load out of range"):
+        execute(program)
+
+
+def test_store_out_of_range():
+    program = build(
+        [
+            I(Opcode.MOV, Reg(1), [Imm(1 << 30)]),
+            I(Opcode.ST, None, [Imm(1), Reg(1), Imm(0)]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="store out of range"):
+        execute(program)
+
+
+def test_virtual_register_rejected_at_precompile():
+    program = build(
+        [
+            I(Opcode.MOV, Reg(1, virtual=True), [Imm(1)]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="virtual register"):
+        Executor(program)
+
+
+def test_bad_operand_rejected_at_precompile():
+    program = build(
+        [
+            I(Opcode.MOV, Reg(1), ["not-an-operand"]),
+            I(Opcode.HALT),
+        ]
+    )
+    with pytest.raises(EmulationError, match="bad operand"):
+        Executor(program)
+
+
+def test_empty_program():
+    p = Program()
+    p.add_function(Function("main"))
+    p.layout()
+    with pytest.raises(EmulationError, match="empty program"):
+        execute(p)
+
+
+def test_step_limit_raises_subclass_with_context():
+    # JMP back to the function label: an intentional infinite loop.
+    program = build([I(Opcode.JMP, target="main")])
+    with pytest.raises(StepLimitExceeded) as info:
+        Executor(program).run(max_steps=100)
+    err = info.value
+    assert isinstance(err, EmulationError)
+    assert isinstance(err, ReproError)
+    assert err.limit == 100
+    assert err.steps == 100
+    assert err.last_pc == 0
+    assert "step limit exceeded" in str(err)
+    assert "pc=0" in str(err)
+
+
+def test_step_limit_constructor_budget():
+    program = build([I(Opcode.JMP, target="main")])
+    with pytest.raises(StepLimitExceeded):
+        Executor(program, max_steps=50).run()
+
+
+def test_generous_limit_does_not_trip():
+    program = build(
+        [
+            I(Opcode.OUT, None, [Imm(3)]),
+            I(Opcode.HALT),
+        ]
+    )
+    assert Executor(program).run(max_steps=10).output == [3]

@@ -1,0 +1,61 @@
+"""Timing-simulator watchdogs: SimulationHang with pipeline-state dump."""
+
+import pytest
+
+from repro.errors import ReproError, SimulationHang
+from repro.sim.machine import MachineConfig
+from repro.sim.pipeline import TimingSimulator
+from tests.conftest import run_c
+
+SOURCE = """
+int main() {
+    int a[64];
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 64; i = i + 1) { a[i] = i; }
+    for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_c(SOURCE).trace
+
+
+def test_default_budget_scales_with_trace(trace):
+    sim = TimingSimulator(trace, MachineConfig())
+    assert sim.max_cycles > len(trace.uids)
+    # A normal run fits comfortably inside the derived budget.
+    assert sim.run().cycles < sim.max_cycles
+
+
+def test_cycle_budget_exceeded_raises_hang(trace):
+    sim = TimingSimulator(trace, MachineConfig(), max_cycles=10)
+    with pytest.raises(SimulationHang) as info:
+        sim.run()
+    err = info.value
+    assert isinstance(err, ReproError)
+    assert "cycle budget exceeded" in str(err)
+    # The dump localizes the wedge: cycle, position in the trace, opcode.
+    assert err.dump["cycle"] > 10
+    assert 0 <= err.dump["trace_index"] < err.dump["trace_length"]
+    assert err.dump["uid"] == trace.uids[err.dump["trace_index"]]
+    assert isinstance(err.dump["opcode"], str)
+    assert "pipeline state" in str(err)
+
+
+def test_stall_limit_raises_hang(trace):
+    # A 1-cycle stall budget trips on the first multi-cycle instruction.
+    sim = TimingSimulator(trace, MachineConfig(), stall_limit=1)
+    with pytest.raises(SimulationHang, match="no retirement"):
+        sim.run()
+
+
+def test_zero_disables_both_watchdogs(trace):
+    sim = TimingSimulator(trace, MachineConfig(), max_cycles=0, stall_limit=0)
+    reference = TimingSimulator(trace, MachineConfig()).run()
+    assert sim.run().cycles == reference.cycles
