@@ -64,18 +64,24 @@ class CFG:
             blocks.append(block)
             return block
 
+        # ``ended`` tracks whether the last instruction appended to
+        # ``current`` was a terminator, saving a property probe per
+        # instruction in this hot constructor.
+        ended = False
         for item in self.func.body:
             if isinstance(item, Label):
                 # A label starts a new block unless the current one is
                 # still empty (consecutive labels share a block).
                 if current.instrs:
                     current = fresh()
+                    ended = False
                 current.labels.append(item.name)
                 self.label_block[item.name] = current.index
             else:
-                if current.terminator is not None:
+                if ended:
                     current = fresh()
                 current.instrs.append(item)
+                ended = item.opcode in _BLOCK_TERMINATORS
 
         # Edges.
         for block in blocks:

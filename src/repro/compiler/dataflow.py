@@ -84,7 +84,13 @@ class Liveness:
                 for succ in block.succs:
                     out |= self.live_in[succ]
                 new_in = self.use[index] | (out - self.defined[index])
-                if out != self.live_out[index] or new_in != self.live_in[index]:
+                # Liveness is monotone from empty sets: out ⊇ live_out
+                # and new_in ⊇ live_in always hold, so a length compare
+                # decides equality without walking the elements.
+                if (
+                    len(out) != len(self.live_out[index])
+                    or len(new_in) != len(self.live_in[index])
+                ):
                     self.live_out[index] = out
                     self.live_in[index] = new_in
                     changed = True

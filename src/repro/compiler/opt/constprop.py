@@ -57,20 +57,27 @@ def _transfer(inst: Instruction, env: Dict[RegKey, object]) -> None:
     env[key] = _NAC
 
 
-def _meet(a: Dict[RegKey, object], b: Dict[RegKey, object]) -> Dict[RegKey, object]:
-    out: Dict[RegKey, object] = {}
-    for key, value in a.items():
-        other = b.get(key)
-        if other is None:
-            out[key] = value  # unknown on the other path: keep
-        elif other is _NAC or value is _NAC or other != value:
-            out[key] = _NAC
+def _meet_into(target: Dict[RegKey, object], other: Dict[RegKey, object]) -> bool:
+    """Meet *other* into *target* in place; True if *target* changed.
+
+    Keys absent from *other* are unknown on that path and keep their
+    *target* value, so only *other*'s entries need visiting — the
+    common case (identical environments) touches no dict beyond the
+    lookups.
+    """
+    changed = False
+    get = target.get
+    for key, value in other.items():
+        current = get(key)
+        if current is None:
+            target[key] = value  # unknown on the target path: take
+            changed = True
+        elif current is _NAC or current == value:
+            continue
         else:
-            out[key] = value
-    for key, value in b.items():
-        if key not in a:
-            out[key] = value
-    return out
+            target[key] = _NAC
+            changed = True
+    return changed
 
 
 def constant_propagation(fir: FuncIR) -> bool:
@@ -96,11 +103,8 @@ def constant_propagation(fir: FuncIR) -> bool:
                 if in_env[succ] is None:
                     in_env[succ] = dict(out)
                     changed = True
-                else:
-                    merged = _meet(in_env[succ], out)
-                    if merged != in_env[succ]:
-                        in_env[succ] = merged
-                        changed = True
+                elif _meet_into(in_env[succ], out):
+                    changed = True
 
     # Rewrite pass.
     rewrote = False

@@ -38,7 +38,6 @@ from repro.errors import IRVerificationError
 from repro.isa.instruction import Imm, Instruction, Reg, Sym
 from repro.isa.opcodes import (
     COND_BRANCH_OPS,
-    LOAD_OPS,
     LoadSpec,
     Opcode,
 )
@@ -78,6 +77,53 @@ _FP_BINOPS = frozenset(
 
 #: FP compares: integer destination, two FP register sources.
 _FP_COMPARES = frozenset({Opcode.FCMPEQ, Opcode.FCMPLT, Opcode.FCMPLE})
+
+# Operand-shape classes.  The verifier runs between every pass over
+# every instruction, so per-opcode dispatch must not probe half a dozen
+# frozensets (each membership test hashes the enum); instead each opcode
+# maps once to ``(shape, dest_bank, arity, is_load)`` and the checks
+# branch on the small-int shape.
+(
+    _S_INT2,   # two int-register-or-constant sources
+    _S_INT1,   # one int-register-or-constant source
+    _S_LEA,    # one data-symbol source
+    _S_MEM_LD, # load: int base + displacement
+    _S_ST,     # store: int value + int base + displacement
+    _S_FST,    # store: FP value + int base + displacement
+    _S_CBR,    # conditional branch: two int values + target
+    _S_TGT,    # jmp/call: no sources, target required
+    _S_NONE,   # ret/halt/nop: no operands at all
+    _S_FP2,    # two FP-register sources
+    _S_FP1,    # one FP-register source
+) = range(11)
+
+_SHAPES = {}
+for _op in _INT_BINOPS:
+    _SHAPES[_op] = (_S_INT2, "int", 2, False)
+for _op in (Opcode.MOV, Opcode.CVTIF):
+    _SHAPES[_op] = (_S_INT1, "int" if _op is Opcode.MOV else "fp", 1, False)
+for _op in (Opcode.OUT, Opcode.OUTC):
+    _SHAPES[_op] = (_S_INT1, None, 1, False)
+_SHAPES[Opcode.LEA] = (_S_LEA, "int", 1, False)
+_SHAPES[Opcode.LD] = (_S_MEM_LD, "int", 2, True)
+_SHAPES[Opcode.LDB] = (_S_MEM_LD, "int", 2, True)
+_SHAPES[Opcode.FLD] = (_S_MEM_LD, "fp", 2, True)
+_SHAPES[Opcode.ST] = (_S_ST, None, 3, False)
+_SHAPES[Opcode.STB] = (_S_ST, None, 3, False)
+_SHAPES[Opcode.FST] = (_S_FST, None, 3, False)
+for _op in COND_BRANCH_OPS:
+    _SHAPES[_op] = (_S_CBR, None, 2, False)
+for _op in (Opcode.JMP, Opcode.CALL):
+    _SHAPES[_op] = (_S_TGT, None, 0, False)
+for _op in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+    _SHAPES[_op] = (_S_NONE, None, 0, False)
+for _op in _FP_BINOPS:
+    _SHAPES[_op] = (_S_FP2, "fp", 2, False)
+for _op in _FP_COMPARES:
+    _SHAPES[_op] = (_S_FP2, "int", 2, False)
+_SHAPES[Opcode.FMOV] = (_S_FP1, "fp", 1, False)
+_SHAPES[Opcode.CVTFI] = (_S_FP1, "int", 1, False)
+del _op
 
 
 def _fail(message: str, *, func: str, pass_name: Optional[str],
@@ -131,45 +177,30 @@ def _check_operands(inst: Instruction, func: str,
                     pass_name: Optional[str]) -> None:
     """Per-opcode operand-shape legality."""
     op = inst.opcode
+    shape = _SHAPES.get(op)
+    if shape is None:  # pragma: no cover - _SHAPES covers every Opcode
+        _fail(
+            f"unknown opcode {op!r}",
+            func=func, pass_name=pass_name, inst=inst,
+        )
+    kind, bank, arity, _ = shape
+    _check_dest(inst, bank, func, pass_name)
     srcs = inst.srcs
+    if len(srcs) != arity:
+        _fail(
+            f"{op.value} expects {arity} source operand(s), "
+            f"got {len(srcs)}",
+            func=func, pass_name=pass_name, inst=inst,
+        )
 
-    def need(count: int) -> None:
-        if len(srcs) != count:
-            _fail(
-                f"{op.value} expects {count} source operand(s), "
-                f"got {len(srcs)}",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-
-    if op in _INT_BINOPS:
-        _check_dest(inst, "int", func, pass_name)
-        need(2)
-        if not all(_is_int_value(s) for s in srcs):
+    if kind == _S_INT2:
+        if not (_is_int_value(srcs[0]) and _is_int_value(srcs[1])):
             _fail(
                 f"{op.value} sources must be integer registers or "
                 "constants",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op is Opcode.MOV:
-        _check_dest(inst, "int", func, pass_name)
-        need(1)
-        if not _is_int_value(srcs[0]):
-            _fail(
-                "mov source must be an integer register or constant",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    elif op is Opcode.LEA:
-        _check_dest(inst, "int", func, pass_name)
-        need(1)
-        if not isinstance(srcs[0], Sym):
-            _fail(
-                "lea source must be a data-segment symbol",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    elif op in (Opcode.LD, Opcode.LDB, Opcode.FLD):
-        _check_dest(inst, "fp" if op is Opcode.FLD else "int",
-                    func, pass_name)
-        need(2)
+    elif kind == _S_MEM_LD:
         if not _is_int_reg(srcs[0]):
             _fail(
                 f"{op.value} base must be an integer register",
@@ -181,11 +212,9 @@ def _check_operands(inst: Instruction, func: str,
                 "integer register",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op in (Opcode.ST, Opcode.STB, Opcode.FST):
-        _check_dest(inst, None, func, pass_name)
-        need(3)
+    elif kind == _S_ST or kind == _S_FST:
         value = srcs[0]
-        if op is Opcode.FST:
+        if kind == _S_FST:
             if not _is_fp_reg(value):
                 _fail(
                     "fst value must be an FP register",
@@ -208,10 +237,8 @@ def _check_operands(inst: Instruction, func: str,
                 "integer register",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op in COND_BRANCH_OPS:
-        _check_dest(inst, None, func, pass_name)
-        need(2)
-        if not all(_is_int_value(s) for s in srcs):
+    elif kind == _S_CBR:
+        if not (_is_int_value(srcs[0]) and _is_int_value(srcs[1])):
             _fail(
                 f"{op.value} operands must be integer registers or "
                 "constants",
@@ -222,90 +249,64 @@ def _check_operands(inst: Instruction, func: str,
                 f"{op.value} must have a target",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op in (Opcode.JMP, Opcode.CALL):
-        _check_dest(inst, None, func, pass_name)
-        need(0)
-        if inst.target is None:
-            _fail(
-                f"{op.value} must have a target",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    elif op in (Opcode.RET, Opcode.HALT, Opcode.NOP):
-        _check_dest(inst, None, func, pass_name)
-        need(0)
-    elif op in (Opcode.OUT, Opcode.OUTC):
-        _check_dest(inst, None, func, pass_name)
-        need(1)
+    elif kind == _S_INT1:
         if not _is_int_value(srcs[0]):
             _fail(
                 f"{op.value} source must be an integer register or "
                 "constant",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op in _FP_BINOPS:
-        _check_dest(inst, "fp", func, pass_name)
-        need(2)
-        if not all(_is_fp_reg(s) for s in srcs):
+    elif kind == _S_LEA:
+        if not isinstance(srcs[0], Sym):
+            _fail(
+                "lea source must be a data-segment symbol",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif kind == _S_TGT:
+        if inst.target is None:
+            _fail(
+                f"{op.value} must have a target",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+    elif kind == _S_FP2:
+        if not (_is_fp_reg(srcs[0]) and _is_fp_reg(srcs[1])):
             _fail(
                 f"{op.value} sources must be FP registers",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op is Opcode.FMOV:
-        _check_dest(inst, "fp", func, pass_name)
-        need(1)
+    elif kind == _S_FP1:
         if not _is_fp_reg(srcs[0]):
             _fail(
-                "fmov source must be an FP register",
+                f"{op.value} source must be an FP register",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif op in _FP_COMPARES:
-        _check_dest(inst, "int", func, pass_name)
-        need(2)
-        if not all(_is_fp_reg(s) for s in srcs):
-            _fail(
-                f"{op.value} sources must be FP registers",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    elif op is Opcode.CVTIF:
-        _check_dest(inst, "fp", func, pass_name)
-        need(1)
-        if not _is_int_value(srcs[0]):
-            _fail(
-                "cvtif source must be an integer register or constant",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    elif op is Opcode.CVTFI:
-        _check_dest(inst, "int", func, pass_name)
-        need(1)
-        if not _is_fp_reg(srcs[0]):
-            _fail(
-                "cvtfi source must be an FP register",
-                func=func, pass_name=pass_name, inst=inst,
-            )
-    else:  # pragma: no cover - every Opcode is handled above
-        _fail(
-            f"unknown opcode {op!r}",
-            func=func, pass_name=pass_name, inst=inst,
-        )
+    # _S_NONE: dest and arity checks above are the whole contract.
 
 
 def _check_load_spec(inst: Instruction, func: str,
                      pass_name: Optional[str]) -> None:
-    if not isinstance(inst.lspec, LoadSpec):
-        _fail(
-            f"bad load-spec {inst.lspec!r}",
-            func=func, pass_name=pass_name, inst=inst,
-        )
-    if inst.opcode in LOAD_OPS:
-        if inst.lspec is LoadSpec.E and not inst.is_reg_offset:
+    lspec = inst.lspec
+    shape = _SHAPES.get(inst.opcode)
+    if shape is not None and shape[3]:  # load opcodes
+        if not isinstance(lspec, LoadSpec):
+            _fail(
+                f"bad load-spec {lspec!r}",
+                func=func, pass_name=pass_name, inst=inst,
+            )
+        if lspec is LoadSpec.E and not inst.is_reg_offset:
             _fail(
                 "ld_e requires base+offset addressing "
                 "(R_addr caches only the base register)",
                 func=func, pass_name=pass_name, inst=inst,
             )
-    elif inst.lspec is not LoadSpec.N:
+    elif lspec is not LoadSpec.N:
+        if not isinstance(lspec, LoadSpec):
+            _fail(
+                f"bad load-spec {lspec!r}",
+                func=func, pass_name=pass_name, inst=inst,
+            )
         _fail(
-            f"non-load carries load-spec {inst.lspec.value!r}",
+            f"non-load carries load-spec {lspec.value!r}",
             func=func, pass_name=pass_name, inst=inst,
         )
 
@@ -412,7 +413,17 @@ def _check_def_before_use(cfg: CFG, func_name: str,
                     continue
                 new_in = set.intersection(*reached)
             new_out = new_in | gen[index]
-            if new_in != ins[index] or new_out != outs[index]:
+            # Must-define is monotone decreasing from top (None): once a
+            # block is reached its in/out sets only shrink as more
+            # predecessors join the intersection, so new_in ⊆ ins[index]
+            # and a length compare decides equality.
+            old_in, old_out = ins[index], outs[index]
+            if (
+                old_in is None
+                or old_out is None
+                or len(new_in) != len(old_in)
+                or len(new_out) != len(old_out)
+            ):
                 ins[index] = new_in
                 outs[index] = new_out
                 changed = True

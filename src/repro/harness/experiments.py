@@ -243,6 +243,67 @@ def _geomean(values: List[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+# ---------------------------------------------------------------------------
+# Simulation plan
+# ---------------------------------------------------------------------------
+
+#: Prediction-table sweep of Figure 5a (see :func:`fig5a`).
+FIG5A_TABLE_SIZES = (4, 16, 64, 128, 256)
+#: Cached-register sweep of Figure 5b (see :func:`fig5b`).
+FIG5B_REG_COUNTS = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One independent timing-simulator run of a workload's trace.
+
+    ``cache_key`` mirrors the ``cache_key`` argument of
+    :meth:`ExperimentContext.sim`; ``use_profile_override`` marks the
+    profile-guided runs that replay with Section 4.3 reclassification
+    (the override map itself is derived from the workload's trace).
+    """
+
+    earlygen: EarlyGenConfig
+    cache_key: Optional[str] = None
+    use_profile_override: bool = False
+
+
+def sim_requests(suite: str) -> List[SimRequest]:
+    """Every :class:`EarlyGenConfig` replay a suite's row fragments need.
+
+    The list is deduplicated and ordered; it does not include the
+    no-early-generation baseline run (see
+    :meth:`ExperimentContext.baseline_stats`).  The experiment drivers
+    remain the source of truth for the row *values* — this plan only
+    enumerates which independent sims they will request, so a scheduler
+    can fan them out and pre-populate the context cache.  A plan miss is
+    harmless: the context falls back to simulating inline.
+    """
+    requests: Dict[tuple, SimRequest] = {}
+
+    def add(earlygen, cache_key=None, use_profile_override=False):
+        key = (earlygen, cache_key)
+        if key not in requests:
+            requests[key] = SimRequest(earlygen, cache_key,
+                                       use_profile_override)
+
+    if suite == "spec":
+        for size in FIG5A_TABLE_SIZES:
+            add(EarlyGenConfig(size, 0, SelectionMode.HARDWARE))
+            add(EarlyGenConfig(size, 0, SelectionMode.COMPILER))
+        for count in FIG5B_REG_COUNTS:
+            add(EarlyGenConfig(0, count, SelectionMode.HARDWARE))
+        add(EarlyGenConfig(256, 1, SelectionMode.HARDWARE))
+        add(EarlyGenConfig(256, 1, SelectionMode.COMPILER))
+        add(EarlyGenConfig(256, 1, SelectionMode.COMPILER),
+            cache_key="profile", use_profile_override=True)
+    elif suite == "mediabench":
+        add(EarlyGenConfig(256, 1, SelectionMode.COMPILER))
+    else:
+        raise ValueError(f"unknown suite {suite!r}")
+    return list(requests.values())
+
+
 def _spec_names(names: Optional[List[str]]) -> List[str]:
     return names if names is not None else workload_names("spec")
 
@@ -295,7 +356,7 @@ def table2(
 def fig5a(
     ctx: ExperimentContext,
     names: Optional[List[str]] = None,
-    table_sizes: tuple = (4, 16, 64, 128, 256),
+    table_sizes: tuple = FIG5A_TABLE_SIZES,
 ) -> List[dict]:
     """Speedup with only the prediction table, hw-only vs compiler.
 
@@ -337,7 +398,7 @@ def fig5a(
 def fig5b(
     ctx: ExperimentContext,
     names: Optional[List[str]] = None,
-    reg_counts: tuple = (4, 8, 16),
+    reg_counts: tuple = FIG5B_REG_COUNTS,
 ) -> List[dict]:
     """Speedup with only the BRIC-style register cache (hardware-only)."""
     rows = []

@@ -71,6 +71,19 @@ class FaultInjector:
         #: ``hang`` loop exits instead of leaking a spinning thread.
         self.stop_event = threading.Event()
 
+    def __getstate__(self) -> dict:
+        # The injector crosses process boundaries when attempts run in
+        # worker processes.  ``threading.Event`` does not pickle; each
+        # process gets its own event (a hanging child is killed by the
+        # parent's deadline, not released through the event).
+        state = self.__dict__.copy()
+        state["stop_event"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.stop_event = threading.Event()
+
     # -- construction ------------------------------------------------------
 
     @classmethod
@@ -111,8 +124,15 @@ class FaultInjector:
 
     # -- attempt-start faults ---------------------------------------------
 
-    def fire(self, workload: str) -> None:
-        """Apply crash/flaky/hang faults at the start of an attempt."""
+    def fire(self, workload: str, attempt: Optional[int] = None) -> None:
+        """Apply crash/flaky/hang faults at the start of an attempt.
+
+        ``attempt`` is the 1-based attempt number.  When omitted the
+        injector counts attempts itself (the original in-process
+        behavior); callers that run attempts in worker processes must
+        pass it explicitly, because a child's copy of the injector
+        cannot advance the parent's counters.
+        """
         fault = self._faults.get(workload)
         if fault is None:
             return
@@ -121,8 +141,9 @@ class FaultInjector:
                 "injected crash", workload=workload
             )
         if fault.mode == "flaky":
-            attempt = self._attempts.get(workload, 0) + 1
-            self._attempts[workload] = attempt
+            if attempt is None:
+                attempt = self._attempts.get(workload, 0) + 1
+                self._attempts[workload] = attempt
             if attempt <= int(fault.arg):
                 raise InjectedFault(
                     f"injected transient failure (attempt {attempt})",
@@ -133,6 +154,19 @@ class FaultInjector:
             # worker thread parks here instead of spinning, then dies.
             self.stop_event.wait()
             raise InjectedFault("injected hang", workload=workload)
+
+    def prime(self, workload: str, attempt: int) -> None:
+        """Restore attempt-dependent state in a fresh process copy.
+
+        ``corrupt-ir`` fires once: the first attempt that reaches the
+        target pass corrupts it and sets ``fired``, so in-process
+        retries recompile cleanly.  A retry running in a new worker
+        process starts from an unfired copy; priming with the attempt
+        number reproduces the sticky flag.
+        """
+        fault = self._faults.get(workload)
+        if fault is not None and fault.mode == "corrupt-ir":
+            fault.fired = attempt > 1
 
     # -- compile-time faults ----------------------------------------------
 

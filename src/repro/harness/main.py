@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.harness.main [--scale 1.0] [--suite all|spec|media]
-                                 [--timeout SECS] [--retries N]
-                                 [--checkpoint-dir DIR]
+                                 [--jobs N] [--timeout SECS] [--retries N]
+                                 [--checkpoint-dir DIR] [--profile]
                                  [--inject WORKLOAD=MODE]...
 
 Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
@@ -13,7 +13,10 @@ configuration recorded in EXPERIMENTS.md.
 Workloads run under the fault-isolated :class:`WorkloadRunner`: a
 crashing or hanging workload degrades to an ERROR/TIMEOUT row instead of
 aborting the run, and the exit status is non-zero whenever any row
-degraded.  With ``--checkpoint-dir`` a re-invocation skips workloads
+degraded.  ``--jobs N`` fans workloads and their per-config timing
+replays across N worker processes with identical output; ``--profile``
+re-runs the slowest workload under cProfile and writes the top
+cumulative entries next to the checkpoint directory.  With ``--checkpoint-dir`` a re-invocation skips workloads
 that already completed and re-runs only the failed ones.  ``--inject``
 plants deterministic faults (crash, hang, flaky:N, corrupt-ir,
 corrupt-output) for exercising that machinery end to end.
@@ -62,6 +65,50 @@ _SUITES = {
 }
 
 
+def _write_profile(args, outcomes) -> None:
+    """cProfile the slowest freshly-computed workload of this run.
+
+    Checkpointed (resumed) workloads did no work, so they are skipped
+    when picking the target.  The report — the top 25 entries by
+    cumulative time — lands next to the checkpoint directory (inside
+    it when one is configured, else the working directory).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.harness.runner import STATUS_OK, compute_rows
+
+    fresh = [
+        o for o in outcomes if o.status == STATUS_OK and not o.cached
+    ]
+    if not fresh:
+        print("--profile: no freshly computed workload to profile",
+              file=sys.stderr)
+        return
+    slowest = max(fresh, key=lambda o: o.elapsed)
+    ctx = ExperimentContext(
+        scale=args.scale, verify_ir=not args.no_verify_ir
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    compute_rows(ctx, slowest.name)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(
+        "cumulative"
+    ).print_stats(25)
+    target_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else Path(".")
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"PROFILE_{slowest.name.replace('/', '_')}.txt"
+    path.write_text(
+        f"cProfile of slowest workload {slowest.name!r} "
+        f"(elapsed {slowest.elapsed:.2f}s in the run)\n{stream.getvalue()}",
+        encoding="utf-8",
+    )
+    print(f"--profile: wrote {path}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
@@ -70,6 +117,13 @@ def main(argv=None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--suite", choices=("all", "spec", "media"),
                         default="all")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; >1 fans workloads and "
+                        "config sweeps across a pool (default 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="after the run, cProfile the slowest "
+                        "workload and write the top-25 cumulative "
+                        "entries next to the checkpoint directory")
     parser.add_argument("--timeout", type=float, default=0.0,
                         help="wall-clock seconds per workload attempt; "
                         "0 disables (default)")
@@ -89,6 +143,8 @@ def main(argv=None) -> int:
     parser.add_argument("--no-verify-ir", action="store_true",
                         help="skip the per-pass IR verifier")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     try:
         injector = FaultInjector.parse(args.inject) if args.inject else None
@@ -127,12 +183,16 @@ def main(argv=None) -> int:
         ctx,
         config,
         progress=lambda msg: print(msg, file=sys.stderr, flush=True),
+        jobs=args.jobs,
     )
 
     suites = _SUITES[args.suite]
     names = [n for s in suites for n in workload_names(s)]
     started = time.time()
     outcomes = runner.run_suite(names)
+
+    if args.profile:
+        _write_profile(args, outcomes)
 
     for spec in TABLES:
         if spec.suite not in suites:

@@ -5,8 +5,9 @@ existed, one ``EmulationError`` or wedged scoreboard aborted every table
 and figure.  The :class:`WorkloadRunner` gives each workload's
 compile→emulate→simulate pipeline:
 
-* a **wall-clock timeout** (the attempt runs on a daemon worker thread;
-  on expiry the workload degrades to a ``TIMEOUT`` row),
+* a **wall-clock timeout** (the attempt runs in a worker *process*;
+  on expiry the process is terminated — a real kill, not an abandoned
+  daemon thread — and the workload degrades to a ``TIMEOUT`` row),
 * **bounded retries with exponential backoff** for transient failures
   (timeouts are not retried — a deterministic hang would just double
   the cost),
@@ -24,11 +25,16 @@ then :func:`assemble_table` rebuilds each paper artifact from the
 surviving fragments — summary rows (geomean/average) are computed over
 successful workloads only, and degraded workloads appear as
 ERROR/TIMEOUT rows.
+
+With ``jobs > 1`` the suite additionally fans out across a process
+pool (see :mod:`repro.harness.parallel`): workloads prepare in
+parallel and each workload's independent config replays spread across
+the pool, with identical rows, outcomes, and checkpoints.
 """
 
 from __future__ import annotations
 
-import threading
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -137,34 +143,66 @@ def compute_rows(ctx: ExperimentContext, name: str) -> Dict[str, dict]:
     return rows
 
 
-class _Attempt(threading.Thread):
-    """One fault-isolated attempt on a worker thread."""
+_FORK = multiprocessing.get_context("fork")
 
-    def __init__(self, fn: Callable[[], Dict[str, dict]]):
-        super().__init__(daemon=True)
-        self._fn = fn
-        self.rows: Optional[Dict[str, dict]] = None
-        self.exc: Optional[BaseException] = None
 
-    def run(self) -> None:  # pragma: no cover - trivial thread body
-        try:
-            self.rows = self._fn()
-        except BaseException as exc:
-            self.exc = exc
+def _attempt_child(conn, params: dict, name: str, attempt: int) -> None:
+    """Body of one fault-isolated attempt in a worker process.
+
+    Sends ``(True, rows)`` or ``(False, (error_type, message))`` back
+    on *conn*; the parent terminates the process on deadline expiry.
+    """
+    try:
+        injector = params["injector"]
+        if injector is not None:
+            injector.prime(name, attempt)
+            injector.fire(name, attempt)
+        ctx = ExperimentContext(
+            scale=params["scale"],
+            machine=params["machine"],
+            verify=params["verify"],
+            verify_ir=params["verify_ir"],
+            fault_injector=injector,
+        )
+        rows = compute_rows(ctx, name)
+    except Exception as exc:
+        if isinstance(exc, ReproError):
+            exc.add_context(workload=name)
+        conn.send((False, (type(exc).__name__, str(exc))))
+    else:
+        conn.send((True, rows))
+
+
+class _ChildFailure(Exception):
+    """An attempt failed in a worker process; carries the real type."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(message)
+        self.error_type = error_type
 
 
 class WorkloadRunner:
-    """Runs workloads under timeout/retry policy with checkpointing."""
+    """Runs workloads under timeout/retry policy with checkpointing.
+
+    ``jobs`` controls suite-level parallelism: 1 (the default) runs
+    workloads sequentially; larger values fan both workloads and their
+    per-config timing replays across a pool of worker processes with
+    identical results (see :mod:`repro.harness.parallel`).
+    """
 
     def __init__(
         self,
         ctx: ExperimentContext,
         config: Optional[RunnerConfig] = None,
         progress: Optional[Callable[[str], None]] = None,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.ctx = ctx
         self.config = config if config is not None else RunnerConfig()
         self._progress = progress
+        self.jobs = jobs
 
     def _say(self, message: str) -> None:
         if self._progress is not None:
@@ -179,24 +217,56 @@ class WorkloadRunner:
             injector.fire(name)
         return compute_rows(self.ctx, name)
 
-    def _attempt_with_timeout(self, name: str) -> Dict[str, dict]:
+    def _attempt_in_process(
+        self, name: str, attempt: int
+    ) -> Dict[str, dict]:
+        """One attempt in a killable worker process, under the deadline."""
         timeout = self.config.timeout
-        if not timeout:
+        ctx = self.ctx
+        params = {
+            "scale": ctx.scale,
+            "machine": ctx.machine,
+            "verify": ctx.verify,
+            "verify_ir": ctx.verify_ir,
+            "injector": ctx.fault_injector,
+        }
+        parent_conn, child_conn = _FORK.Pipe(duplex=False)
+        proc = _FORK.Process(
+            target=_attempt_child,
+            args=(child_conn, params, name, attempt),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(timeout):
+                # Deadline expired: kill the attempt for real.  The
+                # stop_event is still set for API compatibility with
+                # callers that watch it.
+                proc.terminate()
+                injector = ctx.fault_injector
+                if injector is not None:
+                    injector.stop_event.set()
+                raise _AttemptTimeout(timeout)
+            try:
+                ok, payload = parent_conn.recv()
+            except (EOFError, OSError):
+                raise _ChildFailure(
+                    "WorkerCrash", "worker process died"
+                ) from None
+        finally:
+            proc.join()
+            parent_conn.close()
+        if not ok:
+            raise _ChildFailure(*payload)
+        return payload
+
+    def _attempt_with_timeout(
+        self, name: str, attempt: int
+    ) -> Dict[str, dict]:
+        if not self.config.timeout:
             return self._attempt(name)
-        worker = _Attempt(lambda: self._attempt(name))
-        worker.start()
-        worker.join(timeout)
-        if worker.is_alive():
-            # Abandon the attempt: wake any injected hang so the daemon
-            # thread exits instead of parking forever.
-            injector = self.ctx.fault_injector
-            if injector is not None:
-                injector.stop_event.set()
-            raise _AttemptTimeout(timeout)
-        if worker.exc is not None:
-            raise worker.exc
-        assert worker.rows is not None
-        return worker.rows
+        return self._attempt_in_process(name, attempt)
 
     def run_workload(self, name: str) -> WorkloadOutcome:
         """Run one workload, honoring checkpoints and the retry policy."""
@@ -212,7 +282,7 @@ class WorkloadRunner:
         while True:
             attempts += 1
             try:
-                rows = self._attempt_with_timeout(name)
+                rows = self._attempt_with_timeout(name, attempts)
             except _AttemptTimeout as exc:
                 outcome = WorkloadOutcome(
                     name, suite, STATUS_TIMEOUT,
@@ -225,13 +295,17 @@ class WorkloadRunner:
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
-                if isinstance(exc, ReproError):
-                    exc.add_context(workload=name)
+                if isinstance(exc, _ChildFailure):
+                    error_type = exc.error_type
+                else:
+                    if isinstance(exc, ReproError):
+                        exc.add_context(workload=name)
+                    error_type = type(exc).__name__
                 if attempts <= self.config.retries:
                     delay = self.config.backoff * (2 ** (attempts - 1))
                     self._say(
                         f"{name}: attempt {attempts} failed "
-                        f"({type(exc).__name__}); retrying in {delay:g}s"
+                        f"({error_type}); retrying in {delay:g}s"
                     )
                     if delay:
                         time.sleep(delay)
@@ -239,7 +313,7 @@ class WorkloadRunner:
                 outcome = WorkloadOutcome(
                     name, suite, STATUS_ERROR,
                     error=str(exc),
-                    error_type=type(exc).__name__,
+                    error_type=error_type,
                     attempts=attempts,
                     elapsed=time.monotonic() - started,
                 )
@@ -260,6 +334,9 @@ class WorkloadRunner:
 
     def run_suite(self, names: Sequence[str]) -> List[WorkloadOutcome]:
         """Run every workload in *names*, degrading failures to rows."""
+        if self.jobs > 1:
+            from repro.harness.parallel import run_suite_parallel
+            return run_suite_parallel(self, names)
         outcomes: List[WorkloadOutcome] = []
         total = len(names)
         for i, name in enumerate(names, 1):

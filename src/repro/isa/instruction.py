@@ -34,7 +34,7 @@ class Reg:
     allocator rewrites it to a physical index.
     """
 
-    __slots__ = ("bank", "index", "virtual")
+    __slots__ = ("bank", "index", "virtual", "key")
 
     def __init__(self, index: int, bank: str = "int", virtual: bool = False):
         if bank not in ("int", "fp"):
@@ -42,17 +42,15 @@ class Reg:
         self.bank = bank
         self.index = index
         self.virtual = virtual
+        #: Hashable identity used by dataflow analyses.  Registers are
+        #: immutable after construction, so the tuple is built once.
+        self.key = (bank, index, virtual)
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, Reg)
-            and self.bank == other.bank
-            and self.index == other.index
-            and self.virtual == other.virtual
-        )
+        return isinstance(other, Reg) and self.key == other.key
 
     def __hash__(self) -> int:
-        return hash((self.bank, self.index, self.virtual))
+        return hash(self.key)
 
     def __repr__(self) -> str:
         if self.virtual:
@@ -61,11 +59,6 @@ class Reg:
         if self.bank == "int":
             return int_reg_name(self.index)
         return fp_reg_name(self.index)
-
-    @property
-    def key(self) -> tuple[str, int, bool]:
-        """Hashable identity used by dataflow analyses."""
-        return (self.bank, self.index, self.virtual)
 
 
 class Imm:

@@ -88,6 +88,13 @@ class Opcode(enum.Enum):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Opcode.{self.name}"
 
+    # Enum equality is identity, so hashing by id is consistent — and
+    # the C slot avoids a Python-level ``hash(self._value_)`` call in
+    # the opcode-class membership tests that pepper the compiler and
+    # the timing model's decode loop (about a million probes per
+    # harness run).
+    __hash__ = object.__hash__
+
 
 class LoadSpec(enum.Enum):
     """Early-address-generation scheme specifier for load opcodes."""
@@ -98,6 +105,8 @@ class LoadSpec(enum.Enum):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LoadSpec.{self.name}"
+
+    __hash__ = object.__hash__
 
 
 INT_ALU_OPS = frozenset(

@@ -13,14 +13,15 @@ from __future__ import annotations
 class BranchTargetBuffer:
     """Direct-mapped BTB with 2-bit counters."""
 
-    __slots__ = ("entries", "_index_mask", "_tags", "_targets", "_counters",
-                 "lookups", "hits", "correct", "mispredicts")
+    __slots__ = ("entries", "_index_mask", "_tag_shift", "_tags", "_targets",
+                 "_counters", "lookups", "hits", "correct", "mispredicts")
 
     def __init__(self, entries: int = 1024):
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("BTB entries must be a positive power of two")
         self.entries = entries
         self._index_mask = entries - 1
+        self._tag_shift = entries.bit_length() - 1
         self._tags: list = [None] * entries
         self._targets = [0] * entries
         self._counters = [0] * entries
@@ -37,7 +38,7 @@ class BranchTargetBuffer:
 
     def _split(self, addr: int) -> tuple[int, int]:
         word = addr >> 2
-        return word & self._index_mask, word >> (self.entries.bit_length() - 1)
+        return word & self._index_mask, word >> self._tag_shift
 
     def predict(self, addr: int) -> tuple[bool, int]:
         """Predict ``(taken, target)`` for the branch at *addr*.
@@ -45,7 +46,9 @@ class BranchTargetBuffer:
         A BTB miss or a counter below 2 predicts fall-through (target 0).
         """
         self.lookups += 1
-        index, tag = self._split(addr)
+        word = addr >> 2
+        index = word & self._index_mask
+        tag = word >> self._tag_shift
         if self._tags[index] == tag:
             self.hits += 1
             if self._counters[index] >= 2:
@@ -59,7 +62,9 @@ class BranchTargetBuffer:
             self.mispredicts += 1
         else:
             self.correct += 1
-        index, tag = self._split(addr)
+        word = addr >> 2
+        index = word & self._index_mask
+        tag = word >> self._tag_shift
         if self._tags[index] == tag:
             counter = self._counters[index]
             if taken:

@@ -21,8 +21,8 @@ class DirectMappedCache:
     returns a :class:`SetAssociativeCache` instead.
     """
 
-    __slots__ = ("config", "_index_mask", "_block_shift", "_tags",
-                 "hits", "misses")
+    __slots__ = ("config", "_index_mask", "_block_shift", "_tag_shift",
+                 "_tags", "hits", "misses")
 
     def __new__(cls, config: CacheConfig):
         if cls is DirectMappedCache and config.ways > 1:
@@ -33,6 +33,7 @@ class DirectMappedCache:
         self.config = config
         self._block_shift = config.block_size.bit_length() - 1
         self._index_mask = config.num_blocks - 1
+        self._tag_shift = config.num_blocks.bit_length() - 1
         self._tags: list = [None] * config.num_blocks
         self.hits = 0
         self.misses = 0
@@ -44,18 +45,18 @@ class DirectMappedCache:
 
     def _split(self, addr: int) -> tuple[int, int]:
         block = addr >> self._block_shift
-        return block & self._index_mask, block >> (
-            self.config.num_blocks.bit_length() - 1
-        )
+        return block & self._index_mask, block >> self._tag_shift
 
     def probe(self, addr: int) -> bool:
         """Non-allocating lookup; does not count in hit/miss statistics."""
-        index, tag = self._split(addr)
-        return self._tags[index] == tag
+        block = addr >> self._block_shift
+        return self._tags[block & self._index_mask] == block >> self._tag_shift
 
     def access(self, addr: int) -> bool:
         """Read access: returns hit, allocates the block on a miss."""
-        index, tag = self._split(addr)
+        block = addr >> self._block_shift
+        index = block & self._index_mask
+        tag = block >> self._tag_shift
         if self._tags[index] == tag:
             self.hits += 1
             return True
@@ -65,7 +66,9 @@ class DirectMappedCache:
 
     def write_access(self, addr: int) -> bool:
         """Write-through, no-allocate store access: never fills."""
-        index, tag = self._split(addr)
+        block = addr >> self._block_shift
+        index = block & self._index_mask
+        tag = block >> self._tag_shift
         if self._tags[index] == tag:
             self.hits += 1
             return True

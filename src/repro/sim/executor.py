@@ -15,6 +15,7 @@ registers 64..127).
 
 from __future__ import annotations
 
+import sys
 from typing import List, Optional
 
 from repro.errors import EmulationError, StepLimitExceeded
@@ -27,6 +28,10 @@ from repro.sim.trace import Trace
 _MASK = 0xFFFFFFFF
 _SIGN = 1 << 31
 _WRAP = 1 << 32
+
+#: Whether a ``memoryview(...).cast("I")`` over memory reads 32-bit
+#: words in the simulated (little-endian) byte order.
+_LITTLE = sys.byteorder == "little"
 
 # Integer kind codes for the dispatch loop, ordered roughly by frequency.
 (
@@ -251,6 +256,16 @@ class Executor:
         load_double = mem.load_double
         store_double = mem.store_double
 
+        # Aligned word traffic dominates; serving it through a 32-bit
+        # view of the same buffer avoids a bytes slice + int.from_bytes
+        # (or to_bytes) per access.  Unaligned accesses and big-endian
+        # hosts fall back to the byte path.
+        mword = None
+        if _LITTLE and not msize & 3:
+            view = memoryview(mdata).cast("I")
+            if view.itemsize == 4:
+                mword = view
+
         regs: list = [0] * 64 + [0.0] * 64 + [0]  # last slot absorbs r0 writes
         regs[62] = initial_sp(self.mem_size)  # sp
         regs[63] = CODE_BASE - 4  # ra sentinel: RET from main halts
@@ -279,7 +294,10 @@ class Executor:
                     raise EmulationError(
                         f"load out of range at uid {pc}: {ea:#x}"
                     )
-                v = int.from_bytes(mdata[ea : ea + 4], "little")
+                if ea & 3 or mword is None:
+                    v = int.from_bytes(mdata[ea : ea + 4], "little")
+                else:
+                    v = mword[ea >> 2]
                 regs[d] = v - _WRAP if v >= _SIGN else v
                 pc += 1
                 continue
@@ -298,7 +316,10 @@ class Executor:
                         f"store out of range at uid {pc}: {ea:#x}"
                     )
                 value = regs[ai] if ai >= 0 else av
-                mdata[ea : ea + 4] = (value & _MASK).to_bytes(4, "little")
+                if ea & 3 or mword is None:
+                    mdata[ea : ea + 4] = (value & _MASK).to_bytes(4, "little")
+                else:
+                    mword[ea >> 2] = value & _MASK
                 pc += 1
                 continue
             if _K_BEQ <= k <= _K_BGE:

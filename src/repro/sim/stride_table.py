@@ -131,7 +131,9 @@ class AddressPredictionTable:
         speculative access is dispatched for this load.
         """
         self.probes += 1
-        index, tag = self._split(pc)
+        word = pc >> 2
+        index = word & self._index_mask
+        tag = word >> self._index_bits
         entry = self._table[index]
         if entry is None or entry.tag != tag:
             return None
@@ -153,7 +155,9 @@ class AddressPredictionTable:
         """
         if predicted is not None and predicted == ca:
             self.correct += 1
-        index, tag = self._split(pc)
+        word = pc >> 2
+        index = word & self._index_mask
+        tag = word >> self._index_bits
         entry = self._table[index]
         if entry is None:
             self._table[index] = TableEntry(tag, ca)

@@ -15,6 +15,7 @@ scheme specifiers change timing, never function).
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, List, Tuple
 
 from repro.isa.program import Program
@@ -32,6 +33,19 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.uids)
+
+    # Traces cross process boundaries when the harness fans timing
+    # replays across workers.  Pickling the two parallel int lists
+    # element by element dominates the transfer cost; packing them into
+    # typed arrays makes the payload a pair of memcpy-speed blobs.
+    def __getstate__(self):
+        return self.program, array("q", self.uids), array("q", self.eas)
+
+    def __setstate__(self, state) -> None:
+        program, uids, eas = state
+        self.program = program
+        self.uids = uids.tolist()
+        self.eas = eas.tolist()
 
     def mem_accesses(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(uid, ea)`` for every dynamic load and store."""

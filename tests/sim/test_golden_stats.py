@@ -1,0 +1,76 @@
+"""Golden-stats lock: the timing simulator must reproduce the recorded
+seed SimStats — cycles, stalls, speculation and forwarding counters —
+exactly, on every example program under every recorded machine variant.
+
+The snapshot was generated from the pre-fast-path seed simulator; see
+``golden_cases.py`` for the case list and regeneration instructions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from golden_cases import GOLDEN_PATH, iter_cases, run_case  # noqa: E402
+
+
+def _load_golden():
+    with GOLDEN_PATH.open(encoding="utf-8") as fh:
+        return json.load(fh)["cases"]
+
+
+def test_simulator_reproduces_golden_stats_exactly():
+    golden = _load_golden()
+    seen = set()
+    failures = []
+    for case_id, trace, machine, overrides, collect_timeline in iter_cases():
+        seen.add(case_id)
+        assert case_id in golden, f"case {case_id} missing from snapshot"
+        actual = run_case(trace, machine, overrides, collect_timeline)
+        expected = golden[case_id]
+        if actual != expected:
+            diffs = [
+                f"{key}: expected {expected[key]!r} got {actual.get(key)!r}"
+                for key in expected
+                if actual.get(key) != expected[key]
+            ]
+            failures.append(f"{case_id}:\n    " + "\n    ".join(diffs))
+    assert not failures, (
+        "SimStats drifted from the recorded seed snapshot:\n"
+        + "\n".join(failures)
+    )
+    assert seen == set(golden), (
+        f"case list drifted: snapshot-only={set(golden) - seen}, "
+        f"code-only={seen - set(golden)}"
+    )
+
+
+def test_golden_snapshot_covers_every_example():
+    examples = {
+        p.stem
+        for p in (Path(__file__).resolve().parents[2] / "examples").glob(
+            "*.py"
+        )
+    }
+    golden_programs = {case.split("/")[0] for case in _load_golden()}
+    # embedded_design drives the ghostscript workload; assembly_debug
+    # contributes its two hand-written kernels.
+    represented = {
+        "quickstart": "quickstart",
+        "pointer_chasing": "pointer_chasing",
+        "strided_prediction": "strided_prediction",
+        "profile_guided": "profile_guided",
+        "embedded_design": "ghostscript",
+        "assembly_debug": "asm_strided",
+    }
+    assert set(represented) == examples, (
+        "examples/ changed; update golden_cases.py and this mapping"
+    )
+    for example, program in represented.items():
+        assert program in golden_programs, (
+            f"example {example} has no golden case ({program} missing)"
+        )
+    assert {"asm_chase"} <= golden_programs
