@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro import obs
 from repro.compiler.classify import (
     class_counts,
     classify_late_loads,
@@ -89,15 +90,54 @@ class CompileResult:
         return self.program.dump()
 
 
+def _func_ir_counts(fir: FuncIR) -> tuple:
+    """``(instructions, loads, blocks)`` of one function's current IR.
+
+    Blocks are counted as leader labels plus the entry; only computed
+    when tracing is enabled (see :func:`_run_pass`).
+    """
+    instructions = loads = 0
+    for inst in fir.func.instructions():
+        instructions += 1
+        if inst.is_load:
+            loads += 1
+    return instructions, loads, len(fir.func.body) - instructions + 1
+
+
 def _run_pass(pass_fn, fir: FuncIR, options: CompileOptions) -> bool:
-    """Run one per-function pass, then the hook and the verifier."""
+    """Run one per-function pass, then the hook and the verifier.
+
+    With a tracer configured, each invocation emits a ``pass:<name>``
+    span carrying IR-delta counters (instructions/loads/blocks
+    before→after); the disabled path is byte-identical to the
+    uninstrumented driver.
+    """
     name = pass_fn.__name__
-    changed = pass_fn(fir)
-    hook = options.post_pass_hook
-    if hook is not None:
-        hook(name, fir)
-    if options.verify:
-        verify_func(fir.func, pass_name=name)
+    tracer = obs.current()
+    if not tracer.enabled:
+        changed = pass_fn(fir)
+        hook = options.post_pass_hook
+        if hook is not None:
+            hook(name, fir)
+        if options.verify:
+            verify_func(fir.func, pass_name=name)
+        return bool(changed)
+
+    before_i, before_l, before_b = _func_ir_counts(fir)
+    with tracer.span("pass:" + name, func=fir.func.name) as span:
+        changed = pass_fn(fir)
+        hook = options.post_pass_hook
+        if hook is not None:
+            hook(name, fir)
+        if options.verify:
+            verify_func(fir.func, pass_name=name)
+        after_i, after_l, after_b = _func_ir_counts(fir)
+        span.set_counters(
+            changed=int(bool(changed)),
+            instructions_before=before_i, instructions_after=after_i,
+            loads_before=before_l, loads_after=after_l,
+            blocks_before=before_b, blocks_after=after_b,
+        )
     return bool(changed)
 
 
@@ -125,51 +165,70 @@ def compile_source(
     elif kwargs:
         raise TypeError("pass either options or keyword overrides, not both")
 
-    unit = parse(source)
-    analyzer = analyze(unit)
-    module = generate_ir(unit, analyzer)
+    tracer = obs.current()
+    with tracer.span("compile") as compile_span:
+        with tracer.span("frontend"):
+            unit = parse(source)
+            analyzer = analyze(unit)
+            module = generate_ir(unit, analyzer)
 
-    if options.verify:
-        verify_module(module, pass_name="irgen")
+        if options.verify:
+            verify_module(module, pass_name="irgen")
 
-    if options.opt_level >= 1:
-        if options.inline:
-            inline_functions(module)
-            hook = options.post_pass_hook
-            if hook is not None:
-                for fir in module.funcs.values():
-                    hook("inline_functions", fir)
-            if options.verify:
-                verify_module(module, pass_name="inline_functions")
-        for fir in module.funcs.values():
-            _run_pass(simplify_control_flow, fir, options)
-            _run_pass(promote_locals, fir, options)
-            for _ in range(options.max_scalar_rounds):
-                if not _scalar_round(fir, options):
-                    break
-            if options.opt_level >= 2:
-                _run_pass(loop_invariant_code_motion, fir, options)
-                _run_pass(strength_reduction, fir, options)
-                for _ in range(2):
+        if options.opt_level >= 1:
+            if options.inline:
+                with tracer.span("pass:inline_functions"):
+                    inline_functions(module)
+                    hook = options.post_pass_hook
+                    if hook is not None:
+                        for fir in module.funcs.values():
+                            hook("inline_functions", fir)
+                    if options.verify:
+                        verify_module(module, pass_name="inline_functions")
+            for fir in module.funcs.values():
+                _run_pass(simplify_control_flow, fir, options)
+                _run_pass(promote_locals, fir, options)
+                for _ in range(options.max_scalar_rounds):
                     if not _scalar_round(fir, options):
                         break
+                if options.opt_level >= 2:
+                    _run_pass(loop_invariant_code_motion, fir, options)
+                    _run_pass(strength_reduction, fir, options)
+                    for _ in range(2):
+                        if not _scalar_round(fir, options):
+                            break
 
-    # Classification runs on virtual-register code, as IMPACT's heuristics
-    # did: after register allocation, physical-register reuse merges
-    # unrelated values into S_load and degrades the load-dependence test.
-    # Spill and callee-save loads added by the allocator afterwards keep
-    # the conservative default ``ld_n``.
-    if options.classify:
-        classify_program(module.program)
-
-    for fir in module.funcs.values():
-        created = allocate_registers(fir)
+        # Classification runs on virtual-register code, as IMPACT's heuristics
+        # did: after register allocation, physical-register reuse merges
+        # unrelated values into S_load and degrades the load-dependence test.
+        # Spill and callee-save loads added by the allocator afterwards keep
+        # the conservative default ``ld_n``.
         if options.classify:
-            classify_late_loads(fir.func, created)
-    if options.verify:
-        verify_module(
-            module, pass_name="allocate_registers", require_physical=True
-        )
+            with tracer.span("pass:classify") as span:
+                classify_program(module.program)
+                if tracer.enabled:
+                    counts = class_counts(module.program)
+                    span.set_counters(
+                        ld_n=counts["n"], ld_p=counts["p"], ld_e=counts["e"]
+                    )
 
-    module.program.layout()
+        with tracer.span("regalloc"):
+            for fir in module.funcs.values():
+                created = allocate_registers(fir)
+                if options.classify:
+                    classify_late_loads(fir.func, created)
+            if options.verify:
+                verify_module(
+                    module, pass_name="allocate_registers",
+                    require_physical=True,
+                )
+
+        module.program.layout()
+        if tracer.enabled:
+            counts = class_counts(module.program)
+            compile_span.set_counters(
+                instructions=len(module.program.flat),
+                static_loads=sum(counts.values()),
+                ld_n=counts["n"], ld_p=counts["p"], ld_e=counts["e"],
+            )
     return CompileResult(module.program, module, options, source)

@@ -48,9 +48,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.compiler.driver import compile_source
 from repro.compiler.profile_feedback import profile_overrides
-from repro.harness.experiments import sim_requests
+from repro.harness.experiments import eg_tag, sim_requests
 from repro.profiling.address_profile import profile_trace
 from repro.sim.executor import Executor
 from repro.sim.machine import BASELINE, MachineConfig
@@ -70,6 +71,20 @@ _SUITES = {
 }
 
 
+def _rate(numerator: float, denominator: float, ndigits: int) -> float:
+    """``numerator / denominator`` rounded, or 0.0 for a zero/negative
+    denominator.
+
+    Stage durations come from ``perf_counter`` differences and genuinely
+    reach 0.0 on coarse clocks or trivially small scales; a rate computed
+    from them must degrade to 0.0 instead of raising
+    ``ZeroDivisionError`` mid-snapshot.
+    """
+    if denominator <= 0:
+        return 0.0
+    return round(numerator / denominator, ndigits)
+
+
 def bench_workload(
     name: str, scale: float, machine: Optional[MachineConfig] = None
 ) -> Dict:
@@ -79,41 +94,54 @@ def bench_workload(
     workload = get_workload(name)
     scaled = max(1, int(round(workload.default_scale * scale)))
     source = workload.source(scaled)
+    tracer = obs.current()
 
-    started = time.perf_counter()
-    result = compile_source(source)
-    t_compile = time.perf_counter() - started
+    with tracer.span("bench:workload", workload=name) as wspan:
+        started = time.perf_counter()
+        with tracer.span("compile", workload=name):
+            result = compile_source(source)
+        t_compile = time.perf_counter() - started
 
-    t0 = time.perf_counter()
-    exec_result = Executor(result.program).run()
-    t_emulate = time.perf_counter() - t0
-    trace = exec_result.trace
+        t0 = time.perf_counter()
+        with tracer.span("emulate", workload=name):
+            exec_result = Executor(result.program).run()
+        t_emulate = time.perf_counter() - t0
+        trace = exec_result.trace
 
-    t0 = time.perf_counter()
-    profile = profile_trace(result.program, trace)
-    t_profile = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with tracer.span("profile", workload=name):
+            profile = profile_trace(result.program, trace)
+        t_profile = time.perf_counter() - t0
 
-    requests = sim_requests(workload.suite)
-    overrides = None
-    if any(req.use_profile_override for req in requests):
-        overrides = profile_overrides(
-            result.program, trace, predictor=profile.predictor
+        requests = sim_requests(workload.suite)
+        overrides = None
+        if any(req.use_profile_override for req in requests):
+            overrides = profile_overrides(
+                result.program, trace, predictor=profile.predictor
+            )
+
+        t0 = time.perf_counter()
+        with tracer.span("sim", workload=name, config="baseline"):
+            TimingSimulator(trace, machine.with_earlygen(BASELINE)).run()
+        sim_runs = 1
+        for req in requests:
+            with tracer.span(
+                "sim", workload=name,
+                config=eg_tag(req.earlygen, req.cache_key),
+            ):
+                TimingSimulator(
+                    trace,
+                    machine.with_earlygen(req.earlygen),
+                    overrides if req.use_profile_override else None,
+                ).run()
+            sim_runs += 1
+        t_sim = time.perf_counter() - t0
+
+        wall = time.perf_counter() - started
+        sim_instructions = sim_runs * len(trace)
+        wspan.set_counters(
+            sim_runs=sim_runs, trace_instructions=len(trace)
         )
-
-    t0 = time.perf_counter()
-    TimingSimulator(trace, machine.with_earlygen(BASELINE)).run()
-    sim_runs = 1
-    for req in requests:
-        TimingSimulator(
-            trace,
-            machine.with_earlygen(req.earlygen),
-            overrides if req.use_profile_override else None,
-        ).run()
-        sim_runs += 1
-    t_sim = time.perf_counter() - t0
-
-    wall = time.perf_counter() - started
-    sim_instructions = sim_runs * len(trace)
     return {
         "suite": workload.suite,
         "wall_s": round(wall, 4),
@@ -124,10 +152,8 @@ def bench_workload(
         "sim_runs": sim_runs,
         "trace_instructions": len(trace),
         "sim_instructions": sim_instructions,
-        "sims_per_sec": round(sim_runs / t_sim, 2) if t_sim else 0.0,
-        "sim_instructions_per_sec": (
-            round(sim_instructions / t_sim, 1) if t_sim else 0.0
-        ),
+        "sims_per_sec": _rate(sim_runs, t_sim, 2),
+        "sim_instructions_per_sec": _rate(sim_instructions, t_sim, 1),
     }
 
 
@@ -167,12 +193,8 @@ def run_bench(
             "sim_s": round(total_sim, 3),
             "sim_runs": total_runs,
             "sim_instructions": total_insts,
-            "sims_per_sec": (
-                round(total_runs / total_sim, 2) if total_sim else 0.0
-            ),
-            "sim_instructions_per_sec": (
-                round(total_insts / total_sim, 1) if total_sim else 0.0
-            ),
+            "sims_per_sec": _rate(total_runs, total_sim, 2),
+            "sim_instructions_per_sec": _rate(total_insts, total_sim, 1),
         },
     }
 
@@ -247,12 +269,39 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional throughput regression for "
                         "--check (default 0.30)")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="write a JSONL span trace and a run "
+                        "manifest.json under DIR")
     args = parser.parse_args(argv)
 
     say = lambda msg: print(msg, file=sys.stderr, flush=True)  # noqa: E731
-    snapshot = run_bench(
-        args.scale, _SUITES[args.suite], label=args.label, progress=say
-    )
+    try:
+        if args.trace_out is not None:
+            obs.configure(args.trace_out, command="bench", worker="main")
+        with obs.current().span(
+            "run", scale=args.scale, suite=args.suite
+        ):
+            snapshot = run_bench(
+                args.scale, _SUITES[args.suite], label=args.label,
+                progress=say,
+            )
+        if args.trace_out is not None:
+            entries = [
+                dict(entry, name=name, status="ok")
+                for name, entry in snapshot["workloads"].items()
+            ]
+            manifest = obs.build_manifest(
+                command="repro.harness.bench",
+                argv=list(argv) if argv is not None else list(sys.argv[1:]),
+                scale=args.scale,
+                machine=MachineConfig(),
+                workloads=entries,
+                extra={"suite": args.suite, "totals": snapshot["totals"]},
+            )
+            obs.write_manifest(args.trace_out, manifest)
+    finally:
+        if args.trace_out is not None:
+            obs.disable()
 
     baseline_path = args.baseline or args.check
     if baseline_path is None and Path(DEFAULT_BASELINE).exists():

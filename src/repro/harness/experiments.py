@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.compiler.driver import CompileOptions, CompileResult, compile_source
 from repro.errors import OutputMismatchError
 from repro.compiler.profile_feedback import (
@@ -70,8 +71,27 @@ class WorkloadRun:
 
     def get_profile(self) -> AddressProfile:
         if self.profile is None:
-            self.profile = profile_trace(self.program, self.trace)
+            tracer = obs.current()
+            with tracer.span("profile", workload=self.name):
+                self.profile = profile_trace(self.program, self.trace)
+            if tracer.enabled:
+                emit_profile_event(tracer, self.name, self.profile)
         return self.profile
+
+
+def emit_profile_event(tracer, name: str, profile: AddressProfile) -> None:
+    """Emit the per-class load counts behind Table 2 as a trace event.
+
+    ``obs_report`` rebuilds the per-workload Table 2/4 share and rate
+    columns from exactly this record, so the tables become a projection
+    of the trace instead of a separate computation.
+    """
+    counts = profile.per_class_counts()
+    counters = {"dyn_loads": profile.dynamic_loads}
+    for group in ("static", "dynamic", "correct"):
+        for cls in ("n", "p", "e"):
+            counters[f"{group}_{cls}"] = counts[group][cls]
+    tracer.event("profile.classes", counters=counters, workload=name)
 
 
 #: Version stamp of the per-workload checkpoint JSON schema.
@@ -126,18 +146,23 @@ class ExperimentContext:
                 injector.post_pass_hook(name) if injector else None
             ),
         )
-        result = compile_source(workload.source(scale), options)
-        exec_result = Executor(result.program).run()
-        output = exec_result.output
-        if injector:
-            output = injector.corrupt_output(name, output)
-        if self.verify:
-            expected = workload.expected_output(scale)
-            if output != expected:
-                raise OutputMismatchError(
-                    f"emulated output {output} != reference {expected}",
-                    workload=name,
-                )
+        tracer = obs.current()
+        with tracer.span("prepare", workload=name):
+            result = compile_source(workload.source(scale), options)
+            with tracer.span("emulate", workload=name) as span:
+                exec_result = Executor(result.program).run()
+                if tracer.enabled:
+                    span.set_counters(steps=exec_result.steps)
+            output = exec_result.output
+            if injector:
+                output = injector.corrupt_output(name, output)
+            if self.verify:
+                expected = workload.expected_output(scale)
+                if output != expected:
+                    raise OutputMismatchError(
+                        f"emulated output {output} != reference {expected}",
+                        workload=name,
+                    )
         run = WorkloadRun(
             name, result, exec_result.trace, exec_result.steps
         )
@@ -203,9 +228,12 @@ class ExperimentContext:
     def baseline_stats(self, name: str) -> SimStats:
         run = self.run(name)
         if run.baseline is None:
-            run.baseline = TimingSimulator(
-                run.trace, self.machine.with_earlygen(BASELINE)
-            ).run()
+            with obs.current().span(
+                "sim", workload=name, config="baseline"
+            ):
+                run.baseline = TimingSimulator(
+                    run.trace, self.machine.with_earlygen(BASELINE)
+                ).run()
         return run.baseline
 
     def sim(
@@ -220,9 +248,13 @@ class ExperimentContext:
         cached = run._sims.get(key)
         if cached is not None:
             return cached
-        stats = TimingSimulator(
-            run.trace, self.machine.with_earlygen(earlygen), spec_override
-        ).run()
+        with obs.current().span(
+            "sim", workload=name, config=eg_tag(earlygen, cache_key)
+        ):
+            stats = TimingSimulator(
+                run.trace, self.machine.with_earlygen(earlygen),
+                spec_override,
+            ).run()
         run._sims[key] = stats
         return stats
 
@@ -241,6 +273,19 @@ def _geomean(values: List[float]) -> float:
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def eg_tag(earlygen: EarlyGenConfig, cache_key: Optional[str] = None) -> str:
+    """Short trace tag for one early-gen config, e.g. ``t256_r1_compiler``."""
+    if not earlygen.enabled:
+        return "baseline"
+    tag = (
+        f"t{earlygen.table_entries}_r{earlygen.cached_regs}"
+        f"_{earlygen.selection.value}"
+    )
+    if cache_key:
+        tag += f"+{cache_key}"
+    return tag
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
+from repro.harness.artifacts import artifact_key
 from repro.harness.experiments import ExperimentContext
 from repro.harness.faults import FaultInjector
 from repro.harness.reporting import (
@@ -109,6 +111,37 @@ def _write_profile(args, outcomes) -> None:
     print(f"--profile: wrote {path}", file=sys.stderr)
 
 
+def _write_run_manifest(args, argv, ctx, outcomes) -> None:
+    """Record what ran — and what degraded — next to the trace files."""
+    injector = ctx.fault_injector
+    entries = []
+    for outcome in outcomes:
+        entries.append({
+            "name": outcome.name,
+            "suite": outcome.suite,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "elapsed_s": round(outcome.elapsed, 3),
+            "cached": outcome.cached,
+            "error_type": outcome.error_type,
+            "artifact_key": artifact_key(
+                outcome.name, ctx.scale, ctx.machine, ctx.verify,
+                ctx.verify_ir,
+                injector.mode(outcome.name) if injector else None,
+                outcome.attempts,
+            ),
+        })
+    manifest = obs.build_manifest(
+        command="repro.harness.main",
+        argv=argv,
+        scale=args.scale,
+        machine=ctx.machine,
+        workloads=entries,
+        extra={"suite": args.suite, "jobs": args.jobs},
+    )
+    obs.write_manifest(args.trace_out, manifest)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
@@ -142,6 +175,10 @@ def main(argv=None) -> int:
                         "corrupt-ir[:PASS], corrupt-output); repeatable")
     parser.add_argument("--no-verify-ir", action="store_true",
                         help="skip the per-pass IR verifier")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="write a JSONL span/event trace and a run "
+                        "manifest.json under DIR (see README: "
+                        "Observability)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -189,7 +226,20 @@ def main(argv=None) -> int:
     suites = _SUITES[args.suite]
     names = [n for s in suites for n in workload_names(s)]
     started = time.time()
-    outcomes = runner.run_suite(names)
+    try:
+        if args.trace_out is not None:
+            obs.configure(args.trace_out, command="harness", worker="main")
+        tracer = obs.current()
+        with tracer.span(
+            "run", scale=args.scale, suite=args.suite, jobs=args.jobs
+        ):
+            outcomes = runner.run_suite(names)
+        if args.trace_out is not None:
+            cli = list(argv) if argv is not None else list(sys.argv[1:])
+            _write_run_manifest(args, cli, ctx, outcomes)
+    finally:
+        if args.trace_out is not None:
+            obs.disable()
 
     if args.profile:
         _write_profile(args, outcomes)

@@ -42,6 +42,7 @@ from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.compiler.profile_feedback import DEFAULT_THRESHOLD, profile_overrides
 from repro.errors import ReproError
 from repro.harness.artifacts import ArtifactStore, artifact_key
@@ -49,6 +50,7 @@ from repro.harness.experiments import (
     ExperimentContext,
     SimRequest,
     WorkloadRun,
+    eg_tag,
     sim_requests,
 )
 from repro.sim.machine import BASELINE
@@ -84,6 +86,13 @@ def _task_prepare(init: dict, store: ArtifactStore, payload: dict):
     """Compile + emulate + profile one workload, publish the bundle."""
     name = payload["name"]
     attempt = payload["attempt"]
+    with obs.current().span(
+        "task:prepare", workload=name, attempt=attempt
+    ):
+        return _task_prepare_body(init, store, payload, name, attempt)
+
+
+def _task_prepare_body(init, store, payload, name, attempt):
     injector = init["injector"]
     if injector is not None:
         injector.prime(name, attempt)
@@ -137,13 +146,21 @@ def _task_sim(init: dict, store: ArtifactStore, payload: dict):
                      br_extra.tolist(), misp_total),
         })
     machine = init["machine"]
+    tracer = obs.current()
     results = []
     for sim in payload["sims"]:
         spec_override = (
             bundle["overrides"] if sim["use_profile_override"] else None
         )
         config = machine.with_earlygen(sim["earlygen"])
-        results.append(TimingSimulator(trace, config, spec_override).run())
+        with tracer.span(
+            "sim",
+            workload=payload["name"],
+            config=eg_tag(sim["earlygen"], sim["cache_key"]),
+        ):
+            results.append(
+                TimingSimulator(trace, config, spec_override).run()
+            )
     return results
 
 
@@ -159,26 +176,30 @@ def _task_rows(init: dict, store: ArtifactStore, payload: dict):
     """
     from repro.harness.runner import compute_rows
 
-    bundle = store.get(payload["key"])
-    run = WorkloadRun(
-        payload["name"],
-        bundle["compile_result"],
-        bundle["trace"],
-        bundle["steps"],
-        profile=bundle["profile"],
-    )
-    run.baseline = payload["baseline"]
-    run._sims = payload["sims"]
-    ctx = _child_context(init)
-    ctx._runs[payload["name"]] = run
-    return compute_rows(ctx, payload["name"])
+    with obs.current().span("task:rows", workload=payload["name"]):
+        bundle = store.get(payload["key"])
+        run = WorkloadRun(
+            payload["name"],
+            bundle["compile_result"],
+            bundle["trace"],
+            bundle["steps"],
+            profile=bundle["profile"],
+        )
+        run.baseline = payload["baseline"]
+        run._sims = payload["sims"]
+        ctx = _child_context(init)
+        ctx._runs[payload["name"]] = run
+        return compute_rows(ctx, payload["name"])
 
 
 _TASKS = {"prepare": _task_prepare, "sim": _task_sim, "rows": _task_rows}
 
 
-def _worker_main(conn, init: dict) -> None:
+def _worker_main(conn, init: dict, slot: int = 0) -> None:
     """Worker loop: run tasks off the pipe until told to exit."""
+    tracer = obs.current()
+    if tracer.enabled:
+        tracer.add_tags(worker=f"w{slot}")
     store = ArtifactStore(init["artifact_dir"])
     while True:
         message = conn.recv()
@@ -204,7 +225,7 @@ class _Worker:
         self.slot = slot
         self.conn, child_conn = _FORK.Pipe(duplex=True)
         self.proc = _FORK.Process(
-            target=_worker_main, args=(child_conn, init), daemon=True
+            target=_worker_main, args=(child_conn, init, slot), daemon=True
         )
         self.proc.start()
         child_conn.close()

@@ -19,7 +19,14 @@ def format_table(
     if not rows:
         return "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        # Union of every row's keys in first-seen order: degraded or
+        # summary rows may lack columns that later rows carry, and the
+        # first row is not guaranteed to be the widest.
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
     headers = headers or {}
     names = [headers.get(col, col) for col in columns]
 

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ReproError
 from repro.harness.experiments import (
     ExperimentContext,
@@ -152,19 +153,23 @@ def _attempt_child(conn, params: dict, name: str, attempt: int) -> None:
     Sends ``(True, rows)`` or ``(False, (error_type, message))`` back
     on *conn*; the parent terminates the process on deadline expiry.
     """
+    tracer = obs.current()
+    if tracer.enabled:
+        tracer.add_tags(worker="attempt")
     try:
-        injector = params["injector"]
-        if injector is not None:
-            injector.prime(name, attempt)
-            injector.fire(name, attempt)
-        ctx = ExperimentContext(
-            scale=params["scale"],
-            machine=params["machine"],
-            verify=params["verify"],
-            verify_ir=params["verify_ir"],
-            fault_injector=injector,
-        )
-        rows = compute_rows(ctx, name)
+        with tracer.span("workload:attempt", workload=name, attempt=attempt):
+            injector = params["injector"]
+            if injector is not None:
+                injector.prime(name, attempt)
+                injector.fire(name, attempt)
+            ctx = ExperimentContext(
+                scale=params["scale"],
+                machine=params["machine"],
+                verify=params["verify"],
+                verify_ir=params["verify_ir"],
+                fault_injector=injector,
+            )
+            rows = compute_rows(ctx, name)
     except Exception as exc:
         if isinstance(exc, ReproError):
             exc.add_context(workload=name)
@@ -277,21 +282,33 @@ class WorkloadRunner:
 
         suite = get_workload(name).suite
         started = time.monotonic()
+        with obs.current().span("workload", workload=name) as wspan:
+            outcome = self._run_attempts(name, suite, started)
+            wspan.set_tag(status=outcome.status)
+            wspan.set_counters(attempts=outcome.attempts)
+
+        if ctx.checkpoint_dir is not None:
+            ctx.store_checkpoint(name, outcome.payload())
+        return outcome
+
+    def _run_attempts(
+        self, name: str, suite: str, started: float
+    ) -> WorkloadOutcome:
+        """The retry loop of :meth:`run_workload`."""
         attempts = 0
-        outcome: Optional[WorkloadOutcome] = None
         while True:
             attempts += 1
             try:
                 rows = self._attempt_with_timeout(name, attempts)
             except _AttemptTimeout as exc:
-                outcome = WorkloadOutcome(
+                # Deterministic hang: retrying doubles the cost.
+                return WorkloadOutcome(
                     name, suite, STATUS_TIMEOUT,
                     error=f"no result within {exc.timeout:g}s",
                     error_type="Timeout",
                     attempts=attempts,
                     elapsed=time.monotonic() - started,
                 )
-                break  # deterministic hang: retrying doubles the cost
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -310,25 +327,19 @@ class WorkloadRunner:
                     if delay:
                         time.sleep(delay)
                     continue
-                outcome = WorkloadOutcome(
+                return WorkloadOutcome(
                     name, suite, STATUS_ERROR,
                     error=str(exc),
                     error_type=error_type,
                     attempts=attempts,
                     elapsed=time.monotonic() - started,
                 )
-                break
             else:
-                outcome = WorkloadOutcome(
+                return WorkloadOutcome(
                     name, suite, STATUS_OK, rows=rows,
                     attempts=attempts,
                     elapsed=time.monotonic() - started,
                 )
-                break
-
-        if ctx.checkpoint_dir is not None:
-            ctx.store_checkpoint(name, outcome.payload())
-        return outcome
 
     # -- suites ------------------------------------------------------------
 

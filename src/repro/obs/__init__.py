@@ -1,0 +1,59 @@
+"""Observability layer: structured tracing, metrics, and run manifests.
+
+Usage pattern — enable once at the entry point, instrumented layers pick
+up the ambient tracer::
+
+    from repro import obs
+
+    obs.configure("trace-dir", worker="main")
+    with obs.current().span("compile", workload="li") as span:
+        ...
+        span.set_counters(instructions=123)
+    obs.disable()
+
+When no tracer is configured, :func:`current` returns a shared
+:class:`NullTracer` (``enabled`` is ``False``) and every span/event is a
+no-op, so instrumentation is free on the hot paths.  See
+:mod:`repro.obs.tracer` for the record schema and
+:mod:`repro.obs.manifest` for the per-run ``manifest.json``.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    jsonable,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    Tracer,
+    configure,
+    current,
+    disable,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "build_manifest",
+    "configure",
+    "current",
+    "disable",
+    "git_revision",
+    "jsonable",
+    "load_manifest",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -101,6 +101,34 @@ class AddressProfile:
             return {cls: 0.0 for cls in counts}
         return {cls: count / total for cls, count in counts.items()}
 
+    def per_class_counts(
+        self, overrides: Optional[Dict[int, LoadSpec]] = None
+    ) -> Dict[str, Dict[str, int]]:
+        """Raw per-class counts behind the Table 2/4 share and rate columns.
+
+        Returns ``{"static": {...}, "dynamic": {...}, "correct": {...}}``
+        keyed by class (``n``/``p``/``e``): static load counts, dynamic
+        execution counts, and correct unbounded predictions.  This is
+        the payload the observability layer emits per workload
+        (``profile.classes``), from which every Table 2 column can be
+        recomputed offline.
+        """
+        static = {"n": 0, "p": 0, "e": 0}
+        dynamic = {"n": 0, "p": 0, "e": 0}
+        correct = {"n": 0, "p": 0, "e": 0}
+        for inst in self.program.static_loads():
+            spec = (
+                overrides.get(inst.uid, inst.lspec)
+                if overrides is not None
+                else inst.lspec
+            )
+            static[spec.value] += 1
+            counters = self.predictor.per_load.get(inst.uid)
+            if counters:
+                dynamic[spec.value] += counters[0]
+                correct[spec.value] += counters[1]
+        return {"static": static, "dynamic": dynamic, "correct": correct}
+
     @property
     def dynamic_loads(self) -> int:
         return self.predictor.accesses

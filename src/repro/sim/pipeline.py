@@ -43,8 +43,9 @@ formulas, and the mis-speculation penalty is only the wasted cache port
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro import obs
 from repro.errors import SimulationHang
 from repro.isa.instruction import Reg as _REG_TYPE
 from repro.isa.opcodes import (
@@ -289,6 +290,15 @@ class TimingSimulator:
 
     Both raise :class:`~repro.errors.SimulationHang` carrying a
     pipeline-state dump (cycle, trace index, uid, opcode, queue depths).
+
+    ``event_hook`` is the observability seam: when set, it is called
+    once at the end of :meth:`run` with a flat dict of event counters
+    (ld_p hits/misses, ``R_addr`` interlocks, dcache/BTB outcomes, and
+    the per-specifier-class scheme counts).  Without a hook, the same
+    payload is emitted as a ``sim.counters`` event on the ambient
+    :mod:`repro.obs` tracer when one is configured.  Both paths run
+    strictly after the simulation loop, so the fast path — and the
+    golden SimStats snapshots — are untouched when disabled.
     """
 
     def __init__(
@@ -299,6 +309,7 @@ class TimingSimulator:
         collect_timeline: bool = False,
         max_cycles: Optional[int] = None,
         stall_limit: int = DEFAULT_STALL_LIMIT,
+        event_hook: Optional[Callable[[dict], None]] = None,
     ):
         self.trace = trace
         self.config = config
@@ -317,6 +328,7 @@ class TimingSimulator:
             )
         self.max_cycles = max_cycles
         self.stall_limit = stall_limit
+        self.event_hook = event_hook
 
     def _hang_dump(self, i: int, uid: int, op, t_next: int,
                    store_q: list) -> dict:
@@ -488,6 +500,7 @@ class TimingSimulator:
         n_loads = n_stores = 0
         pred_loads = pred_disp = pred_succ = pred_wrong = 0
         calc_loads = calc_disp = calc_succ = calc_part = 0
+        ra_interlock = 0  # R_addr not written back by ID1 (obs only)
         sp_noport = sp_interlock = sp_dmiss = 0
         dhits = dmisses = 0
         sc_n = sc_p = sc_e = 0
@@ -658,7 +671,7 @@ class TimingSimulator:
                             # been written back by ID1 (two cycles before
                             # EXE).
                             if reg_ready[base_slot] > t0 - 2:
-                                pass
+                                ra_interlock += 1
                             else:
                                 word = ea >> 2
                                 interlocked = False
@@ -925,7 +938,53 @@ class TimingSimulator:
         stats.scheme_counts = {"n": sc_n, "p": sc_p, "e": sc_e}
         stats.dcache_misses = dcache.misses + dc_miss
         stats.timeline = timeline
+
+        # Observability seam: strictly post-loop, zero-cost when neither
+        # a hook nor a tracer is installed.
+        hook = self.event_hook
+        tracer = obs.current()
+        if hook is not None or tracer.enabled:
+            payload = self._event_counters(stats, ra_interlock)
+            if hook is not None:
+                hook(payload)
+            if tracer.enabled:
+                tracer.event(
+                    "sim.counters",
+                    counters=payload,
+                    table=eg.table_entries,
+                    regs=eg.cached_regs,
+                    selection=eg.selection.value,
+                )
         return stats
+
+    @staticmethod
+    def _event_counters(stats: SimStats, ra_interlock: int) -> dict:
+        """Flat event-counter payload handed to the observability hook."""
+        return {
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+            "loads": stats.loads,
+            "stores": stats.stores,
+            "scheme_n": stats.scheme_counts.get("n", 0),
+            "scheme_p": stats.scheme_counts.get("p", 0),
+            "scheme_e": stats.scheme_counts.get("e", 0),
+            "pred_loads": stats.pred_loads,
+            "pred_dispatched": stats.pred_spec_dispatched,
+            "pred_success": stats.pred_success,
+            "pred_wrong_address": stats.pred_wrong_address,
+            "calc_loads": stats.calc_loads,
+            "calc_dispatched": stats.calc_spec_dispatched,
+            "calc_success": stats.calc_success,
+            "calc_success_partial": stats.calc_success_partial,
+            "raddr_interlock": ra_interlock,
+            "spec_no_port": stats.spec_no_port,
+            "spec_mem_interlock": stats.spec_mem_interlock,
+            "spec_dcache_miss": stats.spec_dcache_miss,
+            "dcache_hits": stats.dcache_hits,
+            "dcache_misses": stats.dcache_misses,
+            "icache_misses": stats.icache_misses,
+            "btb_mispredicts": stats.btb_mispredicts,
+        }
 
     @staticmethod
     def _mem_interlock(store_q: list, c: int, ea: int) -> bool:

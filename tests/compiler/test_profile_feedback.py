@@ -8,6 +8,7 @@ from repro.compiler.profile_feedback import (
 )
 from repro.isa.opcodes import LoadSpec
 from repro.sim.executor import execute
+from repro.sim.stride_table import UnboundedPredictor
 
 # A sorted index array makes tbl[idx[i]] highly stride-predictable, yet
 # the heuristics must classify it NT (the index is loaded, reg+reg mode).
@@ -103,6 +104,50 @@ def test_profile_loads_counts_every_dynamic_load():
     result, trace = compiled_and_traced(PREDICTABLE_NT)
     predictor = profile_loads(trace)
     assert predictor.accesses == trace.dynamic_load_count()
+
+
+def test_rate_exactly_at_threshold_is_not_flipped():
+    """The threshold is strict: a measured rate of exactly 60% stays NT.
+
+    The paper flips loads whose rate *exceeds* the threshold; an
+    injected predictor pins the rate to the boundary precisely.
+    """
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    target = nt_loads(result.program)[0]
+    predictor = UnboundedPredictor()
+    predictor.per_load[target.uid] = [100, 60]  # rate == 0.60 exactly
+    overrides = profile_overrides(
+        result.program, trace, threshold=0.60, predictor=predictor
+    )
+    assert target.uid not in overrides
+
+
+def test_rate_one_above_threshold_is_flipped():
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    target = nt_loads(result.program)[0]
+    predictor = UnboundedPredictor()
+    predictor.per_load[target.uid] = [100, 61]  # rate == 0.61 > 0.60
+    overrides = profile_overrides(
+        result.program, trace, threshold=0.60, predictor=predictor
+    )
+    assert overrides == {target.uid: LoadSpec.P}
+
+
+def test_perfect_rate_never_overrules_pd_or_ec():
+    """Even a 100% measured rate must not touch ld_p/ld_e loads."""
+    result, trace = compiled_and_traced(PREDICTABLE_NT)
+    non_nt = [
+        inst for inst in result.program.static_loads()
+        if inst.lspec is not LoadSpec.N
+    ]
+    assert non_nt  # the source produces PD and EC loads
+    predictor = UnboundedPredictor()
+    for inst in non_nt:
+        predictor.per_load[inst.uid] = [100, 100]
+    overrides = profile_overrides(
+        result.program, trace, threshold=0.60, predictor=predictor
+    )
+    assert not overrides
 
 
 def test_never_executed_loads_not_flipped():

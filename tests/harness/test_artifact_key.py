@@ -1,0 +1,84 @@
+"""Determinism of the content-keyed artifact store's keys.
+
+The parallel scheduler's prepare task writes a bundle under
+``artifact_key(...)`` in one process and every sim task looks it up in
+others; a key that differs between processes (e.g. because a part's
+repr embeds a memory address) silently breaks the handoff.  These tests
+pin the canonicalization rules.
+"""
+
+import pytest
+
+from repro.harness.artifacts import artifact_key
+from repro.sim.machine import MachineConfig, SelectionMode
+
+
+class NoRepr:
+    """Default object.__repr__: '<... object at 0x7f...>'."""
+
+
+class GoodRepr:
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"GoodRepr({self.value})"
+
+
+def test_same_parts_same_key():
+    machine = MachineConfig()
+    args = ("022.li", 0.05, machine, False, True, None, 1)
+    assert artifact_key(*args) == artifact_key(*args)
+    # Equal but distinct dataclass instances canonicalize identically.
+    assert artifact_key(*args) == artifact_key(
+        "022.li", 0.05, MachineConfig(), False, True, None, 1
+    )
+
+
+def test_any_part_change_changes_key():
+    base = artifact_key("022.li", 0.05, None, False, True, None, 1)
+    assert artifact_key("130.li", 0.05, None, False, True, None, 1) != base
+    assert artifact_key("022.li", 0.06, None, False, True, None, 1) != base
+    assert artifact_key("022.li", 0.05, None, True, True, None, 1) != base
+    assert artifact_key("022.li", 0.05, None, False, True, None, 2) != base
+
+
+def test_key_format():
+    key = artifact_key("x")
+    assert len(key) == 32
+    assert all(c in "0123456789abcdef" for c in key)
+
+
+def test_dict_and_set_order_insensitive():
+    assert artifact_key({"a": 1, "b": 2}) == artifact_key({"b": 2, "a": 1})
+    assert artifact_key({1, 2, 3}) == artifact_key({3, 1, 2})
+
+
+def test_scalar_types_do_not_collide():
+    assert artifact_key(True) != artifact_key(1)
+    assert artifact_key(1) != artifact_key(1.0)
+    assert artifact_key("1") != artifact_key(1)
+    assert artifact_key(None) != artifact_key("None")
+    assert artifact_key([1, 2]) != artifact_key((1, 2))
+
+
+def test_enums_key_on_identity_not_address():
+    assert artifact_key(SelectionMode.COMPILER) == artifact_key(
+        SelectionMode.COMPILER
+    )
+    assert artifact_key(SelectionMode.COMPILER) != artifact_key(
+        SelectionMode.HARDWARE
+    )
+
+
+def test_default_object_repr_is_rejected():
+    with pytest.raises(TypeError, match="memory address"):
+        artifact_key("022.li", NoRepr())
+    # Nested inside a container too.
+    with pytest.raises(TypeError):
+        artifact_key(["022.li", {"k": NoRepr()}])
+
+
+def test_custom_repr_objects_are_accepted():
+    assert artifact_key(GoodRepr(3)) == artifact_key(GoodRepr(3))
+    assert artifact_key(GoodRepr(3)) != artifact_key(GoodRepr(4))

@@ -1,0 +1,40 @@
+"""format_table must not drop columns absent from the first row.
+
+Degraded (ERROR/TIMEOUT) rows carry only a benchmark name and a marker;
+when such a row happens to come first, the table previously collapsed
+to its two keys and silently hid every data column.
+"""
+
+from repro.harness.reporting import format_table
+
+
+def test_columns_default_to_union_of_all_rows():
+    rows = [
+        {"benchmark": "022.li", "speedup": "ERROR"},  # degraded, first
+        {"benchmark": "130.li", "speedup": 1.08, "rate_pd": 93.5},
+        {"benchmark": "072.sc", "speedup": 1.11, "rate_nt": 8.1},
+    ]
+    text = format_table(rows)
+    header = text.splitlines()[0]
+    assert "rate_pd" in header
+    assert "rate_nt" in header
+    assert "93.50" in text
+    assert "8.10" in text
+
+
+def test_column_order_is_first_seen():
+    rows = [{"a": 1}, {"b": 2, "a": 3}, {"c": 4}]
+    header = format_table(rows).splitlines()[0].split()
+    assert header == ["a", "b", "c"]
+
+
+def test_missing_cells_render_empty():
+    rows = [{"a": 1}, {"b": 2}]
+    lines = format_table(rows).splitlines()
+    assert lines[2].strip() == "1"
+
+
+def test_explicit_columns_still_win():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]

@@ -1,0 +1,90 @@
+"""Unit tests for run manifests (repro.obs.manifest)."""
+
+import enum
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import (
+    MANIFEST_NAME,
+    build_manifest,
+    jsonable,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.sim.machine import MachineConfig
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclass
+class Point:
+    x: int
+    path: Path
+
+
+def test_jsonable_handles_dataclasses_enums_paths():
+    value = jsonable({
+        "point": Point(1, Path("/tmp/x")),
+        "color": Color.RED,
+        "seq": (1, 2),
+    })
+    assert value == {
+        "point": {"x": 1, "path": "/tmp/x"},
+        "color": "red",
+        "seq": [1, 2],
+    }
+    json.dumps(value)  # fully JSON-native
+
+
+def build(workloads=None, **kwargs):
+    return build_manifest(
+        command="repro.harness.main",
+        argv=["--scale", "0.02"],
+        scale=0.02,
+        machine=MachineConfig(),
+        workloads=workloads if workloads is not None else [
+            {"name": "022.li", "status": "ok"},
+            {"name": "130.li", "status": "timeout"},
+        ],
+        **kwargs,
+    )
+
+
+def test_build_manifest_is_valid_and_lists_degraded():
+    manifest = build()
+    assert validate_manifest(manifest) == []
+    assert manifest["degraded"] == ["130.li"]
+    json.dumps(manifest)  # serializable including the machine config
+
+
+def test_write_and_load_round_trip_fills_trace_files(tmp_path):
+    (tmp_path / "trace-1.jsonl").write_text("", encoding="utf-8")
+    (tmp_path / "trace-2.jsonl").write_text("", encoding="utf-8")
+    path = write_manifest(tmp_path, build())
+    assert path == tmp_path / MANIFEST_NAME
+    loaded = load_manifest(tmp_path)
+    assert loaded["trace_files"] == ["trace-1.jsonl", "trace-2.jsonl"]
+    assert validate_manifest(loaded) == []
+
+
+def test_validate_manifest_reports_problems():
+    assert validate_manifest("nope") == ["manifest is not a JSON object"]
+
+    manifest = build()
+    del manifest["git"]
+    manifest["schema"] = 99
+    manifest["workloads"] = [{"status": "ok"}]  # lacks a name
+    problems = validate_manifest(manifest)
+    assert any("git" in p for p in problems)
+    assert any("schema" in p for p in problems)
+    assert any("lacks a name" in p for p in problems)
+
+
+def test_extra_keys_are_merged():
+    manifest = build(extra={"suite": "spec", "jobs": 2})
+    assert manifest["suite"] == "spec"
+    assert manifest["jobs"] == 2

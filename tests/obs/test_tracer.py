@@ -1,0 +1,121 @@
+"""Unit tests for the tracing core (repro.obs.tracer)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_TRACER, TRACE_SCHEMA, Tracer
+
+
+def read_records(out_dir):
+    records = []
+    for path in sorted(out_dir.glob("*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            records.append(json.loads(line))
+    return records
+
+
+def spans(records):
+    return [r for r in records if r["kind"] == "span"]
+
+
+def test_span_records_duration_and_counters(tmp_path):
+    tracer = Tracer(tmp_path)
+    with tracer.span("work", color="red") as span:
+        span.counter("items")
+        span.counter("items", 2)
+        span.set_counters(loads=7)
+    tracer.close()
+
+    records = read_records(tmp_path)
+    assert records[0]["kind"] == "meta"
+    (span_rec,) = spans(records)
+    assert span_rec["name"] == "work"
+    assert span_rec["schema"] == TRACE_SCHEMA
+    assert span_rec["dur_s"] >= 0
+    assert span_rec["tags"]["color"] == "red"
+    assert span_rec["counters"] == {"items": 3, "loads": 7}
+
+
+def test_nested_spans_link_parent_ids_and_inherit_tags(tmp_path):
+    tracer = Tracer(tmp_path, tags={"run": "r1"})
+    with tracer.span("outer", workload="li") as outer:
+        with tracer.span("inner"):
+            pass
+        assert outer is not None
+    tracer.close()
+
+    inner, outer = spans(read_records(tmp_path))
+    # Children close (and are written) before their parent.
+    assert inner["name"] == "inner"
+    assert outer["name"] == "outer"
+    assert inner["parent_id"] == outer["span_id"]
+    assert outer["parent_id"] is None
+    # Base tags + enclosing-span tags flow onto the inner record.
+    assert inner["tags"] == {"run": "r1", "workload": "li"}
+
+
+def test_exception_inside_span_is_tagged_and_propagates(tmp_path):
+    tracer = Tracer(tmp_path)
+    with pytest.raises(ValueError):
+        with tracer.span("fails"):
+            raise ValueError("boom")
+    tracer.close()
+
+    (rec,) = spans(read_records(tmp_path))
+    assert rec["tags"]["error"] == "ValueError"
+
+
+def test_events_and_tagged_context(tmp_path):
+    tracer = Tracer(tmp_path)
+    with tracer.tagged(workload="espresso"):
+        tracer.event("profile.classes", counters={"static_n": 3})
+    tracer.close()
+
+    records = read_records(tmp_path)
+    events = [r for r in records if r["kind"] == "event"]
+    (event,) = events
+    assert event["name"] == "profile.classes"
+    assert event["tags"]["workload"] == "espresso"
+    assert event["counters"] == {"static_n": 3}
+    # The "ctx" pseudo-span scopes tags but is never recorded.
+    assert not spans(records)
+
+
+def test_null_tracer_is_inert_and_ambient_by_default():
+    tracer = obs.current()
+    assert tracer is NULL_TRACER
+    assert not tracer.enabled
+    with tracer.span("anything", tag=1) as span:
+        span.counter("x")
+        span.set_counters(y=2)
+        span.set_tag(z=3)
+    tracer.event("e", counters={"a": 1})
+    tracer.add_tags(worker="w0")
+    tracer.close()  # all no-ops, nothing raised
+
+
+def test_configure_installs_and_disable_restores(tmp_path):
+    try:
+        tracer = obs.configure(tmp_path, command="test")
+        assert obs.current() is tracer
+        assert tracer.enabled
+        with tracer.span("s"):
+            pass
+    finally:
+        obs.disable()
+    assert obs.current() is NULL_TRACER
+    records = read_records(tmp_path)
+    assert records[0]["tags"] == {"command": "test"}
+    assert spans(records)
+
+
+def test_per_pid_file_naming(tmp_path):
+    import os
+
+    tracer = Tracer(tmp_path)
+    with tracer.span("s"):
+        pass
+    tracer.close()
+    assert (tmp_path / f"trace-{os.getpid()}.jsonl").exists()
