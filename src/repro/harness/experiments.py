@@ -27,6 +27,7 @@ import json
 import math
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -181,17 +182,30 @@ class ExperimentContext:
     def load_checkpoint(self, name: str) -> Optional[dict]:
         """The stored result payload for *name*, or None.
 
-        Stale artifacts — unreadable JSON, another schema version, or a
-        different workload scale — are ignored, so resuming after a
-        flag change recomputes instead of mixing incompatible rows.
+        Stale artifacts — corrupt/truncated JSON, another schema
+        version, or a different workload scale — are treated as cache
+        misses, so resuming after a crash mid-write or a flag change
+        recomputes instead of aborting the suite or mixing incompatible
+        rows.  Corruption (a file that exists but does not parse)
+        additionally warns, because it usually means an interrupted or
+        concurrent writer.
         """
         if self.checkpoint_dir is None:
             return None
         path = self.checkpoint_path(name)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+            raw = path.read_bytes()
+        except OSError:
+            return None  # no checkpoint yet: the normal first-run miss
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            warnings.warn(
+                f"corrupt checkpoint {path} ignored; recomputing "
+                f"{name!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         if not isinstance(payload, dict):
             return None
@@ -270,8 +284,25 @@ class ExperimentContext:
 
 
 def _geomean(values: List[float]) -> float:
+    """Geometric mean; NaN (with a warning) for undefined inputs.
+
+    The geometric mean only exists for a non-empty sequence of positive
+    values.  Degraded rows or a bug upstream can hand this empty lists
+    or zero/negative speedups; propagating NaN keeps the summary row
+    visibly wrong instead of crashing the table assembly (or silently
+    reporting 0).
+    """
     if not values:
-        return 0.0
+        warnings.warn("geomean of an empty sequence is undefined",
+                      RuntimeWarning, stacklevel=2)
+        return float("nan")
+    if any(v <= 0 or math.isnan(v) for v in values):
+        warnings.warn(
+            "geomean is undefined for non-positive or NaN values "
+            f"(got {sorted(values)[:3]}...)",
+            RuntimeWarning, stacklevel=2,
+        )
+        return float("nan")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness.main [--scale 1.0] [--suite all|spec|media]
                                  [--jobs N] [--timeout SECS] [--retries N]
                                  [--checkpoint-dir DIR] [--profile]
+                                 [--result-cache DIR]
                                  [--inject WORKLOAD=MODE]...
 
 Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
@@ -123,6 +124,7 @@ def _write_run_manifest(args, argv, ctx, outcomes) -> None:
             "attempts": outcome.attempts,
             "elapsed_s": round(outcome.elapsed, 3),
             "cached": outcome.cached,
+            "cache_kind": outcome.cache_kind,
             "error_type": outcome.error_type,
             "artifact_key": artifact_key(
                 outcome.name, ctx.scale, ctx.machine, ctx.verify,
@@ -169,6 +171,15 @@ def main(argv=None) -> int:
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="persist per-workload results as JSON and "
                         "resume, skipping completed workloads")
+    parser.add_argument("--result-cache", default=None, metavar="DIR",
+                        help="persistent cross-run result store: cached "
+                        "(workload, config) pairs skip compile+simulate "
+                        "entirely; shareable with 'python -m "
+                        "repro.service serve --store DIR'")
+    parser.add_argument("--result-cache-max-mb", type=int, default=0,
+                        metavar="N",
+                        help="LRU size bound of --result-cache in MiB "
+                        "(0 = unbounded)")
     parser.add_argument("--inject", action="append", default=[],
                         metavar="WORKLOAD=MODE",
                         help="inject a fault (crash, hang, flaky:N, "
@@ -216,11 +227,20 @@ def main(argv=None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
+    result_store = None
+    if args.result_cache is not None:
+        from repro.service.store import ResultStore
+        result_store = ResultStore(
+            args.result_cache,
+            max_bytes=(args.result_cache_max_mb * 1024 * 1024
+                       if args.result_cache_max_mb else None),
+        )
     runner = WorkloadRunner(
         ctx,
         config,
         progress=lambda msg: print(msg, file=sys.stderr, flush=True),
         jobs=args.jobs,
+        result_store=result_store,
     )
 
     suites = _SUITES[args.suite]
@@ -258,6 +278,11 @@ def main(argv=None) -> int:
         sys.stdout.flush()
 
     degraded = [o for o in outcomes if o.degraded]
+    if result_store is not None:
+        stats = result_store.stats()
+        print(f"result cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['entries']} entries",
+              file=sys.stderr)
     print(f"\ntotal wall time: {time.time() - started:.0f}s "
           f"(scale {args.scale})")
     if degraded:

@@ -192,7 +192,24 @@ def _task_rows(init: dict, store: ArtifactStore, payload: dict):
         return compute_rows(ctx, payload["name"])
 
 
-_TASKS = {"prepare": _task_prepare, "sim": _task_sim, "rows": _task_rows}
+def _task_service(init: dict, store: ArtifactStore, payload: dict):
+    """One service-layer compile-and-simulate job (see repro.service).
+
+    The service scheduler drives the same :class:`_Worker` pool as the
+    suite scheduler; its jobs arrive as this task kind.  Imported
+    lazily so harness runs never load the service layer.
+    """
+    from repro.service.jobs import execute_job
+
+    return execute_job(payload["spec"], machine=init["machine"])
+
+
+_TASKS = {
+    "prepare": _task_prepare,
+    "sim": _task_sim,
+    "rows": _task_rows,
+    "service": _task_service,
+}
 
 
 def _worker_main(conn, init: dict, slot: int = 0) -> None:
@@ -304,7 +321,7 @@ def run_suite_parallel(runner, names: Sequence[str]):
         finished += 1
         note = outcome.status.upper()
         if outcome.cached:
-            note += " (checkpointed)"
+            note += f" ({outcome.cache_kind or 'checkpointed'})"
         elif outcome.attempts > 1:
             note += f" ({outcome.attempts} attempts)"
         runner._say(
@@ -321,6 +338,13 @@ def run_suite_parallel(runner, names: Sequence[str]):
         if checkpoint is not None and checkpoint.get("status") == STATUS_OK:
             outcomes[name] = WorkloadOutcome.from_payload(name, checkpoint)
             announce(outcomes[name])
+            continue
+        cached = runner.load_cached_rows(name)
+        if cached is not None:
+            if ctx.checkpoint_dir is not None:
+                ctx.store_checkpoint(name, cached.payload())
+            outcomes[name] = cached
+            announce(cached)
             continue
         states[name] = _WorkloadState(name, get_workload(name).suite)
 
@@ -410,6 +434,7 @@ def run_suite_parallel(runner, names: Sequence[str]):
         queue.extend(retained)
 
     def finish(ws: _WorkloadState, outcome: WorkloadOutcome) -> None:
+        runner.store_rows(outcome)
         if ctx.checkpoint_dir is not None:
             ctx.store_checkpoint(ws.name, outcome.payload())
         outcomes[ws.name] = outcome

@@ -95,8 +95,10 @@ class WorkloadOutcome:
     error_type: str = ""
     attempts: int = 1
     elapsed: float = 0.0
-    #: True when the result was loaded from a checkpoint, not computed.
+    #: True when the result was loaded from a cache, not computed.
     cached: bool = False
+    #: Which cache satisfied it: "checkpointed" or "result-cache".
+    cache_kind: str = ""
 
     @property
     def degraded(self) -> bool:
@@ -126,6 +128,7 @@ class WorkloadOutcome:
             attempts=payload.get("attempts", 1),
             elapsed=payload.get("elapsed", 0.0),
             cached=True,
+            cache_kind="checkpointed",
         )
 
 
@@ -193,6 +196,15 @@ class WorkloadRunner:
     workloads sequentially; larger values fan both workloads and their
     per-config timing replays across a pool of worker processes with
     identical results (see :mod:`repro.harness.parallel`).
+
+    ``result_store`` (a :class:`~repro.service.store.ResultStore`, the
+    harness's ``--result-cache``) persists each workload's computed row
+    fragments across *runs*, keyed on everything that determines them
+    (name, scale, machine, verifier switches, injected-fault mode, code
+    version): a warm store skips the workload's compile+simulate
+    entirely and reproduces byte-identical tables.  Unlike checkpoints
+    it is shared with the long-lived service layer and is not scoped to
+    one resumable run.
     """
 
     def __init__(
@@ -201,6 +213,7 @@ class WorkloadRunner:
         config: Optional[RunnerConfig] = None,
         progress: Optional[Callable[[str], None]] = None,
         jobs: int = 1,
+        result_store=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -208,10 +221,43 @@ class WorkloadRunner:
         self.config = config if config is not None else RunnerConfig()
         self._progress = progress
         self.jobs = jobs
+        self.result_store = result_store
 
     def _say(self, message: str) -> None:
         if self._progress is not None:
             self._progress(message)
+
+    # -- persistent result cache -------------------------------------------
+
+    def _rows_key(self, name: str) -> str:
+        ctx = self.ctx
+        injector = ctx.fault_injector
+        return self.result_store.key(
+            "harness-rows", name, ctx.scale, ctx.machine, ctx.verify,
+            ctx.verify_ir, injector.mode(name) if injector else None,
+        )
+
+    def load_cached_rows(self, name: str) -> Optional[WorkloadOutcome]:
+        """A finished outcome from the result store, or None."""
+        if self.result_store is None:
+            return None
+        payload = self.result_store.get(self._rows_key(name))
+        if payload is None:
+            return None
+        return WorkloadOutcome(
+            name, payload["suite"], STATUS_OK, rows=payload["rows"],
+            cached=True, cache_kind="result-cache",
+        )
+
+    def store_rows(self, outcome: WorkloadOutcome) -> None:
+        """Publish a freshly computed OK outcome's rows to the store."""
+        if (self.result_store is None or outcome.status != STATUS_OK
+                or outcome.cached):
+            return
+        self.result_store.put(
+            self._rows_key(outcome.name),
+            {"suite": outcome.suite, "rows": outcome.rows},
+        )
 
     # -- single workload ---------------------------------------------------
 
@@ -279,6 +325,11 @@ class WorkloadRunner:
         checkpoint = ctx.load_checkpoint(name) if ctx.checkpoint_dir else None
         if checkpoint is not None and checkpoint.get("status") == STATUS_OK:
             return WorkloadOutcome.from_payload(name, checkpoint)
+        cached = self.load_cached_rows(name)
+        if cached is not None:
+            if ctx.checkpoint_dir is not None:
+                ctx.store_checkpoint(name, cached.payload())
+            return cached
 
         suite = get_workload(name).suite
         started = time.monotonic()
@@ -287,6 +338,7 @@ class WorkloadRunner:
             wspan.set_tag(status=outcome.status)
             wspan.set_counters(attempts=outcome.attempts)
 
+        self.store_rows(outcome)
         if ctx.checkpoint_dir is not None:
             ctx.store_checkpoint(name, outcome.payload())
         return outcome
@@ -355,7 +407,7 @@ class WorkloadRunner:
             outcomes.append(outcome)
             note = outcome.status.upper()
             if outcome.cached:
-                note += " (checkpointed)"
+                note += f" ({outcome.cache_kind or 'checkpointed'})"
             elif outcome.attempts > 1:
                 note += f" ({outcome.attempts} attempts)"
             self._say(

@@ -1,0 +1,191 @@
+"""CLI for the repro service.
+
+Usage::
+
+    python -m repro.service serve  --store cache/ [--port 8321] [--jobs 4]
+    python -m repro.service submit --workload 022.li --scale 0.05
+    python -m repro.service batch  --file sweep.json
+    python -m repro.service stats
+
+``serve`` runs until interrupted; with ``--trace-out DIR`` it writes
+JSONL trace spans for every served job and a ``manifest.json`` naming
+them on shutdown.  ``submit``/``batch``/``stats`` talk to a running
+server (``--url``) and print the JSON response.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import obs
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ReproService
+
+DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", help="registered workload name")
+    group.add_argument("--source-file", metavar="PATH",
+                       help="mini-C source file ('-' for stdin)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--table-entries", type=int, default=256)
+    parser.add_argument("--cached-regs", type=int, default=1)
+    parser.add_argument("--selection", choices=("compiler", "hardware"),
+                        default="compiler")
+    parser.add_argument("--opt-level", type=int, choices=(0, 1, 2),
+                        default=2)
+
+
+def _spec_from_args(args) -> dict:
+    spec = {
+        "scale": args.scale,
+        "table_entries": args.table_entries,
+        "cached_regs": args.cached_regs,
+        "selection": args.selection,
+        "opt_level": args.opt_level,
+    }
+    if args.workload is not None:
+        spec["workload"] = args.workload
+    else:
+        if args.source_file == "-":
+            spec["source"] = sys.stdin.read()
+        else:
+            with open(args.source_file, "r", encoding="utf-8") as fh:
+                spec["source"] = fh.read()
+    return spec
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    # SIGTERM (the deployment-style stop) unwinds like Ctrl-C so the
+    # scheduler drains and the manifest still gets written.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    if args.trace_out is not None:
+        obs.configure(args.trace_out, command="service", worker="main")
+    service = ReproService(
+        args.store,
+        jobs=args.jobs,
+        max_bytes=(args.max_mb * 1024 * 1024 if args.max_mb else None),
+        timeout=args.timeout,
+        retries=args.retries,
+        max_pending=args.max_pending,
+    )
+    service.start(args.host, args.port, quiet=args.quiet)
+    host, port = service.address
+    print(f"repro service listening on http://{host}:{port} "
+          f"(store {args.store}, {args.jobs} workers)",
+          file=sys.stderr, flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+        if args.trace_out is not None:
+            service.write_manifest(args.trace_out, argv=sys.argv[1:])
+            obs.disable()
+            print(f"wrote manifest under {args.trace_out}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    client = ServiceClient(args.url)
+    job = client.submit(_spec_from_args(args), priority=args.priority,
+                        wait=not args.no_wait)
+    print(json.dumps(job, indent=1, sort_keys=True))
+    return 0 if job.get("status") in ("done", "queued", "running") else 1
+
+
+def _cmd_batch(args) -> int:
+    if args.file == "-":
+        specs = json.load(sys.stdin)
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            specs = json.load(fh)
+    if not isinstance(specs, list):
+        print("batch file must hold a JSON list of job specs",
+              file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    result = client.batch(specs, priority=args.priority,
+                          wait=not args.no_wait)
+    print(json.dumps(result, indent=1, sort_keys=True))
+    bad = [j for j in result["jobs"]
+           if j.get("status") in ("error", "timeout")]
+    return 1 if bad else 0
+
+
+def _cmd_stats(args) -> int:
+    print(json.dumps(ServiceClient(args.url).stats(), indent=1,
+                     sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Compile-and-simulate service: cache, queue, HTTP API.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="result-store directory (shared with the "
+                       "harness's --result-cache)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (default 2)")
+    serve.add_argument("--max-mb", type=int, default=0,
+                       help="store size bound in MiB (0 = unbounded)")
+    serve.add_argument("--timeout", type=float, default=0.0,
+                       help="wall-clock seconds per job attempt "
+                       "(0 disables)")
+    serve.add_argument("--retries", type=int, default=0)
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="queue bound before 429 (default 256)")
+    serve.add_argument("--trace-out", default=None, metavar="DIR",
+                       help="write JSONL trace + manifest.json under DIR")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logs")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit one job")
+    submit.add_argument("--url", default=DEFAULT_URL)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return immediately with the job id")
+    _add_spec_args(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    batch = sub.add_parser("batch", help="submit a sweep of jobs")
+    batch.add_argument("--url", default=DEFAULT_URL)
+    batch.add_argument("--priority", type=int, default=0)
+    batch.add_argument("--no-wait", action="store_true")
+    batch.add_argument("--file", required=True, metavar="PATH",
+                       help="JSON list of job specs ('-' for stdin)")
+    batch.set_defaults(func=_cmd_batch)
+
+    stats = sub.add_parser("stats", help="print cache/queue metrics")
+    stats.add_argument("--url", default=DEFAULT_URL)
+    stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Python client for the repro service HTTP API (urllib only).
+
+Mirrors the four endpoints of :mod:`repro.service.server`::
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    job = client.submit({"workload": "022.li", "scale": 0.05}, wait=True)
+    job["result"]["speedup"]
+    client.stats()["store"]["hits"]
+
+Every call returns the decoded JSON payload; a non-2xx response raises
+:class:`ServiceError` carrying the HTTP status and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List, Optional, Union
+
+from repro.service.jobs import JobSpec
+
+#: Per-request socket timeout (distinct from server-side job waiting,
+#: which is bounded by ``wait_timeout`` in the request body).
+DEFAULT_HTTP_TIMEOUT = 330.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _spec_dict(spec: Union[JobSpec, dict]) -> dict:
+    if isinstance(spec, JobSpec):
+        # Drop defaults-by-omission: send the full explicit spec.
+        return spec.to_dict()
+    if isinstance(spec, dict):
+        return dict(spec)
+    raise TypeError(f"spec must be a JobSpec or dict, not {type(spec)}")
+
+
+class ServiceClient:
+    """Thin blocking client over :mod:`urllib.request`."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8321",
+                 http_timeout: float = DEFAULT_HTTP_TIMEOUT):
+        self.base_url = base_url.rstrip("/")
+        self.http_timeout = http_timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.http_timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                message = payload.get("error", "")
+            except ValueError:
+                message = exc.reason or ""
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"service unreachable: {exc.reason}"
+                               ) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, spec: Union[JobSpec, dict], priority: int = 0,
+               wait: bool = False,
+               wait_timeout: Optional[float] = None) -> dict:
+        """Submit one job; returns its snapshot (with ``result`` if done)."""
+        body = _spec_dict(spec)
+        body["priority"] = priority
+        body["wait"] = wait
+        if wait_timeout is not None:
+            body["wait_timeout"] = wait_timeout
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        """Poll one job by id."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def batch(self, specs: List[Union[JobSpec, dict]], priority: int = 0,
+              wait: bool = False,
+              wait_timeout: Optional[float] = None) -> dict:
+        """Submit a sweep; returns ``{"count": N, "jobs": [...]}``."""
+        body = {
+            "jobs": [_spec_dict(spec) for spec in specs],
+            "priority": priority,
+            "wait": wait,
+        }
+        if wait_timeout is not None:
+            body["wait_timeout"] = wait_timeout
+        return self._request("POST", "/v1/batch", body)
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("GET", "/healthz").get("status") == "ok"
+        except ServiceError:
+            return False

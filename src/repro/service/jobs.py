@@ -1,0 +1,199 @@
+"""The unit of served work: one compile-and-simulate request.
+
+A :class:`JobSpec` names either a registered workload (by suite name,
+with the harness's scale semantics) or raw mini-C source text, plus the
+early-generation hardware configuration to simulate.  Two specs that
+canonicalize identically produce identical results, which is what makes
+them cacheable in the :class:`~repro.service.store.ResultStore` and
+deduplicatable in the scheduler: the spec *is* the cache key (together
+with the code version).
+
+:func:`execute_job` is the worker-side body — it runs inside a
+:mod:`repro.harness.parallel` pool worker (task kind ``"service"``) but
+is equally callable inline, which the tests and the CLI ``submit
+--local`` path use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from repro import obs
+from repro.errors import OutputMismatchError
+from repro.sim.machine import (
+    BASELINE,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+
+#: How many OUT-stream values a job result carries back (the full
+#: stream is checked against the reference in-process for workloads).
+_OUTPUT_PREVIEW = 8
+
+
+class JobValidationError(ValueError):
+    """A submitted job spec is malformed (HTTP 400 at the API layer)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything that determines one compile-and-simulate result.
+
+    Exactly one of ``workload`` (a registry name) and ``source`` (mini-C
+    text) must be set.  ``scale`` has the harness meaning — a factor on
+    the workload's default iteration count — and is ignored for raw
+    source.  The remaining fields select the compiler level and the
+    early-generation hardware; ``selection`` is the string value of
+    :class:`~repro.sim.machine.SelectionMode`.
+    """
+
+    workload: Optional[str] = None
+    source: Optional[str] = None
+    scale: float = 1.0
+    table_entries: int = 256
+    cached_regs: int = 1
+    selection: str = "compiler"
+    opt_level: int = 2
+    verify_ir: bool = False
+
+    #: Fields accepted by :meth:`from_dict` (anything else is a 400).
+    FIELDS = ("workload", "source", "scale", "table_entries",
+              "cached_regs", "selection", "opt_level", "verify_ir")
+
+    def validate(self) -> "JobSpec":
+        if (self.workload is None) == (self.source is None):
+            raise JobValidationError(
+                "exactly one of 'workload' and 'source' must be set"
+            )
+        if self.workload is not None:
+            from repro.workloads import workload_names
+            if self.workload not in workload_names():
+                raise JobValidationError(
+                    f"unknown workload {self.workload!r}"
+                )
+        elif not self.source.strip():
+            raise JobValidationError("'source' is empty")
+        if self.scale <= 0:
+            raise JobValidationError("'scale' must be > 0")
+        if self.opt_level not in (0, 1, 2):
+            raise JobValidationError("'opt_level' must be 0, 1, or 2")
+        try:
+            SelectionMode(self.selection)
+        except ValueError:
+            raise JobValidationError(
+                f"'selection' must be one of "
+                f"{sorted(m.value for m in SelectionMode)}"
+            ) from None
+        try:
+            self.earlygen()
+        except ValueError as exc:
+            raise JobValidationError(str(exc)) from None
+        return self
+
+    def earlygen(self) -> EarlyGenConfig:
+        return EarlyGenConfig(
+            table_entries=self.table_entries,
+            cached_regs=self.cached_regs,
+            selection=SelectionMode(self.selection),
+        )
+
+    def label(self) -> str:
+        """Short human-readable identity (workload name or source hash)."""
+        if self.workload is not None:
+            return self.workload
+        digest = hashlib.sha256(self.source.encode("utf-8")).hexdigest()
+        return f"source:{digest[:8]}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise JobValidationError("job spec must be a JSON object")
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise JobValidationError(f"unknown job fields: {unknown}")
+        try:
+            spec = cls(**data)
+        except TypeError as exc:
+            raise JobValidationError(str(exc)) from None
+        return spec.validate()
+
+
+def _config_tag(earlygen: EarlyGenConfig) -> str:
+    if not earlygen.enabled:
+        return "baseline"
+    return (f"t{earlygen.table_entries}_r{earlygen.cached_regs}"
+            f"_{earlygen.selection.value}")
+
+
+def execute_job(spec: JobSpec, machine: Optional[MachineConfig] = None) -> dict:
+    """Compile, emulate, and simulate *spec*; returns the result payload.
+
+    Workload jobs verify the emulated OUT stream against the pure-Python
+    reference (like the harness does); raw-source jobs cannot.  The
+    result is a plain JSON-safe dict — exactly what the store persists
+    and the HTTP API returns.
+    """
+    from repro.compiler.driver import CompileOptions, compile_source
+    from repro.sim.executor import Executor
+    from repro.sim.pipeline import TimingSimulator
+    from repro.workloads import get_workload
+
+    spec.validate()
+    machine = machine if machine is not None else MachineConfig()
+    earlygen = spec.earlygen()
+    tracer = obs.current()
+    with tracer.span(
+        "service:job", job=spec.label(), config=_config_tag(earlygen)
+    ) as span:
+        expected: Optional[List[int]] = None
+        if spec.workload is not None:
+            workload = get_workload(spec.workload)
+            n = max(1, int(round(workload.default_scale * spec.scale)))
+            source = workload.source(n)
+            expected = workload.expected_output(n)
+        else:
+            source = spec.source
+        result = compile_source(source, CompileOptions(
+            opt_level=spec.opt_level, verify=spec.verify_ir,
+        ))
+        exec_result = Executor(result.program).run()
+        if expected is not None and exec_result.output != expected:
+            raise OutputMismatchError(
+                f"emulated output {exec_result.output} != reference "
+                f"{expected}",
+                workload=spec.workload,
+            )
+        baseline = TimingSimulator(
+            exec_result.trace, machine.with_earlygen(BASELINE)
+        ).run()
+        if earlygen.enabled:
+            stats = TimingSimulator(
+                exec_result.trace, machine.with_earlygen(earlygen)
+            ).run()
+        else:
+            stats = baseline
+        if tracer.enabled:
+            span.set_counters(steps=exec_result.steps, cycles=stats.cycles)
+    return {
+        "job": spec.label(),
+        "spec": spec.to_dict(),
+        "config": _config_tag(earlygen),
+        "steps": exec_result.steps,
+        "instructions": stats.instructions,
+        "loads": stats.loads,
+        "cycles": stats.cycles,
+        "baseline_cycles": baseline.cycles,
+        "speedup": round(baseline.cycles / stats.cycles, 6),
+        "ipc": round(stats.ipc, 6),
+        "dcache_misses": stats.dcache_misses,
+        "pred_success": stats.pred_success,
+        "calc_success": stats.calc_success,
+        "output_verified": expected is not None,
+        "output_preview": list(exec_result.output[:_OUTPUT_PREVIEW]),
+    }

@@ -1,0 +1,422 @@
+"""Deduplicating, prioritized job scheduler on the harness fork pool.
+
+The scheduler owns three pieces of shared state:
+
+* a **priority queue** of submitted :class:`Job` objects (max-heap on
+  priority, FIFO within a priority, bounded by ``max_pending`` —
+  submitting beyond the bound raises :class:`QueueFull`, which the HTTP
+  layer maps to 429);
+* an **in-flight index** keyed by the job's content key: a second
+  submission of an identical spec while the first is queued or running
+  *attaches* to the existing job instead of queueing new work (its
+  ``dedup`` counter records how many submitters piggybacked);
+* a **worker pool** of :class:`repro.harness.parallel._Worker`
+  processes — the same fork-pool machinery the parallel harness uses,
+  running the ``"service"`` task kind — governed by the runner's
+  :class:`~repro.harness.runner.RunnerConfig` timeout/retry semantics:
+  a wall-clock deadline per attempt (expiry kills the worker process
+  for real and degrades the job to ``timeout``, never retried), bounded
+  retries with exponential backoff for other failures.
+
+Results are published to the :class:`~repro.service.store.ResultStore`
+before the job completes, so the *next* identical submission — even
+from another process, even days later — is a cache hit that touches no
+simulator.  Submission itself consults the store first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import shutil
+import tempfile
+import threading
+import time
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.harness.parallel import _POLL, _Worker
+from repro.harness.runner import RunnerConfig
+from repro.service.jobs import JobSpec
+from repro.service.store import ResultStore
+from repro.sim.machine import MachineConfig
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+#: Statuses from which a job can no longer change.
+FINAL_STATUSES = (STATUS_DONE, STATUS_ERROR, STATUS_TIMEOUT)
+
+
+class QueueFull(RuntimeError):
+    """Backpressure: the pending-job bound was reached (HTTP 429)."""
+
+
+class Job:
+    """One scheduled (or cached) request and its lifecycle."""
+
+    def __init__(self, job_id: str, spec: JobSpec, key: str,
+                 priority: int = 0):
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.priority = priority
+        self.status = STATUS_QUEUED
+        self.result: Optional[dict] = None
+        self.error = ""
+        self.error_type = ""
+        self.attempts = 0
+        #: True when the result came from the store, not a worker.
+        self.cached = False
+        #: How many identical submissions attached to this job.
+        self.dedup = 0
+        self.created = time.time()
+        self.elapsed = 0.0
+        self._started = time.monotonic()
+        self.deadline: Optional[float] = None
+        self.not_before = 0.0
+        self._done = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in FINAL_STATUSES
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; False on wait-timeout."""
+        return self._done.wait(timeout)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view served by ``GET /v1/jobs/<id>``."""
+        out = {
+            "id": self.id,
+            "job": self.spec.label(),
+            "key": self.key,
+            "status": self.status,
+            "priority": self.priority,
+            "cached": self.cached,
+            "dedup": self.dedup,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed, 3),
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error:
+            out["error"] = self.error
+            out["error_type"] = self.error_type
+        return out
+
+
+class JobScheduler:
+    """Executes :class:`JobSpec` jobs on a pool of forked workers."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        jobs: int = 2,
+        config: Optional[RunnerConfig] = None,
+        machine: Optional[MachineConfig] = None,
+        max_pending: int = 256,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.store = store
+        self.jobs = jobs
+        self.config = config if config is not None else RunnerConfig()
+        self.machine = machine if machine is not None else MachineConfig()
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._heap: List[tuple] = []  # (-priority, seq, job)
+        self._pending = 0  # queued + running (not cached/finished)
+        self._inflight: Dict[str, Job] = {}  # key -> unfinished job
+        self._by_id: Dict[str, Job] = {}
+        self._seq = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._deduped = 0
+        #: Manifest entries of every job this scheduler finished.
+        self.served: List[dict] = []
+        self._workers: List[_Worker] = []
+        self._artifact_dir: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobScheduler":
+        if self._thread is not None:
+            return self
+        self._artifact_dir = tempfile.mkdtemp(prefix="repro-service-")
+        init = {"artifact_dir": self._artifact_dir, "machine": self.machine}
+        self._workers = [_Worker(init, slot) for slot in range(self.jobs)]
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join()
+        self._thread = None
+        stranded = [
+            w.current["job"] for w in self._workers
+            if w.current is not None
+        ]
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        if self._artifact_dir is not None:
+            shutil.rmtree(self._artifact_dir, ignore_errors=True)
+            self._artifact_dir = None
+        # Fail anything still queued or running so waiters unblock.
+        with self._lock:
+            stranded.extend(job for _, _, job in self._heap)
+            self._heap.clear()
+        for job in stranded:
+            self._finish(job, STATUS_ERROR, error="scheduler stopped",
+                         error_type="SchedulerStopped")
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec, priority: int = 0) -> Job:
+        """Queue *spec* (or attach to an identical in-flight job).
+
+        Consults the result store first: a warm key completes the job
+        immediately with ``cached=True`` and no queueing at all.
+        Raises :class:`QueueFull` when ``max_pending`` unfinished jobs
+        already exist.
+        """
+        if self._thread is None:
+            raise RuntimeError("scheduler is not started")
+        spec.validate()
+        key = self.store.key("job", spec)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.dedup += 1
+                self._deduped += 1
+                return existing
+        cached = self.store.get(key)  # store I/O outside the lock
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:  # raced with another submitter
+                existing.dedup += 1
+                self._deduped += 1
+                return existing
+            self._submitted += 1
+            job = Job(self._new_id(), spec, key, priority)
+            self._by_id[job.id] = job
+            if cached is not None:
+                job.status = STATUS_DONE
+                job.result = cached
+                job.cached = True
+                job._done.set()
+                self._completed += 1
+                self._record(job)
+                return job
+            if self._pending >= self.max_pending:
+                del self._by_id[job.id]
+                raise QueueFull(
+                    f"{self._pending} jobs pending (bound "
+                    f"{self.max_pending}); retry later"
+                )
+            self._pending += 1
+            self._inflight[key] = job
+            self._seq += 1
+            heapq.heappush(self._heap, (-priority, self._seq, job))
+        self._wake.set()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._by_id.get(job_id)
+
+    def _new_id(self) -> str:
+        return f"job-{len(self._by_id) + 1:06d}"
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            running = sum(
+                1 for w in self._workers if w.current is not None
+            )
+            return {
+                "workers": len(self._workers),
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "deduped": self._deduped,
+                "queued": len(self._heap),
+                "running": running,
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+            }
+
+    # -- scheduler loop ----------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            self._enforce_deadlines(now)
+            self._dispatch(now)
+            busy = [
+                w.conn for w in self._workers if w.current is not None
+            ]
+            if not busy:
+                self._wake.wait(_POLL)
+                self._wake.clear()
+                continue
+            timeout = _POLL
+            if self.config.timeout:
+                deadlines = [
+                    w.current["job"].deadline for w in self._workers
+                    if w.current is not None
+                    and w.current["job"].deadline is not None
+                ]
+                if deadlines:
+                    timeout = min(timeout, max(0.0, min(deadlines) - now))
+            for conn in _conn_wait(busy, timeout=timeout):
+                self._collect(conn)
+
+    def _dispatch(self, now: float) -> None:
+        with self._lock:
+            idle = [w for w in self._workers if w.current is None]
+            if not idle or not self._heap:
+                return
+            deferred = []
+            while idle and self._heap:
+                entry = heapq.heappop(self._heap)
+                job = entry[2]
+                if job.finished:
+                    continue  # timed out while queued for a retry
+                if job.not_before > now:
+                    deferred.append(entry)
+                    continue
+                worker = idle.pop()
+                job.status = STATUS_RUNNING
+                job.attempts += 1
+                if self.config.timeout and job.deadline is None:
+                    job.deadline = now + self.config.timeout
+                worker.submit({
+                    "id": f"{job.id}#{job.attempts}",
+                    "kind": "service",
+                    "job": job,
+                    "payload": {"spec": job.spec, "name": job.spec.label()},
+                })
+            for entry in deferred:
+                heapq.heappush(self._heap, entry)
+
+    def _enforce_deadlines(self, now: float) -> None:
+        if not self.config.timeout:
+            return
+        for idx, worker in enumerate(self._workers):
+            task = worker.current
+            if task is None:
+                continue
+            job = task["job"]
+            if job.deadline is None or now < job.deadline:
+                continue
+            worker.kill()  # a real kill, like the harness runner
+            self._workers[idx] = _Worker(
+                {"artifact_dir": self._artifact_dir,
+                 "machine": self.machine},
+                worker.slot,
+            )
+            self._finish(
+                job, STATUS_TIMEOUT,
+                error=f"no result within {self.config.timeout:g}s",
+                error_type="Timeout",
+            )
+
+    def _collect(self, conn) -> None:
+        worker = next(w for w in self._workers if w.conn is conn)
+        task = worker.current
+        job = task["job"]
+        try:
+            _task_id, ok, result = conn.recv()
+        except (EOFError, OSError):
+            idx = self._workers.index(worker)
+            worker.kill()
+            self._workers[idx] = _Worker(
+                {"artifact_dir": self._artifact_dir,
+                 "machine": self.machine},
+                worker.slot,
+            )
+            self._retry_or_fail(job, "WorkerCrash", "worker process died")
+            return
+        worker.current = None
+        if job.finished:
+            return  # deadline fired while the result was in the pipe
+        if not ok:
+            error_type, message = result
+            self._retry_or_fail(job, error_type, message)
+            return
+        self.store.put(job.key, result)
+        job.result = result
+        self._finish(job, STATUS_DONE)
+
+    def _retry_or_fail(self, job: Job, error_type: str, message: str) -> None:
+        if job.attempts <= self.config.retries:
+            delay = self.config.backoff * (2 ** (job.attempts - 1))
+            job.not_before = time.monotonic() + delay
+            job.deadline = None
+            with self._lock:
+                job.status = STATUS_QUEUED
+                self._seq += 1
+                heapq.heappush(
+                    self._heap, (-job.priority, self._seq, job)
+                )
+            return
+        self._finish(job, STATUS_ERROR, error=message,
+                     error_type=error_type)
+
+    def _finish(self, job: Job, status: str, error: str = "",
+                error_type: str = "") -> None:
+        with self._lock:
+            if job.finished:
+                return
+            job.status = status
+            job.error = error
+            job.error_type = error_type
+            job.elapsed = time.monotonic() - job._started
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+            self._pending -= 1
+            if status == STATUS_DONE:
+                self._completed += 1
+            else:
+                self._failed += 1
+            self._record(job)
+        job._done.set()
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.event(
+                "service.job.finished",
+                counters={"dedup": job.dedup, "attempts": job.attempts},
+                job=job.spec.label(), status=status,
+                cached=str(job.cached).lower(),
+            )
+
+    def _record(self, job: Job) -> None:
+        """Manifest entry for one finished job (lock held)."""
+        self.served.append({
+            "name": job.spec.label(),
+            "status": "ok" if job.status == STATUS_DONE else job.status,
+            "cached": job.cached,
+            "dedup": job.dedup,
+            "attempts": job.attempts,
+            "elapsed_s": round(job.elapsed, 3),
+            "error_type": job.error_type,
+            "artifact_key": job.key,
+        })

@@ -1,0 +1,263 @@
+"""Stdlib-only HTTP JSON API over the store + scheduler.
+
+Endpoints (all JSON)::
+
+    POST /v1/jobs        submit one job spec; body may carry "priority",
+                         "wait" (block until done), "wait_timeout"
+    GET  /v1/jobs/<id>   poll one job
+    POST /v1/batch       submit {"jobs": [spec, ...]} (a sweep); same
+                         "wait" semantics, applied to the whole batch
+    GET  /v1/stats       store + scheduler counters
+    GET  /healthz        liveness probe
+
+Error mapping: malformed JSON or an invalid spec is 400 (the body's
+``error`` field carries the validation message), an unknown job id is
+404, a full queue is 429.  The server is a
+:class:`http.server.ThreadingHTTPServer`: slow waited requests do not
+block polls, and the scheduler's dedup layer collapses identical
+concurrent submissions underneath.
+
+:class:`ReproService` bundles store + scheduler + server; its
+``manifest_entries``/``write_manifest`` hooks record every served job
+in a run ``manifest.json`` (same schema as the harness's) when tracing
+is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import obs
+from repro.harness.runner import RunnerConfig
+from repro.service.jobs import JobSpec, JobValidationError
+from repro.service.scheduler import JobScheduler, QueueFull
+from repro.service.store import ResultStore
+from repro.sim.machine import MachineConfig
+
+#: Default cap on server-side waiting for a "wait": true submission.
+DEFAULT_WAIT_TIMEOUT = 300.0
+
+#: Jobs a single /v1/batch request may carry.
+MAX_BATCH = 256
+
+
+class ReproService:
+    """Store + scheduler + HTTP server, managed as one unit."""
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        jobs: int = 2,
+        max_bytes: Optional[int] = None,
+        timeout: float = 0.0,
+        retries: int = 0,
+        max_pending: int = 256,
+        machine: Optional[MachineConfig] = None,
+    ):
+        self.store = ResultStore(store_dir, max_bytes=max_bytes)
+        self.scheduler = JobScheduler(
+            self.store,
+            jobs=jobs,
+            config=RunnerConfig(timeout=timeout, retries=retries),
+            machine=machine,
+            max_pending=max_pending,
+        )
+        self._server: Optional[ThreadingHTTPServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0,
+              quiet: bool = False) -> "ReproService":
+        """Start the scheduler and bind the HTTP server (not serving yet).
+
+        ``port=0`` binds an ephemeral port; read it back from
+        :attr:`address`.  Call :meth:`serve_forever` (blocking) or run
+        the returned server from a thread in tests.
+        """
+        self.scheduler.start()
+        self._server = _ServiceHTTPServer((host, port), _Handler)
+        self._server.service = self
+        self._server.quiet = quiet
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` the HTTP server is bound to."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and the scheduler (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        self.scheduler.stop()
+
+    # -- stats and manifest ------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "store": self.store.stats(),
+            "scheduler": self.scheduler.stats(),
+        }
+
+    def write_manifest(self, trace_dir, argv=None) -> None:
+        """Record every served job in ``manifest.json`` under *trace_dir*."""
+        manifest = obs.build_manifest(
+            command="repro.service",
+            argv=argv,
+            scale=0.0,  # jobs carry their own scales (see workloads[])
+            machine=self.scheduler.machine,
+            workloads=list(self.scheduler.served),
+            extra={"stats": self.stats()},
+        )
+        obs.write_manifest(trace_dir, manifest)
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: ReproService
+    quiet: bool = False
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobValidationError("empty request body")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise JobValidationError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise JobValidationError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _split_body(payload: dict):
+        """Separate transport fields from the spec fields."""
+        priority = payload.pop("priority", 0)
+        wait = bool(payload.pop("wait", False))
+        wait_timeout = float(
+            payload.pop("wait_timeout", DEFAULT_WAIT_TIMEOUT)
+        )
+        if not isinstance(priority, int):
+            raise JobValidationError("'priority' must be an integer")
+        return payload, priority, wait, wait_timeout
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._send(200, service.stats())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            job = service.scheduler.get(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+            else:
+                self._send(200, job.snapshot())
+        else:
+            self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:
+        service = self.server.service
+        try:
+            if self.path == "/v1/jobs":
+                payload = self._read_json()
+                body, priority, wait, wait_timeout = self._split_body(
+                    payload
+                )
+                spec = JobSpec.from_dict(body)
+                job = service.scheduler.submit(spec, priority=priority)
+                if wait:
+                    job.wait(wait_timeout)
+                self._send(200 if job.finished else 202, job.snapshot())
+            elif self.path == "/v1/batch":
+                payload = self._read_json()
+                specs = payload.pop("jobs", None)
+                body, priority, wait, wait_timeout = self._split_body(
+                    payload
+                )
+                if body:
+                    raise JobValidationError(
+                        f"unknown batch fields: {sorted(body)}"
+                    )
+                if not isinstance(specs, list) or not specs:
+                    raise JobValidationError(
+                        "'jobs' must be a non-empty list of job specs"
+                    )
+                if len(specs) > MAX_BATCH:
+                    raise JobValidationError(
+                        f"batch of {len(specs)} exceeds {MAX_BATCH}"
+                    )
+                jobs = [
+                    service.scheduler.submit(
+                        JobSpec.from_dict(entry), priority=priority
+                    )
+                    for entry in specs
+                ]
+                if wait:
+                    for job in jobs:
+                        job.wait(wait_timeout)
+                done = all(job.finished for job in jobs)
+                self._send(200 if done else 202, {
+                    "count": len(jobs),
+                    "jobs": [job.snapshot() for job in jobs],
+                })
+            else:
+                self._error(404, f"no route for POST {self.path}")
+        except JobValidationError as exc:
+            self._error(400, str(exc))
+        except QueueFull as exc:
+            self._error(429, str(exc))
+
+
+def serve(
+    store_dir,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    **kwargs,
+) -> ReproService:
+    """Build and start a :class:`ReproService` (caller serves forever)."""
+    service = ReproService(store_dir, **kwargs)
+    service.start(host, port)
+    return service

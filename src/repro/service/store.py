@@ -1,0 +1,224 @@
+"""Persistent content-addressed result store.
+
+Generalizes the in-run :class:`~repro.harness.artifacts.ArtifactStore`
+(scratch bundles, deleted when the pool shuts down) into a store that
+*survives* runs: identical (workload/source, compile options, early-gen
+config, code version) requests hit the cache instead of a simulator.
+
+Entry format — one file per key, ``<key>.res``::
+
+    MAGIC (4 bytes) | sha256(payload) (32 bytes) | payload (pickle)
+
+Guarantees:
+
+* **Atomic writes** — temp file + ``os.replace``, so concurrent writers
+  (forked harness workers, server pool workers) never expose a partial
+  entry; last writer wins, and both wrote the same content anyway
+  because the key is content-addressed.
+* **Corruption detection** — a read verifies the checksum before
+  unpickling and guards the unpickle itself; a truncated or corrupted
+  entry counts as a miss, is deleted, and never propagates an
+  exception.
+* **Size-bounded LRU eviction** — with ``max_bytes`` set, the oldest
+  entries (by mtime; a hit bumps it) are evicted after each write until
+  the store fits.  The entry just written is never evicted.
+* **Observability** — hits/misses/corruption/evictions are counted on
+  the instance and emitted as ``store.*`` events on the ambient
+  :mod:`repro.obs` tracer.
+
+Keys come from :meth:`ResultStore.key`, which folds
+:data:`RESULT_CODE_VERSION` into the existing
+:func:`~repro.harness.artifacts.artifact_key` canonicalizer so cached
+results are invalidated in one place when the pipeline's outputs
+change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.harness.artifacts import artifact_key
+
+#: Bump when a compiler/simulator change alters results: every key
+#: derived through :meth:`ResultStore.key` changes, so stale cached
+#: tables can never be served for new code.
+RESULT_CODE_VERSION = 1
+
+#: Entry-file magic; a mismatch means the file is not (or no longer) a
+#: store entry.
+_MAGIC = b"RPR1"
+
+_SUFFIX = ".res"
+_DIGEST_LEN = 32  # sha256
+
+
+class ResultStore:
+    """Checksummed pickle entries under one directory, LRU-bounded.
+
+    ``max_bytes`` limits the sum of entry-file sizes; ``None`` means
+    unbounded.  All operations are safe against concurrent readers and
+    writers in other processes — the worst case is recomputing a value
+    another process was about to publish.
+    """
+
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def key(*parts) -> str:
+        """Content key over *parts* plus the pipeline code version."""
+        return artifact_key("repro.service.result", RESULT_CODE_VERSION,
+                            *parts)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # -- read/write --------------------------------------------------------
+
+    def get(self, key: str):
+        """The stored value for *key*, or ``None`` on a miss.
+
+        A corrupt entry (bad magic, checksum mismatch, unpicklable
+        payload) is deleted and reported as a miss.
+        """
+        path = self.path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            self._emit("store.miss", key)
+            return None
+        value, ok = self._decode(blob)
+        if not ok:
+            self.corrupt += 1
+            self.misses += 1
+            self._emit("store.corrupt", key)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self._emit("store.hit", key)
+        try:
+            os.utime(path)  # bump mtime: this entry is now most recent
+        except OSError:
+            pass
+        return value
+
+    def put(self, key: str, value) -> Path:
+        """Atomically persist *value* under *key*; returns the path."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=key,
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._emit("store.put", key)
+        if self.max_bytes is not None:
+            self._evict(keep=path.name)
+        return path
+
+    def forget(self, key: str) -> None:
+        """Drop *key* from the filesystem (best effort)."""
+        try:
+            os.unlink(self.path(key))
+        except OSError:
+            pass
+
+    @staticmethod
+    def _decode(blob: bytes):
+        """``(value, True)`` for a well-formed entry, else ``(None, False)``."""
+        header = len(_MAGIC) + _DIGEST_LEN
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            return None, False
+        digest = blob[len(_MAGIC):header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None, False
+        try:
+            return pickle.loads(payload), True
+        except Exception:
+            # Checksum matched but the payload does not unpickle here
+            # (e.g. written by an incompatible interpreter): miss.
+            return None, False
+
+    # -- eviction and stats ------------------------------------------------
+
+    def entries(self):
+        """``(mtime, size, path)`` of every entry, oldest first."""
+        try:
+            listing = list(self.root.glob(f"*{_SUFFIX}"))
+        except OSError:
+            return []
+        out = []
+        for path in listing:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted/replaced by another process mid-scan
+            out.append((stat.st_mtime_ns, stat.st_size, path))
+        out.sort()
+        return out
+
+    def _evict(self, keep: str) -> None:
+        """Delete oldest entries until the store fits ``max_bytes``."""
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path.name == keep:
+                continue  # never evict the entry just written
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            self._emit("store.evict", path.stem)
+
+    def size_bytes(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def stats(self) -> dict:
+        """Counter snapshot (per-process; entry/size figures are live)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "entries": len(self.entries()),
+            "size_bytes": self.size_bytes(),
+            "max_bytes": self.max_bytes,
+        }
+
+    def _emit(self, name: str, key: str) -> None:
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.event(name, key=key)

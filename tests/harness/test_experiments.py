@@ -4,10 +4,13 @@ These check the *shape* invariants the paper's evaluation rests on; the
 full-scale numbers live in benchmarks/ and EXPERIMENTS.md.
 """
 
+import math
+
 import pytest
 
 from repro.harness.experiments import (
     ExperimentContext,
+    _geomean,
     fig5a,
     fig5b,
     fig5c,
@@ -120,3 +123,40 @@ def test_format_table_renders(ctx):
 
 def test_format_table_empty():
     assert format_table([]) == "(no rows)"
+
+
+def test_geomean_positive_values():
+    assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert _geomean([1.0]) == pytest.approx(1.0)
+
+
+def test_geomean_empty_is_nan_with_warning():
+    with pytest.warns(RuntimeWarning, match="empty sequence"):
+        assert math.isnan(_geomean([]))
+
+
+def test_geomean_non_positive_is_nan_with_warning():
+    for bad in ([1.0, 0.0], [1.0, -2.0], [1.0, float("nan")]):
+        with pytest.warns(RuntimeWarning, match="undefined"):
+            assert math.isnan(_geomean(bad))
+
+
+def test_corrupt_checkpoint_is_a_warned_miss(tmp_path):
+    cp_ctx = ExperimentContext(scale=0.12, checkpoint_dir=tmp_path)
+    cp_ctx.store_checkpoint("x", {"rows": [1]})
+    assert cp_ctx.load_checkpoint("x")["rows"] == [1]
+    # Truncate mid-write, as a crash would.
+    path = cp_ctx.checkpoint_path("x")
+    path.write_text(path.read_text()[:10], encoding="utf-8")
+    with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+        assert cp_ctx.load_checkpoint("x") is None
+    # A recompute can re-store over the corpse.
+    cp_ctx.store_checkpoint("x", {"rows": [2]})
+    assert cp_ctx.load_checkpoint("x")["rows"] == [2]
+
+
+def test_missing_checkpoint_is_a_silent_miss(tmp_path, recwarn):
+    cp_ctx = ExperimentContext(scale=0.12, checkpoint_dir=tmp_path)
+    assert cp_ctx.load_checkpoint("never-stored") is None
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]

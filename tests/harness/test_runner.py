@@ -178,7 +178,8 @@ def test_checkpoint_ignored_on_scale_change(tmp_path):
 
 def test_corrupt_checkpoint_ignored(tmp_path):
     (tmp_path / f"{MEDIA}.json").write_text("{not json")
-    outcome = make_runner(tmp_path).run_workload(MEDIA)
+    with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+        outcome = make_runner(tmp_path).run_workload(MEDIA)
     assert not outcome.cached
     assert outcome.status == STATUS_OK
 

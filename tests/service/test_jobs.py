@@ -1,0 +1,100 @@
+"""JobSpec validation and execute_job semantics."""
+
+import pytest
+
+from repro.service.jobs import JobSpec, JobValidationError, execute_job
+
+SRC_TINY = """
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < __SCALE__; i = i + 1) {
+        acc = acc + i;
+    }
+    print_int(acc);
+    return 0;
+}
+""".replace("__SCALE__", "10")
+
+
+def test_workload_and_source_are_exclusive():
+    with pytest.raises(JobValidationError, match="exactly one"):
+        JobSpec(workload="022.li", source=SRC_TINY).validate()
+    with pytest.raises(JobValidationError, match="exactly one"):
+        JobSpec().validate()
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(JobValidationError, match="unknown workload"):
+        JobSpec(workload="no-such-benchmark").validate()
+
+
+def test_empty_source_rejected():
+    with pytest.raises(JobValidationError, match="empty"):
+        JobSpec(source="   \n").validate()
+
+
+def test_bad_scalar_fields_rejected():
+    with pytest.raises(JobValidationError, match="scale"):
+        JobSpec(workload="022.li", scale=0.0).validate()
+    with pytest.raises(JobValidationError, match="opt_level"):
+        JobSpec(workload="022.li", opt_level=3).validate()
+    with pytest.raises(JobValidationError, match="selection"):
+        JobSpec(workload="022.li", selection="psychic").validate()
+    # EarlyGenConfig constraints surface as validation errors too.
+    with pytest.raises(JobValidationError):
+        JobSpec(workload="022.li", table_entries=-5).validate()
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(JobValidationError, match="unknown job fields"):
+        JobSpec.from_dict({"workload": "022.li", "frobnicate": 1})
+    with pytest.raises(JobValidationError):
+        JobSpec.from_dict("not a dict")
+
+
+def test_from_dict_round_trip():
+    spec = JobSpec.from_dict({"workload": "022.li", "scale": 0.25})
+    assert spec.workload == "022.li"
+    assert spec.scale == 0.25
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_label():
+    assert JobSpec(workload="022.li").label() == "022.li"
+    label = JobSpec(source=SRC_TINY).label()
+    assert label.startswith("source:") and len(label) == len("source:") + 8
+    # Label tracks content, not identity.
+    assert JobSpec(source=SRC_TINY).label() == label
+    assert JobSpec(source=SRC_TINY + " ").label() != label
+
+
+def test_execute_source_job():
+    result = execute_job(JobSpec(source=SRC_TINY))
+    assert result["job"].startswith("source:")
+    assert result["output_preview"] == [45]  # sum(range(10))
+    assert result["output_verified"] is False
+    assert result["cycles"] > 0
+    assert result["baseline_cycles"] >= result["cycles"]
+    assert result["speedup"] >= 1.0
+
+
+def test_execute_baseline_config():
+    result = execute_job(
+        JobSpec(source=SRC_TINY, table_entries=0, cached_regs=0)
+    )
+    assert result["config"] == "baseline"
+    assert result["speedup"] == 1.0
+
+
+def test_execute_workload_job_verifies_output():
+    result = execute_job(JobSpec(workload="adpcm_decode", scale=0.05))
+    assert result["job"] == "adpcm_decode"
+    assert result["output_verified"] is True
+    assert result["config"] == "t256_r1_compiler"
+
+
+def test_execute_is_deterministic():
+    spec = JobSpec(source=SRC_TINY, table_entries=16)
+    assert execute_job(spec) == execute_job(spec)

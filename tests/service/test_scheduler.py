@@ -1,0 +1,172 @@
+"""JobScheduler: dedup, caching, priorities, backpressure, timeouts."""
+
+import pytest
+
+from repro.harness.runner import RunnerConfig
+from repro.service.jobs import JobSpec, JobValidationError
+from repro.service.scheduler import JobScheduler, QueueFull
+from repro.service.store import ResultStore
+
+_LOOP = """
+int main() {
+    int i;
+    int j;
+    int acc;
+    acc = 0;
+    for (i = 0; i < __N__; i = i + 1) {
+        for (j = 0; j < __N__; j = j + 1) {
+            acc = acc + 1;
+        }
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+def _src(n, salt=0):
+    """Mini-C source whose runtime scales as n^2; salt varies the key."""
+    text = _LOOP.replace("__N__", str(n))
+    if salt:
+        text += f"// salt {salt}\n"
+    return text
+
+
+FAST = JobSpec(source=_src(10))
+SLOW = JobSpec(source=_src(300))  # ~0.4 s of emulation
+VERY_SLOW = JobSpec(source=_src(900))  # ~3.5 s of emulation
+BROKEN = JobSpec(source="int main() { return 0 }")  # missing semicolon
+
+
+def _scheduler(tmp_path, **kwargs):
+    store = ResultStore(tmp_path / "store")
+    kwargs.setdefault("jobs", 1)
+    return JobScheduler(store, **kwargs).start()
+
+
+def test_submit_requires_started_scheduler(tmp_path):
+    sched = JobScheduler(ResultStore(tmp_path / "store"))
+    with pytest.raises(RuntimeError, match="not started"):
+        sched.submit(FAST)
+
+
+def test_submit_validates(tmp_path):
+    sched = _scheduler(tmp_path)
+    try:
+        with pytest.raises(JobValidationError):
+            sched.submit(JobSpec(workload="nope"))
+    finally:
+        sched.stop()
+
+
+def test_job_completes(tmp_path):
+    sched = _scheduler(tmp_path)
+    try:
+        job = sched.submit(FAST)
+        assert job.wait(60)
+        assert job.status == "done"
+        assert job.cached is False
+        assert job.attempts == 1
+        assert job.result["output_preview"] == [100]
+        stats = sched.stats()
+        assert stats["completed"] == 1 and stats["failed"] == 0
+    finally:
+        sched.stop()
+
+
+def test_inflight_dedup_and_cache_hit(tmp_path):
+    sched = _scheduler(tmp_path)
+    try:
+        first = sched.submit(SLOW)
+        second = sched.submit(SLOW)
+        assert second is first  # attached, not re-queued
+        assert first.dedup == 1
+        assert first.wait(60) and first.status == "done"
+        # The result is in the store now: a new submission is a hit.
+        third = sched.submit(SLOW)
+        assert third is not first
+        assert third.cached is True
+        assert third.finished and third.result == first.result
+        stats = sched.stats()
+        assert stats["deduped"] == 1
+        assert stats["completed"] == 2  # one computed, one cached
+        assert sched.store.hits == 1
+    finally:
+        sched.stop()
+
+
+def test_priorities_order_the_queue(tmp_path):
+    sched = _scheduler(tmp_path)  # single worker
+    try:
+        blocker = sched.submit(SLOW)
+        low = sched.submit(JobSpec(source=_src(10, salt=1)), priority=0)
+        high = sched.submit(JobSpec(source=_src(10, salt=2)), priority=5)
+        for job in (blocker, low, high):
+            assert job.wait(60) and job.status == "done"
+        order = [entry["name"] for entry in sched.served]
+        assert order.index(high.spec.label()) < order.index(low.spec.label())
+    finally:
+        sched.stop()
+
+
+def test_queue_full_backpressure(tmp_path):
+    sched = _scheduler(tmp_path, max_pending=1)
+    try:
+        running = sched.submit(SLOW)
+        with pytest.raises(QueueFull):
+            sched.submit(JobSpec(source=_src(10, salt=3)))
+        # Attaching to the in-flight job is still allowed at the bound.
+        assert sched.submit(SLOW) is running
+        assert running.wait(60)
+        # And the bound frees up once the job finishes.
+        after = sched.submit(JobSpec(source=_src(10, salt=3)))
+        assert after.wait(60) and after.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_timeout_kills_job_without_retry(tmp_path):
+    sched = _scheduler(
+        tmp_path, config=RunnerConfig(timeout=0.3, retries=2, backoff=0.01)
+    )
+    try:
+        job = sched.submit(VERY_SLOW)
+        assert job.wait(60)
+        assert job.status == "timeout"
+        assert job.error_type == "Timeout"
+        assert job.attempts == 1  # timeouts are never retried
+        # The replacement worker is healthy: new jobs still run.
+        ok = sched.submit(FAST)
+        assert ok.wait(60) and ok.status == "done"
+        assert sched.stats()["failed"] == 1
+    finally:
+        sched.stop()
+
+
+def test_failing_job_is_retried_then_fails(tmp_path):
+    sched = _scheduler(
+        tmp_path, config=RunnerConfig(retries=1, backoff=0.01)
+    )
+    try:
+        job = sched.submit(BROKEN)
+        assert job.wait(60)
+        assert job.status == "error"
+        assert job.attempts == 2  # original + one retry
+        assert job.error_type and job.error
+        # Failures are not cached: resubmitting runs again.
+        again = sched.submit(BROKEN)
+        assert again is not job and again.cached is False
+        assert again.wait(60) and again.status == "error"
+    finally:
+        sched.stop()
+
+
+def test_stop_unblocks_waiters(tmp_path):
+    sched = _scheduler(tmp_path)
+    job = sched.submit(VERY_SLOW)
+    queued = sched.submit(JobSpec(source=_src(900, salt=4)))
+    sched.stop()
+    assert job.finished and queued.finished
+    for stranded in (job, queued):
+        assert stranded.status == "error"
+        assert stranded.error_type == "SchedulerStopped"

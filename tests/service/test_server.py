@@ -1,0 +1,116 @@
+"""HTTP API end to end: in-process server, real sockets, real workers."""
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ReproService
+
+SRC = """
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 50; i = i + 1) {
+        acc = acc + i;
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+SRC_SLOW = SRC.replace("< 50", "< 90000")  # ~0.5 s of emulation
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ReproService(tmp_path / "store", jobs=2)
+    svc.start(port=0, quiet=True)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+        thread.join(10)
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+def test_healthz(client):
+    assert client.healthy()
+    assert not ServiceClient("http://127.0.0.1:1").healthy()
+
+
+def test_submit_wait_then_cached(client):
+    job = client.submit({"source": SRC}, wait=True)
+    assert job["status"] == "done"
+    assert job["cached"] is False
+    assert job["result"]["output_preview"] == [1225]
+    again = client.submit({"source": SRC}, wait=True)
+    assert again["status"] == "done"
+    assert again["cached"] is True
+    assert again["result"] == job["result"]
+    stats = client.stats()
+    assert stats["store"]["hits"] == 1
+    assert stats["scheduler"]["completed"] == 2
+
+
+def test_submit_no_wait_then_poll(client):
+    job = client.submit({"source": SRC_SLOW})
+    assert job["status"] in ("queued", "running")
+    snapshot = client.job(job["id"])
+    assert snapshot["id"] == job["id"]
+    done = client.submit({"source": SRC_SLOW}, wait=True)
+    assert done["status"] == "done"
+    assert done["id"] == job["id"]  # deduped onto the in-flight job
+    assert done["dedup"] >= 1
+    assert client.stats()["scheduler"]["deduped"] >= 1
+
+
+def test_batch_mixes_cached_and_fresh(client):
+    warm = client.submit({"workload": "adpcm_decode", "scale": 0.05},
+                         wait=True)
+    assert warm["status"] == "done"
+    result = client.batch(
+        [
+            {"workload": "adpcm_decode", "scale": 0.05},
+            {"workload": "adpcm_encode", "scale": 0.05},
+        ],
+        wait=True,
+    )
+    assert result["count"] == 2
+    by_name = {j["job"]: j for j in result["jobs"]}
+    assert by_name["adpcm_decode"]["cached"] is True
+    assert by_name["adpcm_encode"]["cached"] is False
+    assert all(j["status"] == "done" for j in result["jobs"])
+
+
+def test_validation_errors_are_400(client):
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"workload": "not-a-benchmark"}, wait=True)
+    assert exc.value.status == 400
+    assert "unknown workload" in exc.value.message
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"source": SRC, "bogus_field": 1})
+    assert exc.value.status == 400
+    with pytest.raises(ServiceError) as exc:
+        client.batch([])
+    assert exc.value.status == 400
+
+
+def test_unknown_job_is_404(client):
+    with pytest.raises(ServiceError) as exc:
+        client.job("job-999999")
+    assert exc.value.status == 404
+
+
+def test_stats_shape(client):
+    stats = client.stats()
+    assert set(stats) == {"store", "scheduler"}
+    assert stats["scheduler"]["workers"] == 2
+    assert stats["store"]["entries"] == 0

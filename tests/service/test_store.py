@@ -1,0 +1,169 @@
+"""ResultStore: atomicity, corruption, LRU eviction, key stability."""
+
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.store import RESULT_CODE_VERSION, ResultStore
+
+_FORK = multiprocessing.get_context("fork")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def test_round_trip(store):
+    key = store.key("alpha", 1.5, {"a": [1, 2]})
+    assert store.get(key) is None
+    store.put(key, {"rows": [1.0, 2.0], "tag": "x"})
+    assert store.get(key) == {"rows": [1.0, 2.0], "tag": "x"}
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_forget(store):
+    key = store.key("gone")
+    store.put(key, 1)
+    store.forget(key)
+    assert store.get(key) is None
+
+
+def test_key_includes_code_version(store):
+    assert RESULT_CODE_VERSION == 1  # bumping must be a conscious act
+    key = store.key("a")
+    assert key != store.key("a", 2)
+    assert key != store.key("b")
+    assert key == store.key("a")
+
+
+def test_truncated_entry_is_a_miss_and_deleted(store):
+    key = store.key("trunc")
+    path = store.put(key, {"value": list(range(100))})
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert store.get(key) is None
+    assert store.corrupt == 1
+    assert not path.exists()  # poisoned entry removed
+    # The slot is usable again.
+    store.put(key, {"value": 1})
+    assert store.get(key) == {"value": 1}
+
+
+def test_flipped_byte_is_a_miss(store):
+    key = store.key("flip")
+    path = store.put(key, b"payload-bytes" * 10)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    assert store.get(key) is None
+    assert store.corrupt == 1
+
+
+def test_garbage_file_is_a_miss(store):
+    key = store.key("garbage")
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.path(key).write_bytes(b"not a store entry")
+    assert store.get(key) is None
+    assert store.corrupt == 1
+
+
+def test_eviction_is_lru(tmp_path):
+    # Entries are ~1.1 KiB each; bound the store to three of them.
+    store = ResultStore(tmp_path / "store", max_bytes=3500)
+    payload = {"pad": b"x" * 1000}
+    keys = {name: store.key(name) for name in "abc"}
+    for name in "abc":
+        store.put(keys[name], dict(payload, name=name))
+    # Make the access order unambiguous: a < b < c by mtime.
+    now = time.time()
+    for age, name in ((300, "a"), (200, "b"), (100, "c")):
+        os.utime(store.path(keys[name]), (now - age, now - age))
+    # Touching `a` makes `b` the least recently used.
+    assert store.get(keys["a"]) is not None
+    store.put(store.key("d"), dict(payload, name="d"))
+    assert store.get(keys["b"]) is None  # evicted
+    assert store.get(keys["a"]) is not None
+    assert store.get(keys["c"]) is not None
+    assert store.get(store.key("d")) is not None
+    assert store.evictions == 1
+
+
+def test_just_written_entry_survives_tight_bound(tmp_path):
+    store = ResultStore(tmp_path / "store", max_bytes=10)
+    key = store.key("big")
+    store.put(key, b"y" * 1000)  # alone over the bound: still kept
+    assert store.get(key) is not None
+    # A second entry forces the first out but keeps itself.
+    key2 = store.key("big2")
+    store.put(key2, b"z" * 1000)
+    assert store.get(key2) is not None
+    assert store.get(key) is None
+
+
+def test_stats_shape(store):
+    store.put(store.key("s"), 1)
+    stats = store.stats()
+    assert stats["entries"] == 1
+    assert stats["size_bytes"] > 0
+    for field in ("hits", "misses", "corrupt", "evictions", "max_bytes"):
+        assert field in stats
+
+
+def _fork_writer(root, worker, key_common):
+    store = ResultStore(root)
+    for round_ in range(5):
+        store.put(key_common, {"worker": worker, "round": round_})
+        store.put(store.key("own", worker), {"worker": worker})
+    read = store.get(key_common)
+    os._exit(0 if isinstance(read, dict) and "worker" in read else 1)
+
+
+def test_concurrent_forked_writers(tmp_path):
+    """Racing writers never corrupt an entry or crash a reader."""
+    root = tmp_path / "store"
+    store = ResultStore(root)
+    key_common = store.key("shared")
+    procs = [
+        _FORK.Process(target=_fork_writer, args=(root, w, key_common))
+        for w in range(4)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(30)
+        assert proc.exitcode == 0
+    # Whatever writer won, the shared entry decodes cleanly...
+    final = store.get(key_common)
+    assert isinstance(final, dict) and final["round"] == 4
+    # ...and every per-worker entry landed.
+    for worker in range(4):
+        assert store.get(store.key("own", worker)) == {"worker": worker}
+    assert store.corrupt == 0
+
+
+def test_key_stable_across_processes(tmp_path):
+    """The same logical parts key identically under another hash seed."""
+    parts = (
+        "job", 1.25, {"nested": [1, 2, {"deep": "x"}]},
+        frozenset({"p", "q"}), ("tuple", 3),
+    )
+    local = ResultStore.key(*parts)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=str(src), PYTHONHASHSEED="12345")
+    script = (
+        "from repro.service.store import ResultStore\n"
+        "parts = ('job', 1.25, {'nested': [1, 2, {'deep': 'x'}]}, "
+        "frozenset({'p', 'q'}), ('tuple', 3))\n"
+        "print(ResultStore.key(*parts))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env,
+        capture_output=True, text=True, timeout=60, check=True,
+    )
+    assert out.stdout.strip() == local
