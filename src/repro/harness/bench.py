@@ -25,16 +25,23 @@ Usage::
 The recorded metrics:
 
 ==========================  =============================================
-``wall_s``                  whole-workload wall time (all four stages)
+``wall_s``                  whole-workload wall time (all stages)
 ``compile_s``               mini-C -> classified machine code
 ``emulate_s``               functional emulation producing the trace
 ``profile_s``               unbounded-predictor address profiling
+``precompute_s``            one-time config-invariant stream construction
+                            (see :mod:`repro.sim.precompute`)
 ``sim_s``                   all timing-simulator replays, summed
 ``sim_runs``                number of independent replays (incl. baseline)
 ``sim_instructions``        dynamic instructions replayed across all runs
 ``sims_per_sec``            ``sim_runs / sim_s``
 ``sim_instructions_per_sec``  ``sim_instructions / sim_s``
 ==========================  =============================================
+
+Since schema 2 the sweep replays share one trace precompute:
+``precompute_s`` carries the shared stream construction and ``sim_s``
+only the per-config replay passes, so trajectory files attribute the
+time correctly.
 """
 
 from __future__ import annotations
@@ -55,11 +62,13 @@ from repro.harness.experiments import eg_tag, sim_requests
 from repro.profiling.address_profile import profile_trace
 from repro.sim.executor import Executor
 from repro.sim.machine import BASELINE, MachineConfig
-from repro.sim.pipeline import TimingSimulator
+from repro.sim.precompute import simulate_many, warm_precompute
 from repro.workloads import get_workload, workload_names
 
-#: Version stamp of the snapshot JSON schema.
-BENCH_SCHEMA = 1
+#: Version stamp of the snapshot JSON schema.  2: added the
+#: ``precompute_s`` stage (shared stream construction split out of
+#: ``sim_s``).
+BENCH_SCHEMA = 2
 
 #: Snapshot compared against by default when it exists in the cwd.
 DEFAULT_BASELINE = "BENCH_baseline.json"
@@ -120,21 +129,27 @@ def bench_workload(
                 result.program, trace, predictor=profile.predictor
             )
 
+        configs = [BASELINE] + [req.earlygen for req in requests]
+        per_config_overrides = [None] + [
+            overrides if req.use_profile_override else None
+            for req in requests
+        ]
+        span_tags = [{"workload": name, "config": "baseline"}] + [
+            {"workload": name, "config": eg_tag(req.earlygen, req.cache_key)}
+            for req in requests
+        ]
+
         t0 = time.perf_counter()
-        with tracer.span("sim", workload=name, config="baseline"):
-            TimingSimulator(trace, machine.with_earlygen(BASELINE)).run()
-        sim_runs = 1
-        for req in requests:
-            with tracer.span(
-                "sim", workload=name,
-                config=eg_tag(req.earlygen, req.cache_key),
-            ):
-                TimingSimulator(
-                    trace,
-                    machine.with_earlygen(req.earlygen),
-                    overrides if req.use_profile_override else None,
-                ).run()
-            sim_runs += 1
+        with tracer.span("precompute", workload=name):
+            warm_precompute(trace, machine, configs, per_config_overrides)
+        t_precompute = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        simulate_many(
+            trace, configs, machine=machine,
+            overrides=per_config_overrides, span_tags=span_tags,
+        )
+        sim_runs = len(configs)
         t_sim = time.perf_counter() - t0
 
         wall = time.perf_counter() - started
@@ -148,6 +163,7 @@ def bench_workload(
         "compile_s": round(t_compile, 4),
         "emulate_s": round(t_emulate, 4),
         "profile_s": round(t_profile, 4),
+        "precompute_s": round(t_precompute, 4),
         "sim_s": round(t_sim, 4),
         "sim_runs": sim_runs,
         "trace_instructions": len(trace),
@@ -179,6 +195,7 @@ def run_bench(
     total_wall = time.perf_counter() - started
 
     total_sim = sum(w["sim_s"] for w in workloads.values())
+    total_pre = sum(w["precompute_s"] for w in workloads.values())
     total_insts = sum(w["sim_instructions"] for w in workloads.values())
     total_runs = sum(w["sim_runs"] for w in workloads.values())
     return {
@@ -190,6 +207,7 @@ def run_bench(
         "workloads": workloads,
         "totals": {
             "wall_s": round(total_wall, 3),
+            "precompute_s": round(total_pre, 3),
             "sim_s": round(total_sim, 3),
             "sim_runs": total_runs,
             "sim_instructions": total_insts,
@@ -326,7 +344,9 @@ def main(argv=None) -> int:
     _atomic_write_json(output, snapshot)
 
     totals = snapshot["totals"]
-    print(f"wall {totals['wall_s']:.2f}s, sim {totals['sim_s']:.2f}s, "
+    print(f"wall {totals['wall_s']:.2f}s, "
+          f"precompute {totals['precompute_s']:.2f}s, "
+          f"sim {totals['sim_s']:.2f}s, "
           f"{totals['sim_runs']} sims, "
           f"{totals['sim_instructions_per_sec']:,.0f} sim inst/s")
     print(f"snapshot written to {output}")

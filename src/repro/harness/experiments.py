@@ -282,6 +282,61 @@ class ExperimentContext:
         stats = self.sim(name, earlygen, spec_override, cache_key)
         return self.baseline_stats(name).cycles / stats.cycles
 
+    def prefetch_sims(self, name: str, threshold: float = None) -> None:
+        """Run every sim the row drivers will request for *name* in one
+        batch, sharing a single trace precompute across the sweep.
+
+        Fills :attr:`WorkloadRun.baseline` and the per-config sim cache
+        with :class:`SimStats` byte-identical to what the lazy
+        :meth:`sim` calls would have produced (see
+        :mod:`repro.sim.precompute`); the drivers then hit the cache
+        instead of simulating one config at a time.  Already-cached
+        entries are left untouched, so a plan miss or a manual
+        :meth:`sim` call stays harmless.
+        """
+        from repro.sim.precompute import simulate_many
+
+        if threshold is None:
+            threshold = DEFAULT_THRESHOLD
+        run = self.run(name)
+        suite = get_workload(name).suite
+        configs: List = []
+        overrides: List = []
+        tags: List = []
+        keys: List = []
+        if run.baseline is None:
+            configs.append(BASELINE)
+            overrides.append(None)
+            tags.append({"workload": name, "config": "baseline"})
+            keys.append(None)
+        for req in sim_requests(suite):
+            if (req.earlygen, req.cache_key) in run._sims:
+                continue
+            override = None
+            if req.use_profile_override:
+                override = profile_overrides(
+                    run.program, run.trace, threshold,
+                    run.get_profile().predictor,
+                )
+            configs.append(req.earlygen)
+            overrides.append(override)
+            tags.append({
+                "workload": name,
+                "config": eg_tag(req.earlygen, req.cache_key),
+            })
+            keys.append((req.earlygen, req.cache_key))
+        if not configs:
+            return
+        stats_list = simulate_many(
+            run.trace, configs, machine=self.machine,
+            overrides=overrides, span_tags=tags,
+        )
+        for key, stats in zip(keys, stats_list):
+            if key is None:
+                run.baseline = stats
+            else:
+                run._sims[key] = stats
+
 
 def _geomean(values: List[float]) -> float:
     """Geometric mean; NaN (with a warning) for undefined inputs.

@@ -54,11 +54,8 @@ from repro.harness.experiments import (
     sim_requests,
 )
 from repro.sim.machine import BASELINE
-from repro.sim.pipeline import (
-    TimingSimulator,
-    _decode_program,
-    _precompute_frontend,
-)
+from repro.sim.pipeline import _decode_program, _precompute_frontend
+from repro.sim.precompute import simulate_many
 from repro.workloads import get_workload
 
 _FORK = multiprocessing.get_context("fork")
@@ -146,22 +143,22 @@ def _task_sim(init: dict, store: ArtifactStore, payload: dict):
                      br_extra.tolist(), misp_total),
         })
     machine = init["machine"]
-    tracer = obs.current()
-    results = []
-    for sim in payload["sims"]:
-        spec_override = (
+    sims = payload["sims"]
+    return simulate_many(
+        trace,
+        [machine.with_earlygen(sim["earlygen"]) for sim in sims],
+        overrides=[
             bundle["overrides"] if sim["use_profile_override"] else None
-        )
-        config = machine.with_earlygen(sim["earlygen"])
-        with tracer.span(
-            "sim",
-            workload=payload["name"],
-            config=eg_tag(sim["earlygen"], sim["cache_key"]),
-        ):
-            results.append(
-                TimingSimulator(trace, config, spec_override).run()
-            )
-    return results
+            for sim in sims
+        ],
+        span_tags=[
+            {
+                "workload": payload["name"],
+                "config": eg_tag(sim["earlygen"], sim["cache_key"]),
+            }
+            for sim in sims
+        ],
+    )
 
 
 def _task_rows(init: dict, store: ArtifactStore, payload: dict):

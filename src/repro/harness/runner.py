@@ -135,6 +135,10 @@ class WorkloadOutcome:
 def compute_rows(ctx: ExperimentContext, name: str) -> Dict[str, dict]:
     """Row fragments of every experiment *name* participates in."""
     suite = get_workload(name).suite
+    # Batch the whole config sweep through one shared trace precompute
+    # before the drivers run; they then read from the context cache.
+    # No-op when the cache is already populated (parallel rows task).
+    ctx.prefetch_sims(name)
     rows: Dict[str, dict] = {}
     if suite == "spec":
         rows["table2"] = table2(ctx, [name])[0]

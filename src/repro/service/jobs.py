@@ -17,6 +17,7 @@ is equally callable inline, which the tests and the CLI ``submit
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import List, Optional
 
@@ -32,6 +33,38 @@ from repro.sim.machine import (
 #: How many OUT-stream values a job result carries back (the full
 #: stream is checked against the reference in-process for workloads).
 _OUTPUT_PREVIEW = 8
+
+#: Worker-side memo of compiled-and-emulated programs.  A batch that
+#: sweeps configs over the same workload/source lands on the same
+#: worker trace, so each job after the first skips compile+emulate —
+#: and, because the sim precompute caches on the Program object, the
+#: whole batch shares one precompute (see :mod:`repro.sim.precompute`).
+#: Small and bounded: a worker holds at most this many live traces.
+_TRACE_MEMO_LIMIT = 4
+_trace_memo: OrderedDict = OrderedDict()
+
+
+def _compile_and_emulate(source: str, opt_level: int, verify_ir: bool):
+    """Memoized compile + functional emulation of one source text."""
+    from repro.compiler.driver import CompileOptions, compile_source
+    from repro.sim.executor import Executor
+
+    key = (
+        hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        opt_level, verify_ir,
+    )
+    hit = _trace_memo.get(key)
+    if hit is not None:
+        _trace_memo.move_to_end(key)
+        return hit
+    result = compile_source(source, CompileOptions(
+        opt_level=opt_level, verify=verify_ir,
+    ))
+    exec_result = Executor(result.program).run()
+    while len(_trace_memo) >= _TRACE_MEMO_LIMIT:
+        _trace_memo.popitem(last=False)
+    _trace_memo[key] = (result, exec_result)
+    return result, exec_result
 
 
 class JobValidationError(ValueError):
@@ -139,9 +172,7 @@ def execute_job(spec: JobSpec, machine: Optional[MachineConfig] = None) -> dict:
     result is a plain JSON-safe dict — exactly what the store persists
     and the HTTP API returns.
     """
-    from repro.compiler.driver import CompileOptions, compile_source
-    from repro.sim.executor import Executor
-    from repro.sim.pipeline import TimingSimulator
+    from repro.sim.precompute import simulate_many
     from repro.workloads import get_workload
 
     spec.validate()
@@ -159,24 +190,23 @@ def execute_job(spec: JobSpec, machine: Optional[MachineConfig] = None) -> dict:
             expected = workload.expected_output(n)
         else:
             source = spec.source
-        result = compile_source(source, CompileOptions(
-            opt_level=spec.opt_level, verify=spec.verify_ir,
-        ))
-        exec_result = Executor(result.program).run()
+        result, exec_result = _compile_and_emulate(
+            source, spec.opt_level, spec.verify_ir
+        )
         if expected is not None and exec_result.output != expected:
             raise OutputMismatchError(
                 f"emulated output {exec_result.output} != reference "
                 f"{expected}",
                 workload=spec.workload,
             )
-        baseline = TimingSimulator(
-            exec_result.trace, machine.with_earlygen(BASELINE)
-        ).run()
         if earlygen.enabled:
-            stats = TimingSimulator(
-                exec_result.trace, machine.with_earlygen(earlygen)
-            ).run()
+            baseline, stats = simulate_many(
+                exec_result.trace, [BASELINE, earlygen], machine=machine
+            )
         else:
+            baseline = simulate_many(
+                exec_result.trace, [BASELINE], machine=machine
+            )[0]
             stats = baseline
         if tracer.enabled:
             span.set_counters(steps=exec_result.steps, cycles=stats.cycles)

@@ -15,6 +15,7 @@ from repro.sim.executor import (
 )
 from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
 from repro.sim.pipeline import TimingSimulator, simulate
+from repro.sim.precompute import simulate_many, warm_precompute
 from repro.sim.stats import SimStats
 from repro.sim.trace import Trace
 
@@ -30,4 +31,6 @@ __all__ = [
     "TimingSimulator",
     "Trace",
     "simulate",
+    "simulate_many",
+    "warm_precompute",
 ]

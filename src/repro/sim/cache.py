@@ -7,6 +7,20 @@ not allocate a block.  :class:`SetAssociativeCache` generalizes the same
 contract to N ways with LRU replacement (an extension used by the
 embedded design-space exploration); ``DirectMappedCache`` keeps its fast
 1-way implementation and is what the paper's configuration instantiates.
+
+Counter semantics — a contract relied on by the stream-precompute fast
+path (:mod:`repro.sim.precompute`), which rebuilds these counters from
+totals instead of replaying the tag array, and pinned by
+``tests/sim/test_counter_semantics.py``:
+
+* ``accesses == hits + misses`` at all times;
+* ``probe`` never counts and never allocates, so interleaving probes
+  does not perturb the statistics or the fill state;
+* ``access`` counts exactly one hit or miss and allocates on a miss
+  (a hit refreshes the LRU position in the set-associative case);
+* ``write_access`` counts exactly one hit or miss and never fills
+  (write-through, no-allocate); a set-associative write hit refreshes
+  LRU exactly like a read hit.
 """
 
 from __future__ import annotations

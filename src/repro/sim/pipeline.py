@@ -187,7 +187,8 @@ def _precompute_frontend(program: Program, trace, cfg, dec):
         program._frontend_pre = cached
     key = (cfg.icache, cfg.btb_entries, cfg.ras_entries,
            cfg.mispredict_penalty, cfg.jump_bubble)
-    hit = cached[1].get(key)
+    inner = cached[1]
+    hit = inner.get(key)
     if hit is not None:
         return hit
 
@@ -261,8 +262,16 @@ def _precompute_frontend(program: Program, trace, cfg, dec):
                     ras.append(addr + 4)
 
     result = (ifetch, imiss_total, br_extra, misp_total)
-    cached[1][key] = result
+    # Bounded (FIFO) so long service sessions sweeping many front-end
+    # variants over one trace cannot grow the Program-attached cache
+    # without limit; a fresh trace identity already resets the dict.
+    while len(inner) >= _FRONTEND_CACHE_LIMIT:
+        del inner[next(iter(inner))]
+    inner[key] = result
     return result
+
+#: Bound on cached front-end variants per (program, trace) identity.
+_FRONTEND_CACHE_LIMIT = 8
 
 #: Watchdog default: no single instruction may wait this many cycles to
 #: issue.  Legitimate stalls are bounded by a few cache-miss penalties
@@ -350,6 +359,33 @@ class TimingSimulator:
 
     def run(self) -> SimStats:
         """Simulate the whole trace; returns the collected statistics.
+
+        When the trace already carries a warm config-invariant
+        precompute (:mod:`repro.sim.precompute`) and this run has no
+        per-step observer (``event_hook``), no timeline, and no
+        ``spec_override``, the precomputed-stream path is used; it is
+        byte-identical to :meth:`_run_inline` (golden snapshots, the
+        randomized parity suite, and the ``python -m
+        repro.sim.precompute`` CI gate enforce that).  Everything else
+        — cold traces, hardware dual-path selection, hooks, timelines,
+        overrides, tightened watchdogs — runs inline.  A one-shot
+        simulation never pays for building a precompute here; batched
+        sweeps build one via :func:`repro.sim.precompute.simulate_many`.
+        """
+        if (
+            self.event_hook is None
+            and not self.collect_timeline
+            and self.spec_override is None
+        ):
+            from repro.sim import precompute as _precompute
+
+            stats = _precompute.try_fast(self, build=False)
+            if stats is not None:
+                return stats
+        return self._run_inline()
+
+    def _run_inline(self) -> SimStats:
+        """The full event-by-event simulation loop.
 
         This is the restructured fast path: static per-instruction facts
         come from the decode-once arrays (:func:`_decode_program`), the

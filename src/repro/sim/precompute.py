@@ -1,0 +1,1198 @@
+"""Config-invariant event precomputation + batched multi-config replay.
+
+A config sweep replays one :class:`~repro.sim.trace.Trace` under many
+:class:`~repro.sim.machine.EarlyGenConfig` variants (the harness runs
+~17 per workload).  Most of the per-replay work is provably identical
+across those variants, because the trace fixes the dynamic instruction
+and address streams and the model accesses memory strictly in trace
+order:
+
+* **Demand D-cache outcomes** — every dynamic load performs exactly one
+  demand access and every store one write access, in trace order, so
+  the hit/miss stream and the fill-state timeline depend only on the
+  address stream — *except* for wrong-address prediction accesses,
+  which pollute the cache with the mispredicted block (see below).
+* **Stride-predictor outcomes** — the table is probed and updated
+  unconditionally for every load routed to the prediction path, so the
+  outcome stream depends only on ``(table_entries, confidence_bits)``
+  and on *which* loads are routed there (the routing mask), never on
+  ports, latencies, or the calc path.
+* **Early-calc cache outcomes** — ``R_addr`` bindings and BRIC probes
+  likewise evolve only with the sequence of calc-routed loads.
+
+This module precomputes those streams once per trace (cached on the
+Program the same way ``_precompute_frontend`` caches front-end
+outcomes) and replays them through a window-local scoreboard that only
+does timing accounting.  What is *not* config-invariant stays in the
+replay: port arbitration, store interlocks, the ``R_addr`` writeback
+interlock, and issue scheduling.
+
+Two effects cannot be precomputed and are handled explicitly:
+
+* **Wrong-address pollution** is gated on a port being free one cycle
+  early.  The streams are built assuming every wrong-address access
+  dispatches; the replay records every load ordinal where that
+  assumption disagreed with the ports it actually saw, and the caller
+  rebuilds the stream with those ordinals excluded and replays again.
+  A replay that records *no* disagreement is exact — its stream's fill
+  assumptions matched the observed dispatch behavior at every
+  wrong-prediction point — so only a zero-divergence replay is ever
+  accepted; after :data:`_MAX_PATCH_RETRIES` rebuilds the config falls
+  back to the inline path.
+* **Hardware dual-path selection** routes each load at decode using the
+  current interlock state (timing-dependent), so those configs always
+  use the inline path.
+
+``TimingSimulator.run`` consumes the streams automatically when the
+precompute is already warm (never building one for a one-shot run);
+:func:`simulate_many` is the batched entry point that builds and shares
+one precompute across a sweep.  Both paths produce byte-identical
+:class:`~repro.sim.stats.SimStats` — enforced by the golden snapshots,
+a randomized parity test, and the ``python -m repro.sim.precompute``
+parity gate run in CI.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.isa.opcodes import LoadSpec
+from repro.sim.addr_reg import RegisterCache
+from repro.sim.cache import DirectMappedCache
+from repro.sim.machine import (
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import (
+    _DRAIN,
+    TimingSimulator,
+    _decode_program,
+    _precompute_frontend,
+)
+from repro.sim.stats import SimStats
+from repro.sim.stride_table import AddressPredictionTable, TableEntry
+from repro.sim.trace import Trace
+
+#: Per-program bound on cached machine variants (front-end + dcache
+#: geometry differ per variant; the harness sweeps early-gen configs on
+#: a single machine, so this stays tiny in practice).
+_PRECOMPUTE_LIMIT = 4
+#: Per-precompute bounds on derived per-config streams.
+_STREAM_LIMIT = 32
+_ROUTE_LIMIT = 32
+
+# Replay record kinds (coarser than the decode kinds: the replay only
+# distinguishes the unit an instruction consumes).
+_R_LOAD = 0
+_R_STORE = 1
+_R_BRANCH = 2
+_R_CALL = 3
+_R_ALU = 4
+_R_FP = 5
+_R_FREE = 6
+
+#: Source-slot sentinel that always reads ready-at-0, and a junk dest
+#: slot, so the replay never branches on "has operand / has dest".
+_NO_SRC = 128
+_NO_DEST = 129
+
+# route byte -> membership masks, applied with bytes.translate.
+_PMASK_TAB = bytes(1 if b == 1 else 0 for b in range(256))
+_EMASK_TAB = bytes(1 if b == 2 else 0 for b in range(256))
+
+
+#: Bound on stream-patching rebuilds before a diverging config reruns
+#: on the inline path.  Divergent ordinals are discovered in batches
+#: (one replay records every disagreement it sees), so convergence
+#: normally takes one or two rebuilds.
+_MAX_PATCH_RETRIES = 6
+
+#: Process-wide divergence counters (exposed for tests and the parity
+#: CLI): patched = resolved by a stream rebuild, fallbacks = rerun
+#: inline.
+_divergences = 0
+_divergence_fallbacks = 0
+
+
+def divergence_count() -> int:
+    return _divergences
+
+
+def divergence_fallback_count() -> int:
+    return _divergence_fallbacks
+
+
+def _machine_key(cfg: MachineConfig) -> tuple:
+    """Everything that shapes the precompute except the early-gen config."""
+    return (
+        cfg.issue_width, cfg.int_alus, cfg.mem_ports, cfg.fp_alus,
+        cfg.branch_units, cfg.icache, cfg.dcache, cfg.btb_entries,
+        cfg.load_latency, cfg.mispredict_penalty, cfg.jump_bubble,
+        cfg.ras_entries,
+    )
+
+
+class TracePrecompute:
+    """One trace's config-invariant replay state for one machine shape.
+
+    Built in a single pass over the trace:
+
+    * ``records`` — per-dynamic-instruction replay tuples
+      ``(kind, fetch_penalty, src1, src2, src3, dest, extra)`` with the
+      front-end outcomes (i-cache stall, branch redirect cycles) baked
+      in.  Tuples are interned on ``(uid, penalty, extra)`` so the list
+      costs one pointer per position.
+    * the interleaved memory-op sequence plus per-load static facts
+      (PC, word index, base/displacement slots, addressing mode) that
+      the per-config stream builders replay, and
+    * the *neutral* demand D-cache stream (no prediction path routed).
+
+    Per-config streams are derived lazily and cached with an LRU bound:
+
+    * ``dstream`` — demand-hit / prediction-outcome codes per dynamic
+      load, keyed ``(table_entries, confidence_bits, p-mask)``, plus
+      the demand/store/pollution miss totals,
+    * ``estream`` — calc-path dispatch-candidate codes, keyed
+      ``(cached_regs, use_raddr, e-mask)``.
+
+    Counter semantics (asserted in the stream builders and pinned by
+    ``tests/sim/test_counter_semantics.py``): a load's demand access
+    always counts exactly once (hit or miss-and-fill), a store's write
+    access counts but never fills, and a wrong-address speculative
+    access counts and fills under the *predicted* address — therefore
+    ``SimStats.dcache_misses = demand + store + pollution misses`` and
+    ``SimStats.dcache_hits = loads - demand misses`` on both paths.
+    """
+
+    __slots__ = (
+        "flat", "uids", "machine_key", "dcache_cfg",
+        "n", "n_loads", "n_stores",
+        "records", "ineligible_reason",
+        "imiss_total", "misp_total",
+        "mseq_kind", "mseq_ea", "lpc", "lword", "lbase", "lro", "ldisp",
+        "dyn_load_uids", "sword", "static_load_uids",
+        "per_entry_bound", "total_cycle_bound",
+        "_routes", "_dstreams", "_estreams", "_patches",
+    )
+
+    def __init__(self, program, trace: Trace, cfg: MachineConfig):
+        dec, load_uids = _decode_program(program)
+        ifetch, imiss_total, br_extra, misp_total = _precompute_frontend(
+            program, trace, cfg, dec
+        )
+        self.flat = program.flat
+        self.uids = trace.uids
+        self.machine_key = _machine_key(cfg)
+        self.dcache_cfg = cfg.dcache
+        self.imiss_total = imiss_total
+        self.misp_total = misp_total
+        self.static_load_uids = load_uids
+
+        uids = trace.uids
+        eas = trace.eas
+        n = len(uids)
+        self.n = n
+
+        records: list = []
+        rec_append = records.append
+        intern: dict = {}
+        mseq_kind = bytearray()
+        mk_append = mseq_kind.append
+        mseq_ea = array("q")
+        me_append = mseq_ea.append
+        lpc = array("q")
+        lword = array("q")
+        lbase = bytearray()
+        lro = bytearray()
+        ldisp = bytearray()
+        dyn_load_uids = array("q")
+        sword = array("q")
+        max_lat = 1
+        reason = None
+
+        for i in range(n):
+            uid = uids[i]
+            d = dec[uid]
+            kind = d[0]
+            pen = ifetch[i]
+            x = 0
+            if kind == 0:
+                k = _R_LOAD
+            elif kind == 1:
+                k = _R_STORE
+            elif kind <= 5:
+                k = _R_CALL if kind == 4 else _R_BRANCH
+                x = br_extra[i]
+            elif kind == 6:
+                k = _R_FP
+                x = d[7]
+            elif kind == 7:
+                k = _R_FREE
+                x = d[7]
+            else:
+                k = _R_ALU
+                x = d[7]
+            key = (uid, pen, x)
+            rec = intern.get(key)
+            if rec is None:
+                srcs = d[2]
+                ns = len(srcs)
+                if ns > 3:
+                    reason = "more than three register sources"
+                    break
+                s1 = srcs[0] if ns else _NO_SRC
+                s2 = srcs[1] if ns > 1 else _NO_SRC
+                s3 = srcs[2] if ns > 2 else _NO_SRC
+                dest = d[3]
+                if dest < 0:
+                    dest = _NO_DEST
+                if k >= _R_ALU and x > max_lat:
+                    max_lat = x
+                rec = intern[key] = (k, pen, s1, s2, s3, dest, x)
+            rec_append(rec)
+            if k == _R_LOAD:
+                ea = eas[i]
+                mk_append(0)
+                me_append(ea)
+                lpc.append(d[8])
+                lword.append(ea >> 2)
+                lbase.append(d[4])
+                lro.append(d[5])
+                ldisp.append(d[6] if d[6] >= 0 else 0)
+                dyn_load_uids.append(uid)
+            elif k == _R_STORE:
+                ea = eas[i]
+                mk_append(1)
+                me_append(ea)
+                sword.append(ea >> 2)
+
+        self.ineligible_reason = reason
+        self.records = records if reason is None else None
+        self.mseq_kind = bytes(mseq_kind)
+        self.mseq_ea = mseq_ea
+        self.lpc = lpc
+        self.lword = lword
+        self.lbase = bytes(lbase)
+        self.lro = bytes(lro)
+        self.ldisp = bytes(ldisp)
+        self.dyn_load_uids = dyn_load_uids
+        self.sword = sword
+        self.n_loads = len(lword)
+        self.n_stores = len(sword)
+
+        # Watchdog-compatibility bound: the most cycles one replay
+        # record can advance the clock (fetch stall + operand wait +
+        # one resource re-arbitration + branch redirect).  Used to
+        # prove the inline watchdogs could never have fired, so the
+        # fast path may skip them.
+        self.per_entry_bound = (
+            cfg.icache.miss_penalty
+            + max(cfg.load_latency + cfg.dcache.miss_penalty, max_lat)
+            + cfg.mispredict_penalty
+            + cfg.jump_bubble
+            + 8
+        )
+        self.total_cycle_bound = n * self.per_entry_bound + _DRAIN + 16
+
+        self._routes: OrderedDict = OrderedDict()
+        self._dstreams: OrderedDict = OrderedDict()
+        self._estreams: OrderedDict = OrderedDict()
+        self._patches: OrderedDict = OrderedDict()
+
+    # -- derived per-config streams --------------------------------------
+
+    def route_for(self, scheme_bytes: bytes) -> bytes:
+        """Per-dynamic-load routing (0/1/2) from per-static-load bytes."""
+        routes = self._routes
+        route = routes.get(scheme_bytes)
+        if route is not None:
+            routes.move_to_end(scheme_bytes)
+            return route
+        per_uid = bytearray(len(self.flat))
+        for u, s in zip(self.static_load_uids, scheme_bytes):
+            per_uid[u] = s
+        route = bytes(map(per_uid.__getitem__, self.dyn_load_uids))
+        while len(routes) >= _ROUTE_LIMIT:
+            routes.popitem(last=False)
+        routes[scheme_bytes] = route
+        return route
+
+    def _patch_key(self, eg: EarlyGenConfig, route: bytes):
+        if not eg.table_entries or 1 not in route:
+            return None
+        return (
+            eg.table_entries,
+            eg.table_confidence_bits,
+            route.translate(_PMASK_TAB),
+        )
+
+    def known_exclusions(self, eg: EarlyGenConfig,
+                         route: bytes) -> frozenset:
+        """The exclusion set a prior replay of this config converged to."""
+        return self._patches.get(self._patch_key(eg, route), frozenset())
+
+    def remember_exclusions(self, eg: EarlyGenConfig, route: bytes,
+                            excluded: frozenset) -> None:
+        key = self._patch_key(eg, route)
+        if key is None:
+            return
+        patches = self._patches
+        while len(patches) >= _STREAM_LIMIT:
+            patches.popitem(last=False)
+        patches[key] = excluded
+
+    def dstream(self, eg: EarlyGenConfig, route: bytes,
+                excluded: frozenset = frozenset()) -> tuple:
+        """Demand/prediction outcome stream for *eg* under *route*.
+
+        Returns ``(codes, demand_misses, store_misses, pollution_misses)``
+        where ``codes[li]`` has bit 0 = demand access hit, bit 1 = a
+        functioning prediction was made, bit 2 = the prediction matched
+        the computed address.  ``excluded`` lists load ordinals whose
+        wrong-address pollution is known (from a prior replay attempt)
+        not to have dispatched.
+        """
+        if not eg.table_entries or 1 not in route:
+            key = None
+        else:
+            key = (
+                eg.table_entries,
+                eg.table_confidence_bits,
+                route.translate(_PMASK_TAB),
+                excluded,
+            )
+        streams = self._dstreams
+        hit = streams.get(key)
+        if hit is not None:
+            streams.move_to_end(key)
+            return hit
+        if key is None:
+            built = self._build_dstream(0, 0, None, excluded)
+        else:
+            built = self._build_dstream(key[0], key[1], key[2], excluded)
+        while len(streams) >= _STREAM_LIMIT:
+            streams.popitem(last=False)
+        streams[key] = built
+        return built
+
+    def _build_dstream(self, entries: int, conf: int,
+                       pmask: Optional[bytes],
+                       excluded: frozenset) -> tuple:
+        dc = DirectMappedCache(self.dcache_cfg)
+        direct = type(dc) is DirectMappedCache
+        if direct:
+            tags = dc._tags
+            bs = dc._block_shift
+            im = dc._index_mask
+            ts = dc._tag_shift
+        dc_access = dc.access
+        dc_write = dc.write_access
+
+        table = AddressPredictionTable(entries, conf) if entries else None
+        tb_inline = table is not None and not conf
+        if tb_inline:
+            tbl = table._table
+            t_im = table._index_mask
+            t_ib = table._index_bits
+        tb_probe = table.probe if table is not None else None
+        tb_update = table.update if table is not None else None
+
+        codes = bytearray(self.n_loads)
+        dmiss = store_miss = poll_miss = poll_hit = 0
+        mseq_ea = self.mseq_ea
+        lpc = self.lpc
+        li = 0
+        idx = 0
+        for mk in self.mseq_kind:
+            ea = mseq_ea[idx]
+            idx += 1
+            if mk == 0:
+                code = 0
+                if pmask is not None and pmask[li]:
+                    pc_addr = lpc[li]
+                    if tb_inline:
+                        tword = pc_addr >> 2
+                        t_idx = tword & t_im
+                        t_tag = tword >> t_ib
+                        entry = tbl[t_idx]
+                        if (
+                            entry is None
+                            or entry.tag != t_tag
+                            or entry.state
+                        ):
+                            predicted = None
+                        else:
+                            predicted = entry.pa
+                    else:
+                        predicted = tb_probe(pc_addr)
+                    if predicted is not None:
+                        if predicted == ea:
+                            code = 6
+                        else:
+                            # Assumed-dispatched wrong-address access:
+                            # counts and fills under the predicted
+                            # address (the replay records the ordinal
+                            # as diverged if the dispatch did not
+                            # actually happen, and it lands in
+                            # `excluded` on the rebuild).
+                            code = 2
+                            if li in excluded:
+                                pass
+                            elif direct:
+                                cblk = predicted >> bs
+                                cidx = cblk & im
+                                ctag = cblk >> ts
+                                if tags[cidx] != ctag:
+                                    tags[cidx] = ctag
+                                    poll_miss += 1
+                                else:
+                                    poll_hit += 1
+                            elif dc_access(predicted):
+                                poll_hit += 1
+                            else:
+                                poll_miss += 1
+                    if tb_inline:
+                        # Identical state-machine arcs to the inline
+                        # path (Figure 3): Replace / Correct /
+                        # New_Stride / Verified_Stride.
+                        if entry is None:
+                            tbl[t_idx] = TableEntry(t_tag, ea)
+                        elif entry.tag != t_tag:
+                            entry.allocate(t_tag, ea)
+                        elif entry.state == 0:
+                            if entry.pa == ea:
+                                entry.pa = ea + entry.st
+                            else:
+                                entry.st = ea - entry.pa
+                                entry.stc = 0
+                                entry.pa = ea
+                                entry.state = 1
+                        elif ea - entry.pa == entry.st:
+                            entry.pa = ea + entry.st
+                            entry.stc = 1
+                            entry.state = 0
+                        else:
+                            entry.st = ea - entry.pa
+                            entry.pa = ea
+                    elif table is not None:
+                        tb_update(pc_addr, ea, predicted)
+                # The demand access happens for every load, whatever
+                # the speculation outcome: a successful speculative
+                # access probed the same state the demand access sees,
+                # so one `access` covers both (same result, same fill,
+                # same LRU refresh).
+                if direct:
+                    cblk = ea >> bs
+                    cidx = cblk & im
+                    ctag = cblk >> ts
+                    if tags[cidx] == ctag:
+                        code |= 1
+                    else:
+                        tags[cidx] = ctag
+                        dmiss += 1
+                elif dc_access(ea):
+                    code |= 1
+                else:
+                    dmiss += 1
+                codes[li] = code
+                li += 1
+            else:
+                # Write-through, no-allocate: counts, never fills.
+                if direct:
+                    cblk = ea >> bs
+                    if tags[cblk & im] != cblk >> ts:
+                        store_miss += 1
+                elif not dc_write(ea):
+                    store_miss += 1
+
+        if not direct:
+            # Counter-semantics contract (satellite): the cache's own
+            # accounting must agree with the stream totals, which is
+            # exactly what makes SimStats.dcache_* reconstructible.
+            assert dc.misses == dmiss + store_miss + poll_miss
+            assert dc.hits == (
+                (self.n_loads - dmiss)
+                + (self.n_stores - store_miss)
+                + poll_hit
+            )
+            assert dc.accesses == dc.hits + dc.misses
+        return (bytes(codes), dmiss, store_miss, poll_miss)
+
+    def estream(self, eg: EarlyGenConfig, route: bytes) -> bytes:
+        """Calc-path dispatch-candidate codes for *eg* under *route*.
+
+        ``codes[li]`` bit 0 = the load may dispatch a speculative access
+        (binding/BRIC hit with a usable addressing mode), bit 1 = the
+        reg+reg partial case (latency 1 instead of 0).
+        """
+        if not eg.cached_regs or 2 not in route:
+            return b""
+        use_raddr = eg.selection is SelectionMode.COMPILER
+        key = (eg.cached_regs, use_raddr, route.translate(_EMASK_TAB))
+        streams = self._estreams
+        hit = streams.get(key)
+        if hit is not None:
+            streams.move_to_end(key)
+            return hit
+        built = self._build_estream(key[0], key[1], key[2])
+        while len(streams) >= _STREAM_LIMIT:
+            streams.popitem(last=False)
+        streams[key] = built
+        return built
+
+    def _build_estream(self, cached_regs: int, use_raddr: bool,
+                       emask: bytes) -> bytes:
+        n_loads = self.n_loads
+        codes = bytearray(n_loads)
+        lbase = self.lbase
+        lro = self.lro
+        ldisp = self.ldisp
+        if use_raddr:
+            bound = -1
+            for li in range(n_loads):
+                if emask[li]:
+                    base = lbase[li]
+                    # A load that just switched the binding reads a
+                    # stale value; reg+reg cannot use R_addr at all.
+                    if bound == base and lro[li]:
+                        codes[li] = 1
+                    bound = base
+        else:
+            rc = RegisterCache(cached_regs)
+            rc_probe = rc.probe
+            rc_insert = rc.insert
+            for li in range(n_loads):
+                if emask[li]:
+                    if rc_probe(lbase[li]):
+                        if lro[li]:
+                            codes[li] = 1
+                        elif rc_probe(ldisp[li]):
+                            codes[li] = 3
+                    rc_insert(lbase[li])
+        return bytes(codes)
+
+
+def _scheme_bytes(program, eg: EarlyGenConfig,
+                  override: Optional[Dict[int, LoadSpec]]) -> Optional[bytes]:
+    """Per-static-load routing (0/1/2), or None when routing is decided
+    at run time (hardware dual-path selection)."""
+    dec, load_uids = _decode_program(program)
+    nl = len(load_uids)
+    if not (eg.table_entries or eg.cached_regs):
+        return bytes(nl)
+    has_table = eg.table_entries > 0
+    has_reg = eg.cached_regs > 0
+    if eg.selection is SelectionMode.COMPILER:
+        flat = program.flat
+        get_override = override.get if override is not None else None
+        out = bytearray(nl)
+        for j in range(nl):
+            u = load_uids[j]
+            lspec = flat[u].lspec
+            if get_override is not None:
+                lspec = get_override(u, lspec)
+            if lspec is LoadSpec.P:
+                if has_table:
+                    out[j] = 1
+            elif lspec is LoadSpec.E and has_reg:
+                out[j] = 2
+        return bytes(out)
+    if has_table and has_reg:
+        return None
+    return (b"\x01" if has_table else b"\x02") * nl
+
+
+def get_precompute(trace: Trace, cfg: MachineConfig,
+                   build: bool = True) -> Optional[TracePrecompute]:
+    """The trace's precompute for *cfg*'s machine shape.
+
+    Cached on the Program keyed by trace identity (like the front-end
+    cache) with an LRU bound of ``_PRECOMPUTE_LIMIT`` machine shapes.
+    With ``build=False`` only an already-warm precompute is returned —
+    that is what lets ``TimingSimulator.run`` use the fast path without
+    ever paying a build for a one-shot simulation.
+    """
+    program = trace.program
+    cached = getattr(program, "_sim_precompute", None)
+    if cached is None or cached[0] is not trace.uids:
+        if not build:
+            return None
+        cached = (trace.uids, OrderedDict())
+        program._sim_precompute = cached
+    store = cached[1]
+    key = _machine_key(cfg)
+    pre = store.get(key)
+    if pre is not None and pre.flat is program.flat:
+        store.move_to_end(key)
+        return pre
+    if not build:
+        return None
+    pre = TracePrecompute(program, trace, cfg)
+    while len(store) >= _PRECOMPUTE_LIMIT:
+        store.popitem(last=False)
+    store[key] = pre
+    return pre
+
+
+def _watchdogs_compatible(pre: TracePrecompute, sim: TimingSimulator) -> bool:
+    """True when the inline watchdogs provably cannot fire, so the fast
+    path (which does not check them) is behaviorally identical."""
+    if sim.stall_limit and sim.stall_limit < pre.per_entry_bound:
+        return False
+    if sim.max_cycles and sim.max_cycles < pre.total_cycle_bound:
+        return False
+    return True
+
+
+def try_fast(sim: TimingSimulator, build: bool = False) -> Optional[SimStats]:
+    """Run *sim* on the precomputed-stream path, or return None when the
+    config is inline-only, the precompute is cold (``build=False``), or
+    the replay diverged (wrong-address pollution that did not dispatch).
+    """
+    cfg = sim.config
+    eg = cfg.earlygen
+    if (
+        eg.table_entries
+        and eg.cached_regs
+        and eg.selection is SelectionMode.HARDWARE
+    ):
+        return None  # run-time (dual-path) selection is timing-dependent
+    trace = sim.trace
+    pre = get_precompute(trace, cfg, build=build)
+    if pre is None or pre.records is None:
+        return None
+    if not _watchdogs_compatible(pre, sim):
+        return None
+    sb = _scheme_bytes(trace.program, eg, sim.spec_override)
+    if sb is None:
+        return None
+    route = pre.route_for(sb)
+    ecodes = pre.estream(eg, route)
+    global _divergences, _divergence_fallbacks
+    excluded = pre.known_exclusions(eg, route)
+    for _ in range(_MAX_PATCH_RETRIES + 1):
+        dcodes, dmiss, store_miss, poll_miss = pre.dstream(
+            eg, route, excluded
+        )
+        diverged: list = []
+        stats, ra_interlock = _replay(
+            pre, cfg, route, dcodes,
+            (dmiss, store_miss, poll_miss), ecodes, excluded, diverged,
+        )
+        if not diverged:
+            pre.remember_exclusions(eg, route, excluded)
+            _emit_counters(sim, eg, stats, ra_interlock)
+            return stats
+        # The stream's fill assumptions disagreed with the ports the
+        # replay actually saw: flip every recorded ordinal and rebuild.
+        # Only a zero-divergence replay is accepted, so patching can
+        # never return inexact stats; stats from this attempt are
+        # discarded.
+        _divergences += len(diverged)
+        excluded = excluded.symmetric_difference(diverged)
+    _divergence_fallbacks += 1
+    return None
+
+
+def _emit_counters(sim: TimingSimulator, eg: EarlyGenConfig,
+                   stats: SimStats, ra_interlock: int) -> None:
+    """The same post-run observability seam as the inline path."""
+    hook = sim.event_hook
+    tracer = obs.current()
+    if hook is None and not tracer.enabled:
+        return
+    payload = TimingSimulator._event_counters(stats, ra_interlock)
+    if hook is not None:
+        hook(payload)
+    if tracer.enabled:
+        tracer.event(
+            "sim.counters",
+            counters=payload,
+            table=eg.table_entries,
+            regs=eg.cached_regs,
+            selection=eg.selection.value,
+        )
+
+
+def _replay(pre: TracePrecompute, cfg: MachineConfig, route: bytes,
+            dcodes: bytes, dtotals: tuple, ecodes: bytes,
+            excluded: frozenset = frozenset(),
+            diverged: Optional[list] = None):
+    """Timing-accounting pass over the precomputed streams.
+
+    The inline simulator's cycle-tagged ring scoreboards collapse to a
+    handful of locals here because the issue cycle is monotone: ``iss``
+    / ``alu`` / ``fpu`` / ``bru`` count units consumed at the current
+    cycle, and a three-slot window ``pp`` / ``pm`` / ``pc`` tracks
+    memory ports at cycles ``cur-1`` / ``cur`` / ``cur+1`` (speculative
+    accesses charge ``pp``, normal MEM accesses charge ``pc``).  Every
+    clock advance shifts the window by the advance distance.
+    """
+    records = pre.records
+    lword = pre.lword
+    lbase = pre.lbase
+    sword = pre.sword
+
+    width = cfg.issue_width
+    n_ports = cfg.mem_ports
+    n_alus = cfg.int_alus
+    n_fpus = cfg.fp_alus
+    n_brus = cfg.branch_units
+    ld_lat = cfg.load_latency
+    ld_hit_lat = 1 if ld_lat > 1 else ld_lat
+    miss_lat = ld_lat + cfg.dcache.miss_penalty
+
+    rr = [0] * 130
+    cur = 0
+    iss = alu = fpu = bru = 0
+    pp = pm = pc = 0
+
+    spec_any = 1 in route or 2 in route
+    sq: deque = deque()
+    sq_append = sq.append
+    sq_popleft = sq.popleft
+
+    li = 0
+    si = 0
+    pred_disp = pred_succ = pred_wrong = 0
+    calc_disp = calc_succ = calc_part = 0
+    sp_noport = sp_interlock = sp_dmiss = 0
+    ra_interlock = 0
+
+    for k, pen, s1, s2, s3, dest, x in records:
+        if pen:
+            if pen == 1:
+                pp = pm
+                pm = pc
+            elif pen == 2:
+                pp = pc
+                pm = 0
+            else:
+                pp = 0
+                pm = 0
+            pc = 0
+            iss = alu = fpu = bru = 0
+            cur += pen
+
+        t = rr[s1]
+        r2 = rr[s2]
+        if r2 > t:
+            t = r2
+        r3 = rr[s3]
+        if r3 > t:
+            t = r3
+        if t > cur:
+            d = t - cur
+            if d == 1:
+                pp = pm
+                pm = pc
+            elif d == 2:
+                pp = pc
+                pm = 0
+            else:
+                pp = 0
+                pm = 0
+            pc = 0
+            iss = alu = fpu = bru = 0
+            cur = t
+
+        if k == 4:  # int ALU
+            if iss >= width or alu >= n_alus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            alu += 1
+            rr[dest] = cur + x
+
+        elif k == 0:  # load
+            code = dcodes[li]
+            r = route[li]
+            if r == 0:
+                if iss >= width or pc >= n_ports:
+                    cur += 1
+                    pp = pm
+                    pm = pc
+                    pc = 0
+                    iss = alu = fpu = bru = 0
+                iss += 1
+                pc += 1
+                rr[dest] = cur + (ld_lat if code else miss_lat)
+            elif r == 1:
+                success = False
+                if code & 2:  # functioning prediction
+                    if pp < n_ports:
+                        pp += 1
+                        pred_disp += 1
+                        if code & 4:  # predicted address was right
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                sp_interlock += 1
+                            elif code & 1:
+                                success = True
+                                pred_succ += 1
+                            else:
+                                sp_dmiss += 1
+                        else:
+                            if li in excluded:
+                                # The stream assumed this wrong-address
+                                # access would NOT fill the cache, yet
+                                # it found a free port and dispatched.
+                                diverged.append(li)
+                            pred_wrong += 1
+                    else:
+                        if not code & 4 and li not in excluded:
+                            # The stream assumed this wrong-address
+                            # access filled the cache; it had no port.
+                            diverged.append(li)
+                        sp_noport += 1
+                if success:
+                    if iss >= width:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    rr[dest] = cur + ld_hit_lat
+                else:
+                    if iss >= width or pc >= n_ports:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    pc += 1
+                    rr[dest] = cur + (ld_lat if code & 1 else miss_lat)
+            else:  # r == 2: early calculation
+                success = False
+                lat = 0
+                ec = ecodes[li]
+                if ec:
+                    if pp < n_ports:
+                        pp += 1
+                        calc_disp += 1
+                        if rr[lbase[li]] > cur - 2:
+                            # base not written back by ID1
+                            ra_interlock += 1
+                        else:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                sp_interlock += 1
+                            elif code & 1:
+                                success = True
+                                calc_succ += 1
+                                if ec & 2:
+                                    calc_part += 1
+                                    lat = 1
+                            else:
+                                sp_dmiss += 1
+                    else:
+                        sp_noport += 1
+                if success:
+                    if iss >= width:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    rr[dest] = cur + lat
+                else:
+                    if iss >= width or pc >= n_ports:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    pc += 1
+                    rr[dest] = cur + (ld_lat if code & 1 else miss_lat)
+            li += 1
+
+        elif k == 2 or k == 3:  # branch / call
+            if iss >= width or bru >= n_brus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            bru += 1
+            if k == 3:
+                rr[63] = cur + 1
+            if x:  # precomputed redirect cycles
+                if x == 1:
+                    pp = pm
+                    pm = pc
+                elif x == 2:
+                    pp = pc
+                    pm = 0
+                else:
+                    pp = 0
+                    pm = 0
+                pc = 0
+                iss = alu = fpu = bru = 0
+                cur += x
+
+        elif k == 1:  # store
+            if iss >= width or pc >= n_ports:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            pc += 1
+            if spec_any:
+                sq_append((cur, sword[si]))
+                if len(sq) > 32:
+                    c = cur - 1
+                    while sq[0][0] + 1 <= c:
+                        sq_popleft()
+            si += 1
+
+        elif k == 5:  # FP
+            if iss >= width or fpu >= n_fpus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            fpu += 1
+            rr[dest] = cur + x
+
+        else:  # k == 6: HALT/NOP, issue-width bound only
+            if iss >= width:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            rr[dest] = cur + x
+
+    dmiss_total, store_miss_total, poll_miss_total = dtotals
+    n_loads = pre.n_loads
+    sc_p = route.count(1)
+    sc_e = route.count(2)
+
+    stats = SimStats()
+    stats.cycles = cur + 1 + _DRAIN
+    stats.instructions = pre.n
+    stats.loads = n_loads
+    stats.stores = pre.n_stores
+    stats.pred_loads = sc_p
+    stats.pred_spec_dispatched = pred_disp
+    stats.pred_success = pred_succ
+    stats.pred_wrong_address = pred_wrong
+    stats.calc_loads = sc_e
+    stats.calc_spec_dispatched = calc_disp
+    stats.calc_success = calc_succ
+    stats.calc_success_partial = calc_part
+    stats.spec_no_port = sp_noport
+    stats.spec_mem_interlock = sp_interlock
+    stats.spec_dcache_miss = sp_dmiss
+    stats.dcache_hits = n_loads - dmiss_total
+    stats.dcache_misses = dmiss_total + store_miss_total + poll_miss_total
+    stats.icache_misses = pre.imiss_total
+    stats.btb_mispredicts = pre.misp_total
+    stats.scheme_counts = {
+        "n": n_loads - sc_p - sc_e, "p": sc_p, "e": sc_e,
+    }
+    return stats, ra_interlock
+
+
+def warm_precompute(
+    trace: Trace,
+    machine: MachineConfig,
+    configs: Sequence[EarlyGenConfig],
+    overrides: Optional[Sequence[Optional[Dict[int, LoadSpec]]]] = None,
+) -> Optional[TracePrecompute]:
+    """Build the precompute and every stream *configs* will need.
+
+    Separating this from :func:`simulate_many` lets callers (the bench
+    harness in particular) attribute one-time stream construction to a
+    ``precompute`` stage and keep the per-config passes pure.
+    """
+    pre = get_precompute(trace, machine)
+    if pre is None or pre.records is None:
+        return None
+    for idx, eg in enumerate(configs):
+        if (
+            eg.table_entries
+            and eg.cached_regs
+            and eg.selection is SelectionMode.HARDWARE
+        ):
+            continue
+        ov = overrides[idx] if overrides is not None else None
+        sb = _scheme_bytes(trace.program, eg, ov)
+        if sb is None:
+            continue
+        route = pre.route_for(sb)
+        pre.dstream(eg, route)
+        pre.estream(eg, route)
+    return pre
+
+
+def simulate_many(
+    trace: Trace,
+    configs: Sequence[Union[EarlyGenConfig, MachineConfig]],
+    machine: Optional[MachineConfig] = None,
+    overrides: Optional[Sequence[Optional[Dict[int, LoadSpec]]]] = None,
+    span_tags: Optional[Sequence[Optional[dict]]] = None,
+) -> List[SimStats]:
+    """Simulate *trace* under every config, sharing one precompute.
+
+    ``configs`` entries are :class:`EarlyGenConfig` (applied to
+    *machine*, default machine if None) or full :class:`MachineConfig`
+    objects.  ``overrides`` optionally carries a per-config
+    ``spec_override`` map; ``span_tags`` optional per-config tag dicts
+    for a ``sim`` span on the ambient tracer.  Results are in input
+    order and byte-identical to independent ``TimingSimulator`` runs —
+    configs the streams cannot express (hardware dual-path, diverging
+    pollution) transparently use the inline path.
+    """
+    base = machine if machine is not None else MachineConfig()
+    tracer = obs.current()
+    results: List[SimStats] = []
+    for idx, item in enumerate(configs):
+        if isinstance(item, MachineConfig):
+            mcfg = item
+        else:
+            mcfg = base.with_earlygen(item)
+        ov = overrides[idx] if overrides is not None else None
+        sim = TimingSimulator(trace, mcfg, ov)
+        tags = span_tags[idx] if span_tags is not None else None
+        if tags is not None:
+            with tracer.span("sim", **tags):
+                stats = try_fast(sim, build=True)
+                if stats is None:
+                    stats = sim._run_inline()
+        else:
+            stats = try_fast(sim, build=True)
+            if stats is None:
+                stats = sim._run_inline()
+        results.append(stats)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Parity gate: python -m repro.sim.precompute
+# ---------------------------------------------------------------------------
+
+def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Replay every harness sim request on both paths and diff the stats.
+
+    CI runs this at a small scale as a standing precompute-vs-inline
+    parity gate; exit status 1 means at least one config produced
+    non-identical :class:`SimStats`.
+    """
+    import argparse
+    from dataclasses import asdict
+
+    from repro.compiler.profile_feedback import (
+        DEFAULT_THRESHOLD,
+        profile_overrides,
+    )
+    from repro.harness.experiments import (
+        ExperimentContext,
+        eg_tag,
+        sim_requests,
+    )
+    from repro.sim.machine import BASELINE
+    from repro.workloads import workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.precompute",
+        description="precompute-vs-inline SimStats parity check",
+    )
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument(
+        "--suite", choices=("spec", "mediabench", "all"), default="all"
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="restrict to these workload names",
+    )
+    args = parser.parse_args(argv)
+
+    suites = ("spec", "mediabench") if args.suite == "all" else (args.suite,)
+    ctx = ExperimentContext(scale=args.scale)
+    mismatches = 0
+    checked = 0
+    for suite in suites:
+        requests = sim_requests(suite)
+        for name in workload_names(suite):
+            run = ctx.run(name)
+            override = None
+            if any(r.use_profile_override for r in requests):
+                override = profile_overrides(
+                    run.program, run.trace, DEFAULT_THRESHOLD,
+                    run.get_profile().predictor,
+                )
+            configs = [BASELINE] + [r.earlygen for r in requests]
+            overrides = [None] + [
+                override if r.use_profile_override else None
+                for r in requests
+            ]
+            tags = ["baseline"] + [
+                eg_tag(r.earlygen, r.cache_key) for r in requests
+            ]
+            inline = [
+                TimingSimulator(
+                    run.trace, ctx.machine.with_earlygen(eg), ov
+                )._run_inline()
+                for eg, ov in zip(configs, overrides)
+            ]
+            fast = simulate_many(
+                run.trace, configs, machine=ctx.machine, overrides=overrides
+            )
+            bad = [
+                tag for tag, a, b in zip(tags, inline, fast)
+                if asdict(a) != asdict(b)
+            ]
+            checked += len(configs)
+            if bad:
+                mismatches += len(bad)
+                print(f"MISMATCH {name}: {', '.join(bad)}")
+            else:
+                print(f"ok {name} ({len(configs)} configs)")
+    print(
+        f"parity: {checked} configs checked, {mismatches} mismatches, "
+        f"{divergence_count()} divergences patched, "
+        f"{divergence_fallback_count()} inline fallbacks"
+    )
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    import sys
+
+    sys.exit(_parity_main())

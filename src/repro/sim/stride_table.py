@@ -24,6 +24,20 @@ A prediction is produced only by a *functioning* entry (``STC == 1``);
 in the learning state PA holds the previous address, not a prediction,
 and the hardware makes no prediction — exactly as "if the table access
 is a miss, no prediction will be made" covers the cold case.
+
+Counter semantics — a contract relied on by the stream-precompute fast
+path (:mod:`repro.sim.precompute`), which replays the table state
+machine outside the timing loop, and pinned by
+``tests/sim/test_counter_semantics.py``:
+
+* every :meth:`AddressPredictionTable.probe` counts exactly one probe,
+  at most one tag hit, and at most one of prediction/suppressed;
+* :meth:`AddressPredictionTable.update` is unconditional per routed
+  load — it counts ``correct`` only for a paired probe that predicted,
+  and the table state evolves identically whether or not the prediction
+  was dispatched (dispatch is a port question, not a table question);
+* the probe/update pair per routed load depends only on the PC/address
+  sequence of routed loads, never on cycle timing.
 """
 
 from __future__ import annotations

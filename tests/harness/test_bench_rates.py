@@ -28,6 +28,7 @@ def test_bench_workload_survives_frozen_clock(monkeypatch):
     monkeypatch.setattr(time, "perf_counter", lambda: 42.0)
     entry = bench_workload("026.compress", 0.02)
     assert entry["sim_s"] == 0.0
+    assert entry["precompute_s"] == 0.0
     assert entry["wall_s"] == 0.0
     assert entry["sims_per_sec"] == 0.0
     assert entry["sim_instructions_per_sec"] == 0.0
@@ -39,8 +40,8 @@ def test_run_bench_totals_survive_zero_sim_time(monkeypatch):
 
     entry = {
         "suite": "spec", "wall_s": 0.0, "compile_s": 0.0,
-        "emulate_s": 0.0, "profile_s": 0.0, "sim_s": 0.0,
-        "sim_runs": 3, "trace_instructions": 10,
+        "emulate_s": 0.0, "profile_s": 0.0, "precompute_s": 0.0,
+        "sim_s": 0.0, "sim_runs": 3, "trace_instructions": 10,
         "sim_instructions": 30, "sims_per_sec": 0.0,
         "sim_instructions_per_sec": 0.0,
     }

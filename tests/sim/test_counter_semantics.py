@@ -1,0 +1,175 @@
+"""Counter-semantics contract of the cache and prediction-table models.
+
+The stream-precompute fast path (:mod:`repro.sim.precompute`) does not
+replay the tag arrays inside the timing loop — it reconstructs
+``SimStats`` cache counters from precomputed totals.  That is only
+sound under the documented counter semantics of
+:mod:`repro.sim.cache` and :mod:`repro.sim.stride_table`:
+
+* ``accesses == hits + misses`` at all times, with ``probe``
+  non-counting and non-allocating;
+* ``access`` counts one hit or miss and allocates on a miss;
+* ``write_access`` counts one hit or miss and never fills;
+* every table ``probe`` counts one probe and at most one of
+  prediction/suppressed; ``update`` advances the state machine
+  unconditionally per routed load, independent of dispatch timing.
+
+These tests pin the semantics at the unit level and then pin that both
+simulator paths report identical access/hit counters on a real trace.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.isa import parse_asm
+from repro.sim import precompute
+from repro.sim.cache import DirectMappedCache, SetAssociativeCache
+from repro.sim.executor import execute
+from repro.sim.machine import (
+    CacheConfig,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.stride_table import AddressPredictionTable
+
+from golden_cases import stats_to_record
+from test_pipeline_parity import _random_asm
+
+
+def _block(cache, n: int) -> int:
+    """Address of the n-th block (so addresses conflict predictably)."""
+    return n * cache.config.block_size
+
+
+def test_direct_mapped_counter_identity():
+    cache = DirectMappedCache(CacheConfig(size=256, block_size=64, ways=1))
+    assert type(cache) is DirectMappedCache
+    assert cache.accesses == 0
+
+    assert cache.access(_block(cache, 0)) is False      # cold miss, fills
+    assert cache.access(_block(cache, 0)) is True       # hit
+    assert cache.write_access(_block(cache, 1)) is False  # store miss ...
+    assert cache.access(_block(cache, 1)) is False      # ... did not fill
+    assert cache.write_access(_block(cache, 1)) is True   # read fill did
+    assert (cache.hits, cache.misses) == (2, 3)
+    assert cache.accesses == cache.hits + cache.misses == 5
+
+
+def test_direct_mapped_probe_is_neutral():
+    cache = DirectMappedCache(CacheConfig(size=256, block_size=64, ways=1))
+    assert cache.probe(_block(cache, 0)) is False
+    assert (cache.hits, cache.misses, cache.accesses) == (0, 0, 0)
+    assert cache.access(_block(cache, 0)) is False  # probe did not allocate
+    before = (cache.hits, cache.misses)
+    for _ in range(10):
+        cache.probe(_block(cache, 0))
+        cache.probe(_block(cache, 7))
+    assert (cache.hits, cache.misses) == before
+    assert cache.access(_block(cache, 0)) is True
+
+
+def test_set_associative_counter_identity_and_lru():
+    cache = DirectMappedCache(CacheConfig(size=512, block_size=64, ways=2))
+    assert isinstance(cache, SetAssociativeCache)
+    sets = cache.config.num_sets
+    a, b, c = (_block(cache, n * sets) for n in range(3))  # same set
+
+    assert cache.access(a) is False
+    assert cache.access(b) is False
+    assert cache.access(a) is True     # refreshes LRU: b is now oldest
+    assert cache.access(c) is False    # evicts b
+    assert cache.probe(b) is False
+    assert cache.probe(a) is True
+    # A write hit refreshes LRU like a read hit; a write miss never
+    # fills and never evicts.
+    assert cache.write_access(a) is True
+    assert cache.write_access(b) is False
+    assert cache.probe(c) is True
+    assert cache.access(b) is False    # evicts c (a was refreshed)
+    assert cache.probe(c) is False
+    assert cache.accesses == cache.hits + cache.misses == 7
+
+
+def test_table_probe_counts_exactly_once():
+    table = AddressPredictionTable(16)
+    assert table.probe(0x40) is None           # cold: probe, no tag hit
+    assert (table.probes, table.tag_hits) == (1, 0)
+    table.update(0x40, 1000)                   # Replace arc: functioning
+    assert table.probe(0x40) == 1000           # constant-address predict
+    assert (table.probes, table.tag_hits, table.predictions) == (2, 1, 1)
+    table.update(0x40, 1000, predicted=1000)
+    assert table.correct == 1
+    # New_Stride drops to learning: tag hit but no prediction.
+    table.update(0x40, 1064, predicted=table.probe(0x40))
+    assert table.probe(0x40) is None
+    assert table.tag_hits == table.probes - 1  # only the cold probe missed
+    assert table.predictions + table.suppressed < table.probes
+
+
+def test_table_update_is_unconditional_per_routed_load():
+    """The table evolves identically whether or not a prediction was
+    dispatched — dispatch is a port question, not a table question."""
+    dispatched = AddressPredictionTable(16)
+    starved = AddressPredictionTable(16)
+    addresses = [1000 + 8 * n for n in range(6)]
+    for ca in addresses:
+        pred = dispatched.probe(0x40)
+        dispatched.update(0x40, ca, predicted=pred)
+        starved.probe(0x40)
+        starved.update(0x40, ca, predicted=None)  # probe result unused
+    assert dispatched.probes == starved.probes
+    assert dispatched.tag_hits == starved.tag_hits
+    assert dispatched.predictions == starved.predictions
+    entry_a = dispatched._table[dispatched._split(0x40)[0]]
+    entry_b = starved._table[starved._split(0x40)[0]]
+    assert (entry_a.pa, entry_a.st, entry_a.stc, entry_a.state) == (
+        entry_b.pa, entry_b.st, entry_b.stc, entry_b.state
+    )
+    # Only the statistics-side `correct` counter may differ.
+    assert starved.correct == 0
+
+
+def test_suppressed_predictions_still_count_probes():
+    table = AddressPredictionTable(16, confidence_bits=2)
+    table.update(0x40, 1000)
+    # Drive the counter below the midpoint with mispredictions.
+    for ca in (2000, 3000, 5000, 7000, 11000):
+        table.probe(0x40)
+        table.update(0x40, ca)
+    before = table.probes
+    result = table.probe(0x40)
+    assert table.probes == before + 1
+    assert result is None
+    assert table.predictions + table.suppressed + (
+        table.probes - table.tag_hits
+    ) <= table.probes
+
+
+@pytest.mark.parametrize("ways", (1, 2))
+def test_both_paths_report_identical_cache_counters(ways):
+    """Regression: precomputed and inline paths must report identical
+    ``dcache_hits``/``dcache_misses`` (and every other counter)."""
+    rng = random.Random(0xCAFE)
+    trace = execute(parse_asm(_random_asm(rng))).trace
+    machine = MachineConfig(
+        mem_ports=1,
+        dcache=CacheConfig(size=1024, ways=ways),
+    ).with_earlygen(EarlyGenConfig(16, 0, SelectionMode.HARDWARE))
+
+    inline = TimingSimulator(trace, machine)._run_inline()
+    fast = precompute.try_fast(TimingSimulator(trace, machine), build=True)
+    assert fast is not None, "config unexpectedly ineligible for fast path"
+
+    assert fast.dcache_hits == inline.dcache_hits
+    assert fast.dcache_misses == inline.dcache_misses
+    assert fast.icache_misses == inline.icache_misses
+    assert stats_to_record(fast) == stats_to_record(inline)

@@ -1,0 +1,239 @@
+"""The config-invariant precompute layer (:mod:`repro.sim.precompute`).
+
+Covers what the parity suites do not:
+
+* cache bounds — the Program-attached caches (front-end outcomes, trace
+  precomputes, per-config streams/routes) stay bounded no matter how
+  many machines or configs a long service session replays;
+* fast-path gating — one-shot ``run()`` calls never pay a precompute
+  build, hooks/timeline/override runs stay inline, and ``simulate_many``
+  results land byte-identical to independent runs;
+* golden lock — every eligible golden case replayed through
+  ``simulate_many`` reproduces its recorded snapshot exactly;
+* divergence patching — wrong-address pollution that cannot dispatch is
+  resolved by stream rebuilds, not by silently wrong stats.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.isa import parse_asm
+from repro.sim import precompute
+from repro.sim.executor import execute
+from repro.sim.machine import (
+    CacheConfig,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import _FRONTEND_CACHE_LIMIT, TimingSimulator
+from repro.sim.precompute import (
+    _PRECOMPUTE_LIMIT,
+    _ROUTE_LIMIT,
+    _STREAM_LIMIT,
+    get_precompute,
+    simulate_many,
+    warm_precompute,
+)
+
+from golden_cases import GOLDEN_PATH, iter_cases, stats_to_record
+from test_pipeline_parity import _random_asm
+
+
+@pytest.fixture
+def trace():
+    rng = random.Random(0xBEEF)
+    return execute(parse_asm(_random_asm(rng))).trace
+
+
+def _machine_variant(n: int) -> MachineConfig:
+    """Distinct machine shapes (different icache => different keys)."""
+    return MachineConfig(icache=CacheConfig(size=1024 << n))
+
+
+# ---------------------------------------------------------------------------
+# Cache bounds
+# ---------------------------------------------------------------------------
+
+def test_frontend_cache_is_bounded(trace):
+    program = trace.program
+    for n in range(_FRONTEND_CACHE_LIMIT + 4):
+        TimingSimulator(trace, _machine_variant(n)).run()
+    uids, inner = program._frontend_pre
+    assert uids is trace.uids
+    assert len(inner) <= _FRONTEND_CACHE_LIMIT
+
+
+def test_precompute_store_is_bounded(trace):
+    program = trace.program
+    for n in range(_PRECOMPUTE_LIMIT + 3):
+        assert get_precompute(trace, _machine_variant(n)) is not None
+    uids, store = program._sim_precompute
+    assert uids is trace.uids
+    assert len(store) <= _PRECOMPUTE_LIMIT
+    # LRU: the most recent machine is still warm.
+    warm = get_precompute(trace, _machine_variant(_PRECOMPUTE_LIMIT + 2),
+                          build=False)
+    assert warm is not None
+
+
+def test_stream_and_route_caches_are_bounded(trace):
+    pre = get_precompute(trace, MachineConfig())
+    n_static = len(pre.static_load_uids)
+    assert n_static > 0
+    for n in range(_ROUTE_LIMIT + 5):
+        # Distinct synthetic routings: first n loads prediction-routed.
+        scheme = bytes(1 if i < n % (n_static + 1) else 0
+                       for i in range(n_static))
+        pre.route_for(scheme)
+    assert len(pre._routes) <= _ROUTE_LIMIT
+
+    route = pre.route_for(bytes([1] * n_static))
+    combos = [
+        (entries, conf)
+        for entries in (2, 4, 8, 16, 32, 64, 128, 256)
+        for conf in (0, 1, 2, 3, 4)
+    ]
+    for entries, conf in combos[: _STREAM_LIMIT + 6]:
+        eg = EarlyGenConfig(entries, 0, SelectionMode.HARDWARE,
+                            table_confidence_bits=conf)
+        pre.dstream(eg, route)
+    assert len(pre._dstreams) <= _STREAM_LIMIT
+
+
+def test_precompute_invalidated_when_program_recompiled(trace):
+    pre = get_precompute(trace, MachineConfig())
+    assert get_precompute(trace, MachineConfig(), build=False) is pre
+    trace.program.flat = list(trace.program.flat)  # simulate re-lowering
+    assert get_precompute(trace, MachineConfig(), build=False) is None
+
+
+# ---------------------------------------------------------------------------
+# Fast-path gating
+# ---------------------------------------------------------------------------
+
+def test_one_shot_run_never_builds_a_precompute(trace):
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE)
+    )
+    TimingSimulator(trace, machine).run()
+    assert getattr(trace.program, "_sim_precompute", None) is None
+
+
+def test_warm_run_uses_fast_path_and_matches_inline(trace):
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE)
+    )
+    inline = stats_to_record(TimingSimulator(trace, machine)._run_inline())
+    (batched,) = simulate_many(trace, [machine])
+    assert stats_to_record(batched) == inline
+    # The precompute is now warm, so a plain run() takes the fast path
+    # and must agree too.
+    assert getattr(trace.program, "_sim_precompute", None) is not None
+    assert stats_to_record(TimingSimulator(trace, machine).run()) == inline
+
+
+def test_event_hook_runs_stay_inline(trace):
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE)
+    )
+    warm_precompute(trace, MachineConfig(), [machine.earlygen])
+    payloads = []
+    stats = TimingSimulator(
+        trace, machine, event_hook=payloads.append
+    ).run()
+    assert payloads, "event hook did not fire"
+    assert payloads[-1]["cycles"] == stats.cycles
+
+
+def test_hw_dual_configs_fall_back_to_inline(trace):
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(16, 2, SelectionMode.HARDWARE)
+    )
+    assert precompute.try_fast(
+        TimingSimulator(trace, machine), build=True
+    ) is None
+    inline = stats_to_record(TimingSimulator(trace, machine)._run_inline())
+    (batched,) = simulate_many(trace, [machine])
+    assert stats_to_record(batched) == inline
+
+
+def test_simulate_many_accepts_earlygen_and_machine_items(trace):
+    base = MachineConfig(mem_ports=1)
+    eg = EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    mixed = simulate_many(
+        trace, [eg, base.with_earlygen(eg)], machine=base
+    )
+    assert stats_to_record(mixed[0]) == stats_to_record(mixed[1])
+
+
+# ---------------------------------------------------------------------------
+# Divergence patching
+# ---------------------------------------------------------------------------
+
+def test_divergence_patching_converges_without_fallback():
+    """Port-starved machines (mem_ports=1) produce wrong-address
+    pollution that cannot dispatch; patching must resolve it exactly."""
+    rng = random.Random(0xD1CE)
+    fallbacks_before = precompute.divergence_fallback_count()
+    diverged = False
+    for _ in range(8):
+        trace = execute(parse_asm(_random_asm(rng))).trace
+        machine = MachineConfig(
+            mem_ports=1, dcache=CacheConfig(size=1024)
+        ).with_earlygen(EarlyGenConfig(16, 0, SelectionMode.HARDWARE))
+        before = precompute.divergence_count()
+        inline = stats_to_record(
+            TimingSimulator(trace, machine)._run_inline()
+        )
+        fast = precompute.try_fast(
+            TimingSimulator(trace, machine), build=True
+        )
+        assert fast is not None
+        assert stats_to_record(fast) == inline
+        if precompute.divergence_count() > before:
+            diverged = True
+            # Convergence is remembered: a second fast run must not
+            # rediscover the exclusions.
+            again = precompute.divergence_count()
+            rerun = precompute.try_fast(
+                TimingSimulator(trace, machine), build=True
+            )
+            assert stats_to_record(rerun) == inline
+            assert precompute.divergence_count() == again
+    assert diverged, "seeds no longer produce divergence; rotate them"
+    assert precompute.divergence_fallback_count() == fallbacks_before
+
+
+# ---------------------------------------------------------------------------
+# Golden lock
+# ---------------------------------------------------------------------------
+
+def test_simulate_many_reproduces_golden_stats_exactly():
+    with GOLDEN_PATH.open(encoding="utf-8") as fh:
+        golden = json.load(fh)["cases"]
+    groups: dict = {}
+    for case_id, trace, machine, overrides, collect_timeline in iter_cases():
+        if collect_timeline:
+            continue  # timeline collection is inline-only by design
+        entry = groups.setdefault(id(trace), (trace, []))
+        entry[1].append((case_id, machine, overrides))
+    checked = 0
+    for trace, cases in groups.values():
+        stats_list = simulate_many(
+            trace,
+            [machine for _, machine, _ in cases],
+            overrides=[ov for _, _, ov in cases],
+        )
+        for (case_id, _, _), stats in zip(cases, stats_list):
+            assert stats_to_record(stats) == golden[case_id], case_id
+            checked += 1
+    assert checked >= 15
