@@ -6,6 +6,7 @@ Usage::
                                  [--jobs N] [--timeout SECS] [--retries N]
                                  [--checkpoint-dir DIR] [--profile]
                                  [--result-cache DIR]
+                                 [--workers URL[,URL...]]
                                  [--inject WORKLOAD=MODE]...
 
 Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
@@ -15,7 +16,12 @@ Workloads run under the fault-isolated :class:`WorkloadRunner`: a
 crashing or hanging workload degrades to an ERROR/TIMEOUT row instead of
 aborting the run, and the exit status is non-zero whenever any row
 degraded.  ``--jobs N`` fans workloads and their per-config timing
-replays across N worker processes with identical output; ``--profile``
+replays across N worker processes with identical output;
+``--workers URL[,URL...]`` instead shards whole workloads across
+running ``repro.service`` coordinators (round-robin) whose leased
+remote workers execute them — tables are byte-identical to a
+single-host run, even when a worker dies mid-sweep (the coordinator's
+lease recovery requeues its jobs); ``--profile``
 re-runs the slowest workload under cProfile and writes the top
 cumulative entries next to the checkpoint directory.  With ``--checkpoint-dir`` a re-invocation skips workloads
 that already completed and re-runs only the failed ones.  ``--inject``
@@ -139,7 +145,12 @@ def _write_run_manifest(args, argv, ctx, outcomes) -> None:
         scale=args.scale,
         machine=ctx.machine,
         workloads=entries,
-        extra={"suite": args.suite, "jobs": args.jobs},
+        extra={
+            "suite": args.suite,
+            "jobs": args.jobs,
+            "workers": ([u.strip() for u in args.workers.split(",")
+                         if u.strip()] if args.workers else []),
+        },
     )
     obs.write_manifest(args.trace_out, manifest)
 
@@ -184,6 +195,11 @@ def main(argv=None) -> int:
                         metavar="WORKLOAD=MODE",
                         help="inject a fault (crash, hang, flaky:N, "
                         "corrupt-ir[:PASS], corrupt-output); repeatable")
+    parser.add_argument("--workers", default=None, metavar="URL[,URL...]",
+                        help="shard the sweep across these running "
+                        "repro.service coordinators (round-robin); "
+                        "their lease-based fault recovery replaces the "
+                        "local retry policy")
     parser.add_argument("--no-verify-ir", action="store_true",
                         help="skip the per-pass IR verifier")
     parser.add_argument("--trace-out", default=None, metavar="DIR",
@@ -193,6 +209,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    worker_urls = []
+    if args.workers is not None:
+        worker_urls = [u.strip() for u in args.workers.split(",")
+                       if u.strip()]
+        if not worker_urls:
+            parser.error("--workers needs at least one URL")
+        if args.jobs > 1:
+            parser.error("--workers and --jobs > 1 are mutually "
+                         "exclusive (the coordinators own the workers)")
+        if args.inject:
+            parser.error("--inject does not cross the wire; inject "
+                         "faults on the service workers instead "
+                         "(python -m repro.service worker --inject ...)")
 
     try:
         injector = FaultInjector.parse(args.inject) if args.inject else None
@@ -235,12 +264,21 @@ def main(argv=None) -> int:
             max_bytes=(args.result_cache_max_mb * 1024 * 1024
                        if args.result_cache_max_mb else None),
         )
+    pool = None
+    if worker_urls:
+        from repro.service.pool import RemotePool
+        pool = RemotePool(worker_urls)
+        if args.timeout or args.retries:
+            print("--workers: timeout/retry policy is enforced by the "
+                  "coordinator(s); local --timeout/--retries apply only "
+                  "to cache preambles", file=sys.stderr)
     runner = WorkloadRunner(
         ctx,
         config,
         progress=lambda msg: print(msg, file=sys.stderr, flush=True),
         jobs=args.jobs,
         result_store=result_store,
+        pool=pool,
     )
 
     suites = _SUITES[args.suite]

@@ -201,10 +201,37 @@ def _task_service(init: dict, store: ArtifactStore, payload: dict):
     return execute_job(payload["spec"], machine=init["machine"])
 
 
+def _task_rows_full(init: dict, store: ArtifactStore, payload: dict):
+    """One workload's *entire* sweep, prepare through rows, in one task.
+
+    The coarse-grained unit behind :func:`run_suite_pooled`: nothing of
+    the workload crosses the process boundary except the final row
+    fragments, which is exactly the shape a remote worker returns —
+    local and remote pools are interchangeable per workload.
+    """
+    name = payload["name"]
+    attempt = payload.get("attempt", 1)
+    injector = init["injector"]
+    with obs.current().span(
+        "task:rows_full", workload=name, attempt=attempt
+    ):
+        if injector is not None:
+            injector.prime(name, attempt)
+            injector.fire(name, attempt)
+        from repro.harness.runner import compute_rows
+
+        ctx = _child_context(init)
+        return {
+            "suite": get_workload(name).suite,
+            "rows": compute_rows(ctx, name),
+        }
+
+
 _TASKS = {
     "prepare": _task_prepare,
     "sim": _task_sim,
     "rows": _task_rows,
+    "rows_full": _task_rows_full,
     "service": _task_service,
 }
 
@@ -621,5 +648,209 @@ def run_suite_parallel(runner, names: Sequence[str]):
         for worker in workers:
             worker.stop()
         shutil.rmtree(artifact_dir, ignore_errors=True)
+
+    return [outcomes[name] for name in names]
+
+
+# ---------------------------------------------------------------------------
+# Pool-based suite scheduling (local or distributed)
+# ---------------------------------------------------------------------------
+
+def run_suite_pooled(runner, names: Sequence[str], pool):
+    """run_suite over any :class:`~repro.service.pool.Pool`.
+
+    The coarse-grained sibling of :func:`run_suite_parallel`: each
+    workload is one ``rows_full`` task (compile → emulate → sweep →
+    rows inside a single worker), so the same driver shards a sweep
+    across forked processes (:class:`~repro.service.pool.LocalPool`) or
+    across coordinators with leased remote workers
+    (:class:`~repro.service.pool.RemotePool`).  Statuses, rows, and
+    checkpoint side effects match the sequential runner; with a local
+    pool the retry/backoff/timeout policy runs here, while a remote
+    pool's coordinator owns it (``pool.handles_retries``), including
+    lease-based recovery from workers that crash or vanish mid-job.
+    """
+    from repro.harness.runner import (
+        STATUS_ERROR,
+        STATUS_OK,
+        STATUS_TIMEOUT,
+        WorkloadOutcome,
+    )
+
+    ctx = runner.ctx
+    config = runner.config
+    outcomes: Dict[str, WorkloadOutcome] = {}
+    total = len(names)
+    finished = 0
+
+    def announce(outcome) -> None:
+        nonlocal finished
+        finished += 1
+        note = outcome.status.upper()
+        if outcome.cached:
+            note += f" ({outcome.cache_kind or 'checkpointed'})"
+        elif outcome.attempts > 1:
+            note += f" ({outcome.attempts} attempts)"
+        runner._say(
+            f"[{finished}/{total}] {outcome.name}: {note} "
+            f"in {outcome.elapsed:.1f}s"
+        )
+
+    class _State:
+        __slots__ = ("name", "suite", "attempt", "started", "deadline",
+                     "not_before", "task_id")
+
+        def __init__(self, name: str, suite: str):
+            self.name = name
+            self.suite = suite
+            self.attempt = 0
+            self.started: Optional[float] = None
+            self.deadline: Optional[float] = None
+            self.not_before = 0.0
+            self.task_id: Optional[str] = None
+
+    pending: deque = deque()  # states not yet submitted
+    states: Dict[str, "_State"] = {}  # name -> state (all unfinished)
+    by_task: Dict[str, "_State"] = {}  # task_id -> state (submitted)
+    for name in names:
+        checkpoint = (
+            ctx.load_checkpoint(name) if ctx.checkpoint_dir else None
+        )
+        if checkpoint is not None and checkpoint.get("status") == STATUS_OK:
+            outcomes[name] = WorkloadOutcome.from_payload(name, checkpoint)
+            announce(outcomes[name])
+            continue
+        cached = runner.load_cached_rows(name)
+        if cached is not None:
+            if ctx.checkpoint_dir is not None:
+                ctx.store_checkpoint(name, cached.payload())
+            outcomes[name] = cached
+            announce(cached)
+            continue
+        state = _State(name, get_workload(name).suite)
+        states[name] = state
+        pending.append(state)
+
+    def finish(state: "_State", outcome) -> None:
+        runner.store_rows(outcome)
+        if ctx.checkpoint_dir is not None:
+            ctx.store_checkpoint(state.name, outcome.payload())
+        outcomes[state.name] = outcome
+        del states[state.name]
+        announce(outcome)
+
+    def submit(state: "_State", now: float) -> None:
+        state.attempt += 1
+        if state.started is None:
+            state.started = now
+        if config.timeout and not pool.handles_retries:
+            state.deadline = now + config.timeout
+        state.task_id = f"{state.name}#{state.attempt}"
+        by_task[state.task_id] = state
+        pool.submit({
+            "id": state.task_id,
+            "kind": "rows_full",
+            "payload": {
+                "name": state.name,
+                "attempt": state.attempt,
+                "scale": ctx.scale,
+                "verify_ir": ctx.verify_ir,
+            },
+        })
+
+    def retry_or_fail(state: "_State", error_type: str,
+                      message: str, now: float) -> None:
+        if not pool.handles_retries and state.attempt <= config.retries:
+            delay = config.backoff * (2 ** (state.attempt - 1))
+            runner._say(
+                f"{state.name}: attempt {state.attempt} failed "
+                f"({error_type}); retrying in {delay:g}s"
+            )
+            state.not_before = now + delay
+            state.deadline = None
+            pending.append(state)
+            return
+        status = (STATUS_TIMEOUT if error_type == "Timeout"
+                  else STATUS_ERROR)
+        finish(state, WorkloadOutcome(
+            state.name, state.suite, status,
+            error=message, error_type=error_type,
+            attempts=state.attempt,
+            elapsed=now - state.started,
+        ))
+
+    try:
+        while states:
+            now = time.monotonic()
+
+            # Local-pool deadlines (a remote pool's coordinator enforces
+            # its own; see JobScheduler._enforce_deadlines).
+            if config.timeout and not pool.handles_retries:
+                for state in list(by_task.values()):
+                    if state.deadline is None or now < state.deadline:
+                        continue
+                    pool.kill_task(state.task_id)
+                    del by_task[state.task_id]
+                    if ctx.fault_injector is not None:
+                        ctx.fault_injector.stop_event.set()
+                    finish(state, WorkloadOutcome(
+                        state.name, state.suite, STATUS_TIMEOUT,
+                        error=f"no result within {config.timeout:g}s",
+                        error_type="Timeout",
+                        attempts=state.attempt,
+                        elapsed=now - state.started,
+                    ))
+                if not states:
+                    break
+
+            # Submit ready workloads while the pool has room.
+            deferred = []
+            while pending and pool.idle():
+                state = pending.popleft()
+                if state.not_before > now:
+                    deferred.append(state)
+                    continue
+                submit(state, now)
+            pending.extend(deferred)
+
+            if not pool.busy():
+                time.sleep(_POLL)
+                continue
+
+            timeout = _POLL
+            if config.timeout and not pool.handles_retries:
+                deadlines = [s.deadline for s in by_task.values()
+                             if s.deadline is not None]
+                if deadlines:
+                    timeout = min(timeout, max(0.0, min(deadlines) - now))
+            for task_id, ok, result in pool.poll(timeout):
+                state = by_task.pop(task_id, None)
+                if state is None or state.name not in states:
+                    continue  # superseded attempt or late straggler
+                now = time.monotonic()
+                if not ok:
+                    error_type, message = result[0], result[1]
+                    if len(result) > 2 and result[2]:
+                        # The coordinator's attempt count (its retries
+                        # happened remotely, invisible to this loop).
+                        state.attempt = result[2]
+                    retry_or_fail(state, error_type, message, now)
+                    continue
+                attempts = result.get("attempts", state.attempt) or \
+                    state.attempt
+                outcome = WorkloadOutcome(
+                    state.name,
+                    result.get("suite", state.suite),
+                    STATUS_OK,
+                    rows=result["rows"],
+                    attempts=attempts,
+                    elapsed=now - state.started,
+                )
+                if result.get("cached"):
+                    outcome.cached = True
+                    outcome.cache_kind = "service"
+                finish(state, outcome)
+    finally:
+        pool.stop()
 
     return [outcomes[name] for name in names]

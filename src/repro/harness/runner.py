@@ -218,6 +218,7 @@ class WorkloadRunner:
         progress: Optional[Callable[[str], None]] = None,
         jobs: int = 1,
         result_store=None,
+        pool=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -226,6 +227,9 @@ class WorkloadRunner:
         self._progress = progress
         self.jobs = jobs
         self.result_store = result_store
+        #: A :class:`repro.service.pool.Pool` to shard the suite over
+        #: (e.g. a RemotePool of coordinators); overrides ``jobs``.
+        self.pool = pool
 
     def _say(self, message: str) -> None:
         if self._progress is not None:
@@ -401,6 +405,9 @@ class WorkloadRunner:
 
     def run_suite(self, names: Sequence[str]) -> List[WorkloadOutcome]:
         """Run every workload in *names*, degrading failures to rows."""
+        if self.pool is not None:
+            from repro.harness.parallel import run_suite_pooled
+            return run_suite_pooled(self, names, self.pool)
         if self.jobs > 1:
             from repro.harness.parallel import run_suite_parallel
             return run_suite_parallel(self, names)

@@ -3,14 +3,19 @@
 Usage::
 
     python -m repro.service serve  --store cache/ [--port 8321] [--jobs 4]
+    python -m repro.service worker --url http://HOST:8321 [--name w1]
     python -m repro.service submit --workload 022.li --scale 0.05
     python -m repro.service batch  --file sweep.json
     python -m repro.service stats
 
 ``serve`` runs until interrupted; with ``--trace-out DIR`` it writes
 JSONL trace spans for every served job and a ``manifest.json`` naming
-them on shutdown.  ``submit``/``batch``/``stats`` talk to a running
-server (``--url``) and print the JSON response.
+them on shutdown.  ``--jobs 0`` runs no local workers: the server is a
+pure coordinator and all work is done by remote ``worker`` processes,
+which register over HTTP, lease jobs, heartbeat, and publish results
+(``--inject``/``--chaos-seed`` break them on purpose, for chaos
+testing).  ``submit``/``batch``/``stats`` talk to a running server
+(``--url``) and print the JSON response.
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         max_pending=args.max_pending,
+        lease_ttl=args.lease_ttl,
     )
     service.start(args.host, args.port, quiet=args.quiet)
     host, port = service.address
@@ -94,6 +100,36 @@ def _cmd_serve(args) -> int:
             obs.disable()
             print(f"wrote manifest under {args.trace_out}",
                   file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.harness.faults import ServiceFaultInjector
+    from repro.service.worker import ServiceWorker
+
+    if args.chaos_seed is not None:
+        injector = ServiceFaultInjector.seeded(
+            args.chaos_seed, args.chaos_rate
+        )
+    elif args.inject:
+        injector = ServiceFaultInjector.parse(args.inject)
+    else:
+        injector = None
+    worker = ServiceWorker(
+        args.url,
+        name=args.name,
+        poll_interval=args.poll,
+        max_jobs=args.max_jobs,
+        injector=injector,
+        give_up_after=args.give_up,
+        quiet=args.quiet,
+    )
+    try:
+        served = worker.run()
+    except KeyboardInterrupt:
+        served = worker.completed
+    print(f"served {served} jobs ({worker.failed} failed)",
+          file=sys.stderr)
     return 0
 
 
@@ -144,7 +180,11 @@ def main(argv=None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321)
     serve.add_argument("--jobs", type=int, default=2,
-                       help="worker processes (default 2)")
+                       help="local worker processes (default 2; 0 = pure "
+                       "coordinator, remote workers only)")
+    serve.add_argument("--lease-ttl", type=float, default=15.0,
+                       help="seconds a remote lease survives without a "
+                       "heartbeat (default 15)")
     serve.add_argument("--max-mb", type=int, default=0,
                        help="store size bound in MiB (0 = unbounded)")
     serve.add_argument("--timeout", type=float, default=0.0,
@@ -158,6 +198,32 @@ def main(argv=None) -> int:
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logs")
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser("worker", help="run one leased remote worker")
+    worker.add_argument("--url", default=DEFAULT_URL,
+                        help="coordinator base URL")
+    worker.add_argument("--name", default="",
+                        help="worker name in the coordinator's registry")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between lease polls when idle")
+    worker.add_argument("--max-jobs", type=int, default=0,
+                        help="exit after serving this many jobs (0 = run "
+                        "until interrupted)")
+    worker.add_argument("--give-up", type=float, default=0.0,
+                        help="exit after this many idle/unreachable "
+                        "seconds (0 = keep trying forever)")
+    worker.add_argument("--inject", action="append", default=[],
+                        metavar="MODE@SELECTOR",
+                        help="service fault: crash|hang|stale|corrupt @ "
+                        "lease ordinal or job label (repeatable)")
+    worker.add_argument("--chaos-seed", type=int, default=None,
+                        help="derive a seeded pseudo-random fault "
+                        "schedule instead of --inject")
+    worker.add_argument("--chaos-rate", type=float, default=0.2,
+                        help="per-lease fault probability with "
+                        "--chaos-seed (default 0.2)")
+    worker.add_argument("--quiet", action="store_true")
+    worker.set_defaults(func=_cmd_worker)
 
     submit = sub.add_parser("submit", help="submit one job")
     submit.add_argument("--url", default=DEFAULT_URL)

@@ -1,6 +1,6 @@
 """Python client for the repro service HTTP API (urllib only).
 
-Mirrors the four endpoints of :mod:`repro.service.server`::
+Mirrors the endpoints of :mod:`repro.service.server`::
 
     client = ServiceClient("http://127.0.0.1:8321")
     job = client.submit({"workload": "022.li", "scale": 0.05}, wait=True)
@@ -10,11 +10,23 @@ Mirrors the four endpoints of :mod:`repro.service.server`::
 Every call returns the decoded JSON payload; a non-2xx response raises
 :class:`ServiceError` carrying the HTTP status and the server's
 ``error`` message.
+
+Transient connection errors (refused, reset, dropped mid-flight) are
+retried with exponential backoff — but only when it is safe: a refused
+connection means the request was *never sent*, so anything may retry;
+a reset after sending is retried only for idempotent calls (GETs,
+polls, lease/heartbeat/complete — the coordinator resolves replays
+idempotently).  A submit that may have reached the server is never
+replayed, because replaying it could enqueue duplicate work under a
+different job id.  HTTP errors (4xx/5xx) are real answers and are
+never retried.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import List, Optional, Union
@@ -24,6 +36,12 @@ from repro.service.jobs import JobSpec
 #: Per-request socket timeout (distinct from server-side job waiting,
 #: which is bounded by ``wait_timeout`` in the request body).
 DEFAULT_HTTP_TIMEOUT = 330.0
+
+#: Default retry budget for transient connection errors.
+DEFAULT_RETRIES = 2
+
+#: First-retry delay (seconds); doubles per retry.
+DEFAULT_RETRY_BACKOFF = 0.1
 
 
 class ServiceError(RuntimeError):
@@ -44,18 +62,41 @@ def _spec_dict(spec: Union[JobSpec, dict]) -> dict:
     raise TypeError(f"spec must be a JobSpec or dict, not {type(spec)}")
 
 
+def _never_sent(exc: BaseException) -> bool:
+    """True when the failure provably happened before any bytes left.
+
+    A refused connection cannot have delivered the request, so even a
+    non-idempotent call may retry it.  urllib wraps connect-phase
+    OSErrors in ``URLError`` with the original as ``reason``.
+    """
+    if isinstance(exc, urllib.error.URLError):
+        exc = exc.reason if isinstance(exc.reason, BaseException) else exc
+    return isinstance(exc, ConnectionRefusedError)
+
+
 class ServiceClient:
     """Thin blocking client over :mod:`urllib.request`."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8321",
-                 http_timeout: float = DEFAULT_HTTP_TIMEOUT):
+                 http_timeout: float = DEFAULT_HTTP_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF):
         self.base_url = base_url.rstrip("/")
         self.http_timeout = http_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # -- transport ---------------------------------------------------------
 
+    def _open(self, request) -> dict:
+        with urllib.request.urlopen(
+            request, timeout=self.http_timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
     def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> dict:
+                 body: Optional[dict] = None,
+                 idempotent: bool = True) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -64,21 +105,36 @@ class ServiceClient:
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.http_timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempt = 0
+        while True:
+            attempt += 1
             try:
-                payload = json.loads(exc.read().decode("utf-8"))
-                message = payload.get("error", "")
-            except ValueError:
-                message = exc.reason or ""
-            raise ServiceError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"service unreachable: {exc.reason}"
-                               ) from None
+                return self._open(request)
+            except urllib.error.HTTPError as exc:
+                # A real server answer: report it, never retry it.
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                    message = payload.get("error", "")
+                except ValueError:
+                    message = exc.reason or ""
+                raise ServiceError(exc.code, message) from None
+            except (urllib.error.URLError, ConnectionError,
+                    http.client.RemoteDisconnected, TimeoutError) as exc:
+                # urllib wraps connect/send errors in URLError, but a
+                # connection dropped while reading the response
+                # (RemoteDisconnected / ConnectionResetError) propagates
+                # raw — classify both the same way.
+                retriable = idempotent or _never_sent(exc)
+                if retriable and attempt <= self.retries:
+                    time.sleep(
+                        self.retry_backoff * (2 ** (attempt - 1))
+                    )
+                    continue
+                reason = exc.reason if isinstance(
+                    exc, urllib.error.URLError) else exc
+                raise ServiceError(
+                    0, f"service unreachable: {reason}"
+                ) from None
 
     # -- API ---------------------------------------------------------------
 
@@ -91,7 +147,7 @@ class ServiceClient:
         body["wait"] = wait
         if wait_timeout is not None:
             body["wait_timeout"] = wait_timeout
-        return self._request("POST", "/v1/jobs", body)
+        return self._request("POST", "/v1/jobs", body, idempotent=False)
 
     def job(self, job_id: str) -> dict:
         """Poll one job by id."""
@@ -108,7 +164,7 @@ class ServiceClient:
         }
         if wait_timeout is not None:
             body["wait_timeout"] = wait_timeout
-        return self._request("POST", "/v1/batch", body)
+        return self._request("POST", "/v1/batch", body, idempotent=False)
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
@@ -118,3 +174,50 @@ class ServiceClient:
             return self._request("GET", "/healthz").get("status") == "ok"
         except ServiceError:
             return False
+
+    # -- worker (lease) protocol -------------------------------------------
+    #
+    # All of these are idempotent by protocol design: re-registering
+    # makes a fresh worker id, re-leasing abandons and re-grants, and
+    # duplicate heartbeats/completions are resolved coordinator-side.
+
+    def register_worker(self, name: str = "") -> dict:
+        """Register as a worker; returns id and lease timing."""
+        return self._request("POST", "/v1/workers",
+                             {"name": name} if name else {})
+
+    def lease(self, worker_id: str) -> Optional[dict]:
+        """Pull one leased job, or None when the queue is empty."""
+        return self._request(
+            "POST", f"/v1/workers/{worker_id}/lease"
+        ).get("job")
+
+    def heartbeat(self, worker_id: str, job_id: Optional[str] = None,
+                  lease_id: Optional[str] = None, progress=None) -> dict:
+        body = {}
+        if job_id is not None:
+            body["job_id"] = job_id
+            body["lease_id"] = lease_id
+        if progress is not None:
+            body["progress"] = progress
+        return self._request(
+            "POST", f"/v1/workers/{worker_id}/heartbeat", body or None
+        )
+
+    def complete(self, worker_id: str, job_id: str, lease_id: str,
+                 ok: bool, result=None, error: str = "",
+                 error_type: str = "") -> dict:
+        body = {"job_id": job_id, "lease_id": lease_id, "ok": ok}
+        if result is not None:
+            body["result"] = result
+        if error:
+            body["error"] = error
+        if error_type:
+            body["error_type"] = error_type
+        return self._request(
+            "POST", f"/v1/workers/{worker_id}/complete", body
+        )
+
+    def workers(self) -> List[dict]:
+        """The coordinator's worker-registry snapshot."""
+        return self._request("GET", "/v1/workers").get("workers", [])

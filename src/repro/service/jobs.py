@@ -71,9 +71,16 @@ class JobValidationError(ValueError):
     """A submitted job spec is malformed (HTTP 400 at the API layer)."""
 
 
+#: Job kinds the service executes.  ``simulate`` is the original
+#: one-config compile-and-simulate request; ``rows`` computes a
+#: workload's complete per-experiment row fragments (the distributed
+#: harness's unit of sharding — see ``repro.harness.parallel``).
+JOB_KINDS = ("simulate", "rows")
+
+
 @dataclass(frozen=True)
 class JobSpec:
-    """Everything that determines one compile-and-simulate result.
+    """Everything that determines one served result.
 
     Exactly one of ``workload`` (a registry name) and ``source`` (mini-C
     text) must be set.  ``scale`` has the harness meaning — a factor on
@@ -81,6 +88,13 @@ class JobSpec:
     source.  The remaining fields select the compiler level and the
     early-generation hardware; ``selection`` is the string value of
     :class:`~repro.sim.machine.SelectionMode`.
+
+    ``kind="rows"`` instead runs the full experiment sweep for one
+    *workload* and returns its row fragments for every table/figure it
+    participates in — exactly the dicts the sequential runner computes,
+    which is what makes a sharded sweep byte-identical.  The early-gen
+    fields are ignored for rows jobs (the sweep enumerates its own
+    configs).
     """
 
     workload: Optional[str] = None
@@ -91,12 +105,23 @@ class JobSpec:
     selection: str = "compiler"
     opt_level: int = 2
     verify_ir: bool = False
+    kind: str = "simulate"
 
     #: Fields accepted by :meth:`from_dict` (anything else is a 400).
     FIELDS = ("workload", "source", "scale", "table_entries",
-              "cached_regs", "selection", "opt_level", "verify_ir")
+              "cached_regs", "selection", "opt_level", "verify_ir",
+              "kind")
 
     def validate(self) -> "JobSpec":
+        if self.kind not in JOB_KINDS:
+            raise JobValidationError(
+                f"'kind' must be one of {list(JOB_KINDS)}"
+            )
+        if self.kind == "rows" and self.workload is None:
+            raise JobValidationError(
+                "rows jobs require 'workload' (raw source has no "
+                "registered experiments)"
+            )
         if (self.workload is None) == (self.source is None):
             raise JobValidationError(
                 "exactly one of 'workload' and 'source' must be set"
@@ -136,6 +161,8 @@ class JobSpec:
     def label(self) -> str:
         """Short human-readable identity (workload name or source hash)."""
         if self.workload is not None:
+            if self.kind == "rows":
+                return f"rows:{self.workload}"
             return self.workload
         digest = hashlib.sha256(self.source.encode("utf-8")).hexdigest()
         return f"source:{digest[:8]}"
@@ -164,6 +191,61 @@ def _config_tag(earlygen: EarlyGenConfig) -> str:
             f"_{earlygen.selection.value}")
 
 
+def _execute_rows(spec: JobSpec, machine: MachineConfig) -> dict:
+    """Worker body of a ``kind="rows"`` job: one workload's sweep.
+
+    Runs the unchanged per-workload experiment drivers
+    (:func:`repro.harness.runner.compute_rows`), so every float in
+    every row is produced by the same code path as a sequential
+    harness run — a sharded sweep reassembles byte-identical tables.
+    """
+    from repro.harness.experiments import ExperimentContext
+    from repro.harness.runner import compute_rows
+    from repro.workloads import get_workload
+
+    tracer = obs.current()
+    with tracer.span("service:rows", job=spec.label()) as span:
+        ctx = ExperimentContext(
+            scale=spec.scale, machine=machine, verify_ir=spec.verify_ir
+        )
+        rows = compute_rows(ctx, spec.workload)
+        if tracer.enabled:
+            span.set_counters(tables=len(rows))
+    return {
+        "job": spec.label(),
+        "kind": "rows",
+        "workload": spec.workload,
+        "suite": get_workload(spec.workload).suite,
+        "scale": spec.scale,
+        "rows": rows,
+    }
+
+
+def validate_result(spec: JobSpec, result) -> bool:
+    """Structural check of a worker-reported result payload.
+
+    The coordinator trusts no remote completion blindly: a payload that
+    is not shaped like the job's result (a corrupt or truncated upload,
+    or an injected ``corrupt`` fault) is rejected, which counts as a
+    lease failure and feeds the requeue/poisoning path.
+    """
+    if not isinstance(result, dict):
+        return False
+    if spec.kind == "rows":
+        rows = result.get("rows")
+        return (
+            isinstance(result.get("suite"), str)
+            and isinstance(rows, dict)
+            and bool(rows)
+            and all(isinstance(fragment, dict) for fragment in rows.values())
+        )
+    required = ("job", "config", "cycles", "baseline_cycles", "speedup")
+    if not all(key in result for key in required):
+        return False
+    return (isinstance(result["cycles"], int) and result["cycles"] > 0
+            and isinstance(result["baseline_cycles"], int))
+
+
 def execute_job(spec: JobSpec, machine: Optional[MachineConfig] = None) -> dict:
     """Compile, emulate, and simulate *spec*; returns the result payload.
 
@@ -176,6 +258,10 @@ def execute_job(spec: JobSpec, machine: Optional[MachineConfig] = None) -> dict:
     from repro.workloads import get_workload
 
     spec.validate()
+    if spec.kind == "rows":
+        return _execute_rows(
+            spec, machine if machine is not None else MachineConfig()
+        )
     machine = machine if machine is not None else MachineConfig()
     earlygen = spec.earlygen()
     tracer = obs.current()

@@ -10,9 +10,19 @@ Endpoints (all JSON)::
     GET  /v1/stats       store + scheduler counters
     GET  /healthz        liveness probe
 
+Worker (lease) protocol — see :mod:`repro.service.worker`::
+
+    POST /v1/workers                    register; returns worker_id,
+                                        lease_ttl, heartbeat_interval
+    POST /v1/workers/<id>/lease         pull one leased job (or null)
+    POST /v1/workers/<id>/heartbeat     renew the lease / report progress
+    POST /v1/workers/<id>/complete      publish a result or a failure
+    GET  /v1/workers                    registry snapshot
+
 Error mapping: malformed JSON or an invalid spec is 400 (the body's
-``error`` field carries the validation message), an unknown job id is
-404, a full queue is 429.  The server is a
+``error`` field carries the validation message), an unknown job or
+worker id is 404, an oversized request body is 413, a full queue is
+429.  The server is a
 :class:`http.server.ThreadingHTTPServer`: slow waited requests do not
 block polls, and the scheduler's dedup layer collapses identical
 concurrent submissions underneath.
@@ -32,7 +42,12 @@ from typing import Optional
 from repro import obs
 from repro.harness.runner import RunnerConfig
 from repro.service.jobs import JobSpec, JobValidationError
-from repro.service.scheduler import JobScheduler, QueueFull
+from repro.service.scheduler import (
+    DEFAULT_LEASE_TTL,
+    JobScheduler,
+    QueueFull,
+    UnknownWorker,
+)
 from repro.service.store import ResultStore
 from repro.sim.machine import MachineConfig
 
@@ -41,6 +56,20 @@ DEFAULT_WAIT_TIMEOUT = 300.0
 
 #: Jobs a single /v1/batch request may carry.
 MAX_BATCH = 256
+
+#: Largest request body accepted (bytes); larger is 413.  A job spec is
+#: a few hundred bytes and a full-sweep batch a few tens of KiB; 1 MiB
+#: leaves generous headroom while bounding what one request can make
+#: the server buffer.
+MAX_BODY = 1 << 20
+
+#: Most bytes of an oversized body the server will read-and-discard so
+#: the client can collect its 413; anything larger is just cut off.
+_DRAIN_LIMIT = 16 << 20
+
+
+class PayloadTooLarge(ValueError):
+    """The request body exceeds :data:`MAX_BODY` (HTTP 413)."""
 
 
 class ReproService:
@@ -56,6 +85,7 @@ class ReproService:
         retries: int = 0,
         max_pending: int = 256,
         machine: Optional[MachineConfig] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ):
         self.store = ResultStore(store_dir, max_bytes=max_bytes)
         self.scheduler = JobScheduler(
@@ -64,6 +94,7 @@ class ReproService:
             config=RunnerConfig(timeout=timeout, retries=retries),
             machine=machine,
             max_pending=max_pending,
+            lease_ttl=lease_ttl,
         )
         self._server: Optional[ThreadingHTTPServer] = None
 
@@ -155,10 +186,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, code: int, message: str) -> None:
         self._send(code, {"error": message})
 
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+    def _read_json(self, optional: bool = False) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise JobValidationError("bad Content-Length header") from None
+        if length > MAX_BODY:
+            # Drain the body in bounded chunks (never buffering it) so
+            # the client finishes its send and can read the 413 instead
+            # of dying on a broken pipe; past the drain cap just close.
+            remaining = min(length, _DRAIN_LIMIT)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds {MAX_BODY}"
+            )
+        raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
+            if optional:
+                return {}
             raise JobValidationError("empty request body")
         try:
             payload = json.loads(raw)
@@ -188,6 +238,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {"status": "ok"})
         elif self.path == "/v1/stats":
             self._send(200, service.stats())
+        elif self.path == "/v1/workers":
+            self._send(200, {
+                "workers": service.scheduler.workers_snapshot(),
+            })
         elif self.path.startswith("/v1/jobs/"):
             job_id = self.path[len("/v1/jobs/"):]
             job = service.scheduler.get(job_id)
@@ -197,6 +251,47 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, job.snapshot())
         else:
             self._error(404, f"no route for GET {self.path}")
+
+    def _do_worker_post(self) -> bool:
+        """Routes under ``/v1/workers``; False when the path is not one."""
+        service = self.server.service
+        if self.path == "/v1/workers":
+            payload = self._read_json(optional=True)
+            name = str(payload.get("name", ""))
+            self._send(200, service.scheduler.register_worker(name))
+            return True
+        if not self.path.startswith("/v1/workers/"):
+            return False
+        rest = self.path[len("/v1/workers/"):]
+        worker_id, _, action = rest.partition("/")
+        if action == "lease":
+            leased = service.scheduler.lease_job(worker_id)
+            self._send(200, {"job": leased})
+        elif action == "heartbeat":
+            payload = self._read_json(optional=True)
+            self._send(200, service.scheduler.heartbeat(
+                worker_id,
+                job_id=payload.get("job_id"),
+                lease_id=payload.get("lease_id"),
+                progress=payload.get("progress"),
+            ))
+        elif action == "complete":
+            payload = self._read_json()
+            for field in ("job_id", "lease_id"):
+                if not isinstance(payload.get(field), str):
+                    raise JobValidationError(f"'{field}' must be a string")
+            self._send(200, service.scheduler.complete(
+                worker_id,
+                job_id=payload["job_id"],
+                lease_id=payload["lease_id"],
+                ok=bool(payload.get("ok")),
+                result=payload.get("result"),
+                error=str(payload.get("error", "")),
+                error_type=str(payload.get("error_type", "")),
+            ))
+        else:
+            self._error(404, f"no route for POST {self.path}")
+        return True
 
     def do_POST(self) -> None:
         service = self.server.service
@@ -243,10 +338,14 @@ class _Handler(BaseHTTPRequestHandler):
                     "count": len(jobs),
                     "jobs": [job.snapshot() for job in jobs],
                 })
-            else:
+            elif not self._do_worker_post():
                 self._error(404, f"no route for POST {self.path}")
         except JobValidationError as exc:
             self._error(400, str(exc))
+        except PayloadTooLarge as exc:
+            self._error(413, str(exc))
+        except UnknownWorker as exc:
+            self._error(404, f"unknown worker or job: {exc}")
         except QueueFull as exc:
             self._error(429, str(exc))
 

@@ -122,7 +122,14 @@ class ResultStore:
         return value
 
     def put(self, key: str, value) -> Path:
-        """Atomically persist *value* under *key*; returns the path."""
+        """Atomically and durably persist *value* under *key*.
+
+        The tempfile is fsynced before the rename and the directory
+        after it, so a host crash can only leave the old state or the
+        complete new entry — never a published-but-truncated one.  (The
+        checksum would catch truncation on read anyway; the fsync keeps
+        the entry from being *lost* after a successful put.)
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         self.root.mkdir(parents=True, exist_ok=True)
@@ -132,7 +139,10 @@ class ResultStore:
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
+            self._fsync_dir()
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -143,6 +153,19 @@ class ResultStore:
         if self.max_bytes is not None:
             self._evict(keep=path.name)
         return path
+
+    def _fsync_dir(self) -> None:
+        """Durably record the rename in the directory (best effort)."""
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:
+            return  # e.g. platforms that cannot open a directory
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def forget(self, key: str) -> None:
         """Drop *key* from the filesystem (best effort)."""

@@ -1,0 +1,231 @@
+"""A leased remote worker: register, lease, heartbeat, complete.
+
+One :class:`ServiceWorker` attaches to one coordinator
+(:mod:`repro.service.server`) and loops::
+
+    POST /v1/workers                  -> worker_id, lease_ttl, hb interval
+    POST /v1/workers/<id>/lease       -> a JobSpec + lease, or null
+    ... execute_job() ...             heartbeating from a side thread
+    POST /v1/workers/<id>/complete    -> result published to the store
+
+The worker is deliberately stateless: everything that matters —
+retries, lease expiry, dedup, result publication — lives in the
+coordinator's scheduler, so a worker may be SIGKILLed at any moment and
+the sweep still converges.  A worker that loses the coordinator keeps
+polling (bounded by ``give_up_after``); one whose registration is
+forgotten (coordinator restart) re-registers under a fresh id.
+
+For chaos tests, a :class:`~repro.harness.faults.ServiceFaultInjector`
+breaks the protocol on schedule: ``crash`` hard-exits mid-job,
+``hang`` heartbeats forever without completing, ``stale`` silently
+outlives its lease then completes late (the duplicate path), and
+``corrupt`` completes with a payload that fails validation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro import obs
+from repro.harness.faults import ServiceFaultInjector
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobSpec, execute_job
+from repro.sim.machine import MachineConfig
+
+#: Exit code of an injected ``crash`` fault (distinguishable from real
+#: failures in the chaos tests).
+CRASH_EXIT = 17
+
+
+class _HeartbeatThread(threading.Thread):
+    """Renews one lease until told to stop or told to abandon."""
+
+    def __init__(self, client: ServiceClient, worker_id: str,
+                 job_id: str, lease_id: str, interval: float):
+        super().__init__(name=f"heartbeat-{job_id}", daemon=True)
+        self.client = client
+        self.worker_id = worker_id
+        self.job_id = job_id
+        self.lease_id = lease_id
+        self.interval = interval
+        self.stop = threading.Event()
+        #: Set when the coordinator says the lease is no longer ours.
+        self.abandoned = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop.wait(self.interval):
+            try:
+                reply = self.client.heartbeat(
+                    self.worker_id, job_id=self.job_id,
+                    lease_id=self.lease_id,
+                )
+            except ServiceError:
+                continue  # transient; the lease may still be renewed next beat
+            if reply.get("abandon"):
+                self.abandoned.set()
+                return
+
+
+class ServiceWorker:
+    """The lease/execute/complete loop against one coordinator."""
+
+    def __init__(
+        self,
+        url: str,
+        name: str = "",
+        machine: Optional[MachineConfig] = None,
+        poll_interval: float = 0.5,
+        max_jobs: int = 0,
+        injector: Optional[ServiceFaultInjector] = None,
+        give_up_after: float = 0.0,
+        quiet: bool = False,
+    ):
+        self.client = ServiceClient(url)
+        self.name = name or f"worker-{os.getpid()}"
+        self.machine = machine if machine is not None else MachineConfig()
+        self.poll_interval = poll_interval
+        self.max_jobs = max_jobs  # 0 = unbounded
+        self.injector = injector or ServiceFaultInjector()
+        self.give_up_after = give_up_after  # 0 = keep trying forever
+        self.quiet = quiet
+        self.worker_id: Optional[str] = None
+        self.lease_ttl = 0.0
+        self.heartbeat_interval = 1.0
+        self.completed = 0
+        self.failed = 0
+        self._leases = 0  # 1-based fault ordinal
+        self._stop = threading.Event()
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[{self.name}] {message}", file=sys.stderr, flush=True)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- protocol ----------------------------------------------------------
+
+    def _register(self) -> None:
+        reply = self.client.register_worker(self.name)
+        self.worker_id = reply["worker_id"]
+        self.lease_ttl = float(reply["lease_ttl"])
+        self.heartbeat_interval = float(reply["heartbeat_interval"])
+        self._log(f"registered as {self.worker_id} "
+                  f"(lease ttl {self.lease_ttl:g}s)")
+
+    def run(self) -> int:
+        """Serve until stopped (or ``max_jobs`` done); returns served count."""
+        self._register()
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            if self.max_jobs and self.completed + self.failed >= self.max_jobs:
+                break
+            try:
+                leased = self.client.lease(self.worker_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    # The coordinator restarted and forgot us.
+                    self._log("registration lost; re-registering")
+                    self._register()
+                    continue
+                if exc.status == 0:
+                    if (self.give_up_after
+                            and time.monotonic() - idle_since
+                            > self.give_up_after):
+                        self._log("coordinator unreachable; giving up")
+                        return self.completed
+                    self._stop.wait(self.poll_interval)
+                    continue
+                raise
+            if leased is None:
+                if (self.give_up_after
+                        and time.monotonic() - idle_since
+                        > self.give_up_after):
+                    self._log("queue idle; giving up")
+                    break
+                self._stop.wait(self.poll_interval)
+                continue
+            idle_since = time.monotonic()
+            self._serve_one(leased)
+            idle_since = time.monotonic()
+        return self.completed
+
+    def _serve_one(self, leased: dict) -> None:
+        spec = JobSpec.from_dict(leased["spec"])
+        job_id, lease_id = leased["job_id"], leased["lease_id"]
+        self._leases += 1
+        fault = self.injector.plan(self._leases, spec.label())
+        self._log(f"lease {lease_id}: {spec.label()}"
+                  + (f" [fault: {fault}]" if fault else ""))
+        if fault == "crash":
+            # A real crash: no cleanup, no goodbye.  The lease expires
+            # and the coordinator requeues the job.
+            os._exit(CRASH_EXIT)
+        heartbeat: Optional[_HeartbeatThread] = None
+        if fault != "stale":
+            heartbeat = _HeartbeatThread(
+                self.client, self.worker_id, job_id, lease_id,
+                self.heartbeat_interval,
+            )
+            heartbeat.start()
+        tracer = obs.current()
+        try:
+            if fault == "hang":
+                # Keep heartbeating, never produce a result; only the
+                # coordinator's per-attempt deadline can end this.
+                while not (heartbeat.abandoned.is_set()
+                           or self._stop.is_set()):
+                    self._stop.wait(self.heartbeat_interval)
+                self.failed += 1
+                return
+            try:
+                with tracer.span("worker:job", job=spec.label()):
+                    result = execute_job(spec, self.machine)
+            except Exception as exc:  # noqa: BLE001 - reported upstream
+                self._report(job_id, lease_id, ok=False,
+                             error=str(exc),
+                             error_type=type(exc).__name__)
+                self.failed += 1
+                return
+            if fault == "corrupt":
+                result = {"job": spec.label(), "corrupt": True}
+            if fault == "stale":
+                # Outlive the lease without heartbeats, then complete
+                # late: the coordinator must treat this as a duplicate
+                # (or as the winning first completion, idempotently).
+                self._stop.wait(self.lease_ttl * 1.5)
+            if heartbeat is not None and heartbeat.abandoned.is_set():
+                # Lease revoked mid-run (deadline or requeue): a late
+                # valid result is still worth reporting — the
+                # coordinator resolves it idempotently.
+                self._log(f"lease {lease_id} abandoned; "
+                          "reporting late result")
+            reply = self._report(job_id, lease_id, ok=True, result=result)
+            if reply.get("accepted"):
+                self.completed += 1
+            else:
+                self.failed += 1
+                self._log(f"result for {spec.label()} not accepted: "
+                          f"{reply}")
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop.set()
+
+    def _report(self, job_id: str, lease_id: str, ok: bool,
+                result=None, error: str = "",
+                error_type: str = "") -> dict:
+        try:
+            return self.client.complete(
+                self.worker_id, job_id, lease_id, ok=ok, result=result,
+                error=error, error_type=error_type,
+            )
+        except ServiceError as exc:
+            # Completion lost: the lease will expire and the job will
+            # be requeued; from here it is indistinguishable from a
+            # crash, which the coordinator already tolerates.
+            self._log(f"completion for {job_id} failed: {exc}")
+            return {"accepted": False, "lost": True}

@@ -1,0 +1,112 @@
+"""ServiceClient transport resilience: what retries, and what must not.
+
+The retry policy is tested by monkeypatching the one seam that touches
+the network (``ServiceClient._open``), so every scenario — refused,
+reset mid-flight, server answered — runs deterministically with no
+sockets and a zero backoff.
+"""
+
+import io
+import urllib.error
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+class Script:
+    """Feed ``_open`` a sequence of exceptions, then a response."""
+
+    def __init__(self, *steps):
+        self.steps = list(steps)
+        self.calls = 0
+
+    def __call__(self, request):
+        self.calls += 1
+        step = self.steps.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return step
+
+
+def make_client(script, retries=2):
+    client = ServiceClient("http://127.0.0.1:1", retries=retries,
+                           retry_backoff=0.0)
+    client._open = script
+    return client
+
+
+def refused():
+    # urllib wraps connect-phase OSErrors in URLError.
+    return urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+
+
+def test_idempotent_get_retries_transient_errors():
+    script = Script(refused(), ConnectionResetError("reset"),
+                    {"status": "ok"})
+    client = make_client(script)
+    assert client.stats() == {"status": "ok"}
+    assert script.calls == 3
+
+
+def test_retry_budget_is_bounded():
+    script = Script(*[refused()] * 4)
+    client = make_client(script, retries=2)
+    with pytest.raises(ServiceError) as exc:
+        client.stats()
+    assert exc.value.status == 0
+    assert script.calls == 3  # 1 try + 2 retries
+
+
+def test_submit_retries_refused_connection():
+    # Connection refused = the request never left this host, so even a
+    # non-idempotent submit may retry it.
+    script = Script(refused(), {"id": "job-000001", "status": "queued"})
+    client = make_client(script)
+    assert client.submit({"source": "int main() { return 0; }"})[
+        "id"] == "job-000001"
+    assert script.calls == 2
+
+
+def test_submit_never_retries_after_send():
+    # A reset after the request may have reached the server: replaying
+    # could enqueue duplicate work, so the client must fail instead.
+    script = Script(ConnectionResetError("reset mid-flight"),
+                    {"id": "never", "status": "queued"})
+    client = make_client(script)
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"source": "int main() { return 0; }"})
+    assert exc.value.status == 0
+    assert script.calls == 1
+    script2 = Script(ConnectionResetError("reset"), {"count": 0})
+    client2 = make_client(script2)
+    with pytest.raises(ServiceError):
+        client2.batch([{"source": "int main() { return 0; }"}])
+    assert script2.calls == 1
+
+
+def test_http_errors_are_never_retried():
+    def http_error():
+        return urllib.error.HTTPError(
+            "http://127.0.0.1:1/v1/jobs", 429,
+            "Too Many Requests", {},
+            io.BytesIO(b'{"error": "queue full"}'),
+        )
+
+    script = Script(http_error(), {"status": "ok"})
+    client = make_client(script)
+    with pytest.raises(ServiceError) as exc:
+        client.stats()
+    assert exc.value.status == 429
+    assert exc.value.message == "queue full"
+    assert script.calls == 1
+
+
+def test_worker_protocol_calls_are_retried():
+    # lease/heartbeat/complete are idempotent by protocol design
+    # (duplicates resolve coordinator-side), so they retry resets too.
+    script = Script(ConnectionResetError("reset"),
+                    {"job": None})
+    client = make_client(script)
+    assert client.lease("w-0001") is None
+    assert script.calls == 2

@@ -1,0 +1,304 @@
+"""Lease tier of the scheduler: grant, heartbeat, expiry, recovery.
+
+These tests drive the coordinator surface directly (no HTTP, no worker
+processes): a test plays the role of a remote worker by calling
+``register_worker`` / ``lease_job`` / ``heartbeat`` / ``complete``
+with fabricated-but-valid result payloads, so each scenario runs in
+milliseconds and the timing knobs (lease TTL, per-attempt deadline)
+can be tiny.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.runner import RunnerConfig
+from repro.service.scheduler import JobScheduler, UnknownWorker
+from repro.service.jobs import JobSpec
+from repro.service.store import ResultStore
+
+SRC = "int main() { print_int(7); return 0; }"
+
+
+def make_scheduler(tmp_path, lease_ttl=0.4, retries=2, timeout=0.0,
+                   jobs=0, backoff=0.01):
+    sched = JobScheduler(
+        ResultStore(tmp_path / "store"),
+        jobs=jobs,
+        config=RunnerConfig(timeout=timeout, retries=retries,
+                            backoff=backoff),
+        lease_ttl=lease_ttl,
+    )
+    return sched.start()
+
+
+def spec(tag: str) -> JobSpec:
+    # Distinct single-line sources make distinct, valid job specs
+    # without ever compiling anything (results are fabricated).
+    return JobSpec(source=SRC.replace("7", str(len(tag)) + "7") + f"//{tag}")
+
+
+def valid_result(job) -> dict:
+    return {
+        "job": job.spec.label(),
+        "config": "baseline",
+        "cycles": 100,
+        "baseline_cycles": 100,
+        "speedup": 1.0,
+    }
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def lease_until(sched, worker_id, timeout=5.0):
+    """Poll lease_job until a lease is granted (rides out backoff)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        leased = sched.lease_job(worker_id)
+        if leased is not None:
+            return leased
+        time.sleep(0.01)
+    return None
+
+
+def test_register_lease_complete_lifecycle(tmp_path):
+    sched = make_scheduler(tmp_path)
+    try:
+        reg = sched.register_worker("w1")
+        assert reg["worker_id"] == "w-0001"
+        assert reg["lease_ttl"] == pytest.approx(0.4)
+        assert reg["heartbeat_interval"] < reg["lease_ttl"]
+
+        assert sched.lease_job(reg["worker_id"]) is None  # empty queue
+        job = sched.submit(spec("a"))
+        leased = sched.lease_job(reg["worker_id"])
+        assert leased["job_id"] == job.id
+        assert leased["attempt"] == 1
+        assert leased["spec"] == job.spec.to_dict()
+        assert job.status == "running"
+
+        beat = sched.heartbeat(reg["worker_id"], job_id=job.id,
+                               lease_id=leased["lease_id"],
+                               progress="simulating")
+        assert beat == {"ok": True, "abandon": False}
+        assert job.snapshot()["progress"] == "simulating"
+
+        ack = sched.complete(reg["worker_id"], job.id,
+                             leased["lease_id"], ok=True,
+                             result=valid_result(job))
+        assert ack == {"accepted": True, "duplicate": False}
+        assert job.wait(2.0) and job.status == "done"
+        # The result was published: an identical submit is a cache hit.
+        again = sched.submit(spec("a"))
+        assert again.cached and again.result == valid_result(job)
+        stats = sched.stats()
+        assert stats["leases"] == 1
+        assert stats["heartbeats"] == 1
+        assert stats["remote_workers"] == 1
+    finally:
+        sched.stop()
+
+
+def test_unknown_worker_rejected(tmp_path):
+    sched = make_scheduler(tmp_path)
+    try:
+        with pytest.raises(UnknownWorker):
+            sched.lease_job("w-9999")
+        with pytest.raises(UnknownWorker):
+            sched.heartbeat("w-9999")
+    finally:
+        sched.stop()
+
+
+def test_missed_heartbeats_requeue_then_another_worker_wins(tmp_path):
+    sched = make_scheduler(tmp_path, lease_ttl=0.15)
+    try:
+        job = sched.submit(spec("b"))
+        w1 = sched.register_worker("w1")["worker_id"]
+        w2 = sched.register_worker("w2")["worker_id"]
+        first = sched.lease_job(w1)
+        assert first["job_id"] == job.id
+        # w1 goes silent; the lease expires and the job is requeued.
+        assert wait_for(lambda: sched.stats()["requeued"] >= 1)
+        assert sched.stats()["lease_expired"] >= 1
+        second = lease_until(sched, w2)  # waits out the retry backoff
+        assert second is not None
+        assert second["job_id"] == job.id
+        assert second["attempt"] == 2
+        # w1's heartbeat on the lost lease says to abandon the work.
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=first["lease_id"])
+        assert beat["abandon"] is True
+        ack = sched.complete(w2, job.id, second["lease_id"], ok=True,
+                             result=valid_result(job))
+        assert ack["accepted"] is True
+        assert job.wait(2.0) and job.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_duplicate_completion_is_idempotent(tmp_path):
+    sched = make_scheduler(tmp_path, lease_ttl=0.15)
+    try:
+        job = sched.submit(spec("c"))
+        w1 = sched.register_worker()["worker_id"]
+        w2 = sched.register_worker()["worker_id"]
+        first = sched.lease_job(w1)
+        assert wait_for(lambda: sched.stats()["requeued"] >= 1)
+        second = lease_until(sched, w2)
+        assert second is not None
+        ack2 = sched.complete(w2, job.id, second["lease_id"], ok=True,
+                              result=valid_result(job))
+        assert ack2["accepted"] is True
+        # The stale worker wakes up and reports the same (valid) result.
+        ack1 = sched.complete(w1, job.id, first["lease_id"], ok=True,
+                              result=valid_result(job))
+        assert ack1 == {"accepted": False, "duplicate": True}
+        stats = sched.stats()
+        assert stats["duplicate_completions"] == 1
+        assert stats["completed"] == 1  # finished exactly once
+        assert job.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_stale_valid_completion_wins_if_job_unfinished(tmp_path):
+    # The lease expired and the job was requeued, but nobody else
+    # finished it yet: the late valid result is accepted (it is as good
+    # as any retry's), idempotently via the content-addressed key.
+    sched = make_scheduler(tmp_path, lease_ttl=0.15, backoff=30.0)
+    try:
+        job = sched.submit(spec("d"))
+        w1 = sched.register_worker()["worker_id"]
+        first = sched.lease_job(w1)
+        assert wait_for(lambda: sched.stats()["requeued"] >= 1)
+        assert job.status == "queued"  # backing off, not yet re-leased
+        ack = sched.complete(w1, job.id, first["lease_id"], ok=True,
+                             result=valid_result(job))
+        assert ack["accepted"] is True
+        assert job.wait(2.0) and job.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_corrupt_results_consume_retries_then_poison(tmp_path):
+    sched = make_scheduler(tmp_path, retries=1)
+    try:
+        job = sched.submit(spec("e"))
+        w1 = sched.register_worker()["worker_id"]
+        for expected_attempt in (1, 2):
+            leased = lease_until(sched, w1)
+            assert leased is not None
+            assert leased["attempt"] == expected_attempt
+            ack = sched.complete(w1, job.id, leased["lease_id"], ok=True,
+                                 result={"garbage": True})
+            assert ack == {"accepted": False, "corrupt": True}
+        assert job.wait(2.0)
+        assert job.status == "error"
+        assert job.error_type == "CorruptResult"
+        stats = sched.stats()
+        assert stats["corrupt_results"] == 2
+        assert stats["poisoned"] == 1
+        # The queue is not wedged: another job still flows.
+        other = sched.submit(spec("f"))
+        leased = lease_until(sched, w1)
+        assert leased is not None
+        assert leased["job_id"] == other.id
+        sched.complete(w1, other.id, leased["lease_id"], ok=True,
+                       result=valid_result(other))
+        assert other.wait(2.0) and other.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_worker_reported_failure_retries_then_errors(tmp_path):
+    sched = make_scheduler(tmp_path, retries=1)
+    try:
+        job = sched.submit(spec("g"))
+        w1 = sched.register_worker()["worker_id"]
+        for _ in range(2):
+            leased = lease_until(sched, w1)
+            assert leased is not None
+            sched.complete(w1, job.id, leased["lease_id"], ok=False,
+                           error="boom", error_type="InjectedFault")
+        assert job.wait(2.0)
+        assert job.status == "error"
+        assert job.error_type == "InjectedFault"
+        assert job.attempts == 2
+    finally:
+        sched.stop()
+
+
+def test_hang_with_heartbeats_hits_deadline_and_is_terminal(tmp_path):
+    # A worker that heartbeats but never completes is caught by the
+    # per-attempt deadline — terminal TIMEOUT, never retried, matching
+    # the local runner's semantics.
+    sched = make_scheduler(tmp_path, lease_ttl=5.0, retries=3,
+                           timeout=0.2)
+    try:
+        job = sched.submit(spec("h"))
+        w1 = sched.register_worker()["worker_id"]
+        leased = sched.lease_job(w1)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not job.finished:
+            sched.heartbeat(w1, job_id=job.id,
+                            lease_id=leased["lease_id"])
+            time.sleep(0.05)
+        assert job.status == "timeout"
+        assert job.attempts == 1  # timeouts are not retried
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=leased["lease_id"])
+        assert beat["abandon"] is True
+    finally:
+        sched.stop()
+
+
+def test_releasing_worker_abandons_previous_lease(tmp_path):
+    sched = make_scheduler(tmp_path, lease_ttl=60.0)
+    try:
+        job_a = sched.submit(spec("i"))
+        job_b = sched.submit(spec("j"))
+        w1 = sched.register_worker()["worker_id"]
+        first = sched.lease_job(w1)
+        assert first["job_id"] == job_a.id
+        # The worker restarts (same id) and leases again without ever
+        # completing: the old lease is implicitly abandoned and its job
+        # goes back on the queue behind the backoff.
+        second = sched.lease_job(w1)
+        assert second["job_id"] == job_b.id
+        assert wait_for(lambda: sched.stats()["requeued"] >= 1)
+        assert job_a.status == "queued"
+    finally:
+        sched.stop()
+
+
+def test_coordinator_only_scheduler_runs_no_local_workers(tmp_path):
+    sched = make_scheduler(tmp_path, jobs=0)
+    try:
+        assert sched.stats()["workers"] == 0
+        job = sched.submit(spec("k"))
+        time.sleep(0.2)
+        assert job.status == "queued"  # nothing local will ever run it
+    finally:
+        sched.stop()
+        assert job.status == "error"
+        assert job.error_type == "SchedulerStopped"
+
+
+def test_stop_strands_leased_jobs(tmp_path):
+    sched = make_scheduler(tmp_path, lease_ttl=60.0)
+    try:
+        job = sched.submit(spec("l"))
+        w1 = sched.register_worker()["worker_id"]
+        sched.lease_job(w1)
+    finally:
+        sched.stop()
+    assert job.status == "error"
+    assert job.error_type == "SchedulerStopped"

@@ -114,3 +114,14 @@ def test_stats_shape(client):
     assert set(stats) == {"store", "scheduler"}
     assert stats["scheduler"]["workers"] == 2
     assert stats["store"]["entries"] == 0
+
+
+def test_oversized_body_is_413(client):
+    big = {"source": "x" * (1 << 21)}  # 2 MiB body, 1 MiB cap
+    with pytest.raises(ServiceError) as exc:
+        client.submit(big)
+    assert exc.value.status == 413
+    assert "exceeds" in exc.value.message
+    # The connection trouble is contained: the server still serves.
+    assert client.healthy()
+    assert client.submit({"source": SRC}, wait=True)["status"] == "done"

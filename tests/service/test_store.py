@@ -167,3 +167,37 @@ def test_key_stable_across_processes(tmp_path):
         capture_output=True, text=True, timeout=60, check=True,
     )
     assert out.stdout.strip() == local
+
+
+def test_put_fsyncs_file_and_directory(store, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        synced.append(os.fstat(fd).st_mode)
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording_fsync)
+    key = store.key("durable")
+    store.put(key, {"value": 42})
+    import stat
+    kinds = [stat.S_ISDIR(mode) for mode in synced]
+    assert kinds.count(False) == 1  # the tempfile, before the rename
+    assert kinds.count(True) == 1   # the directory, after the rename
+    assert store.get(key) == {"value": 42}
+
+
+def test_put_survives_unfsyncable_directory(store, monkeypatch):
+    # Platforms where directories cannot be opened/fsynced must still
+    # publish the entry (durability degrades, atomicity does not).
+    real_open = os.open
+
+    def failing_open(path, flags, *args, **kwargs):
+        if Path(path) == store.root and flags == os.O_RDONLY:
+            raise OSError("directories not openable here")
+        return real_open(path, flags, *args, **kwargs)
+
+    monkeypatch.setattr(os, "open", failing_open)
+    key = store.key("no-dirsync")
+    store.put(key, "still published")
+    assert store.get(key) == "still published"

@@ -1,0 +1,204 @@
+"""ServiceWorker against a real coordinator: HTTP lease loop end to end.
+
+The coordinator runs with ``jobs=0`` (no local pool), so every result
+seen here provably travelled the register → lease → heartbeat →
+complete path.  Faults that must not kill the test process (``crash``
+is ``os._exit``) are covered by the subprocess chaos tests in
+tests/harness/test_distributed.py; the in-thread faults here are
+``corrupt`` and ``stale``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness.faults import ServiceFaultInjector
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService
+from repro.service.worker import ServiceWorker
+
+SRC = """
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 60; i = i + 1) {
+        acc = acc + i;
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def coordinator(tmp_path):
+    svc = ReproService(tmp_path / "store", jobs=0, retries=2,
+                       lease_ttl=1.0)
+    svc.start(port=0, quiet=True)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+        thread.join(10)
+
+
+def run_worker(url, **kwargs) -> ServiceWorker:
+    worker = ServiceWorker(url, quiet=True, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    worker._thread = thread
+    return worker
+
+
+def stop_worker(worker: ServiceWorker) -> None:
+    worker.stop()
+    worker._thread.join(10)
+
+
+def test_worker_serves_submitted_jobs(coordinator):
+    client = ServiceClient(coordinator.url)
+    pending = [client.submit({"source": SRC}),
+               client.submit({"source": SRC + "// second"})]
+    worker = run_worker(coordinator.url, name="w-test")
+    try:
+        for job in pending:
+            done = client.submit({"source": SRC}
+                                 if job is pending[0]
+                                 else {"source": SRC + "// second"},
+                                 wait=True, wait_timeout=60.0)
+            assert done["status"] == "done"
+            assert done["result"]["output_preview"] == [1770]
+    finally:
+        stop_worker(worker)
+    assert worker.completed == 2
+    stats = client.stats()["scheduler"]
+    assert stats["remote_workers"] == 1
+    assert stats["leases"] >= 2
+    registry = client.workers()
+    assert len(registry) == 1 and registry[0]["name"] == "w-test"
+    assert registry[0]["completed"] == 2
+
+
+def test_worker_max_jobs_and_give_up(coordinator):
+    client = ServiceClient(coordinator.url)
+    client.submit({"source": SRC})
+    worker = ServiceWorker(coordinator.url, quiet=True, max_jobs=1,
+                           give_up_after=30.0)
+    served = worker.run()  # returns on its own after one job
+    assert served == 1
+    assert client.submit({"source": SRC}, wait=True)["status"] == "done"
+
+
+def test_worker_gives_up_when_idle(coordinator):
+    worker = ServiceWorker(coordinator.url, quiet=True,
+                           give_up_after=0.2, poll_interval=0.05)
+    assert worker.run() == 0
+
+
+def test_corrupt_fault_drives_poisoning(coordinator):
+    # Every lease of this job returns garbage; after the coordinator's
+    # retry budget (2) the job degrades to a CorruptResult error row —
+    # and an honest job queued behind it still completes.
+    client = ServiceClient(coordinator.url)
+    bad = client.submit({"source": SRC + "// doomed"})
+    good = client.submit({"source": SRC + "// fine"})
+    label = bad["job"]
+    injector = ServiceFaultInjector.parse([f"corrupt@{label}"])
+    worker = run_worker(coordinator.url, injector=injector,
+                        poll_interval=0.05)
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            snap = client.job(bad["id"])
+            if snap["status"] in ("done", "error", "timeout"):
+                break
+            time.sleep(0.05)
+        assert snap["status"] == "error"
+        assert snap["error_type"] == "CorruptResult"
+        assert snap["attempts"] == 3
+        done = client.job(good["id"])
+        deadline = time.monotonic() + 60.0
+        while (done["status"] not in ("done", "error")
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+            done = client.job(good["id"])
+        assert done["status"] == "done"
+        stats = client.stats()["scheduler"]
+        assert stats["corrupt_results"] == 3
+        assert stats["poisoned"] == 1
+    finally:
+        stop_worker(worker)
+
+
+def test_stale_worker_completion_is_resolved_idempotently(coordinator):
+    # A 'stale' worker stops heartbeating, outlives its lease, then
+    # completes late.  Meanwhile an honest worker re-leases the job and
+    # finishes it first — the coordinator must count the late report as
+    # a duplicate, not re-finish the job.
+    client = ServiceClient(coordinator.url)
+    job = client.submit({"source": SRC + "// contested"})
+    stale = run_worker(
+        coordinator.url, name="stale",
+        injector=ServiceFaultInjector.parse(["stale@1"]),
+        poll_interval=0.05,
+    )
+    try:
+        # Wait until the stale worker owns the lease, then start the
+        # honest worker so it can only get the job after expiry.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.stats()["scheduler"]["leases"] >= 1:
+                break
+            time.sleep(0.02)
+        honest = run_worker(coordinator.url, name="honest",
+                            poll_interval=0.05)
+        try:
+            done = client.submit({"source": SRC + "// contested"},
+                                 wait=True, wait_timeout=60.0)
+            assert done["status"] == "done"
+            assert done["id"] == job["id"]
+
+            def duplicates():
+                return client.stats()["scheduler"][
+                    "duplicate_completions"]
+
+            # Two completion reports race for one job.  Either the
+            # honest re-lease wins and the stale late report counts as
+            # a duplicate, or the stale (structurally valid) report
+            # lands first and simply wins — both are legal; the
+            # deterministic orderings are pinned in test_leases.py.
+            # Either way the job must finish exactly once, via a real
+            # expiry + requeue.
+            deadline = time.monotonic() + 10.0
+            while duplicates() == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            stats = client.stats()["scheduler"]
+            assert stats["completed"] == 1  # never double-finished
+            assert stats["duplicate_completions"] <= 1
+            assert stats["requeued"] >= 1
+            assert stats["lease_expired"] >= 1
+        finally:
+            stop_worker(honest)
+    finally:
+        stop_worker(stale)
+
+
+def test_worker_reregisters_after_coordinator_forgets_it(coordinator):
+    client = ServiceClient(coordinator.url)
+    worker = run_worker(coordinator.url, poll_interval=0.05)
+    try:
+        deadline = time.monotonic() + 10.0
+        while (not client.workers()
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        # Simulate a coordinator that lost its registry (restart).
+        coordinator.scheduler._remote.clear()
+        job = client.submit({"source": SRC + "// after restart"},
+                            wait=True, wait_timeout=60.0)
+        assert job["status"] == "done"
+    finally:
+        stop_worker(worker)
