@@ -31,6 +31,10 @@ The recorded metrics:
 ``profile_s``               unbounded-predictor address profiling
 ``precompute_s``            one-time config-invariant stream construction
                             (see :mod:`repro.sim.precompute`)
+``replay_kernel_s``         one-time array-kernel compilation for the
+                            vectorized replay path (0.0 when numpy is
+                            absent or the trace is ineligible; see
+                            :mod:`repro.sim.replay_kernel`)
 ``sim_s``                   all timing-simulator replays, summed
 ``sim_runs``                number of independent replays (incl. baseline)
 ``sim_instructions``        dynamic instructions replayed across all runs
@@ -41,7 +45,9 @@ The recorded metrics:
 Since schema 2 the sweep replays share one trace precompute:
 ``precompute_s`` carries the shared stream construction and ``sim_s``
 only the per-config replay passes, so trajectory files attribute the
-time correctly.
+time correctly.  Schema 3 splits out ``replay_kernel_s`` — the
+config-invariant numpy array compilation consumed by the vectorized
+replay kernel — the same way.
 """
 
 from __future__ import annotations
@@ -62,13 +68,14 @@ from repro.harness.experiments import eg_tag, sim_requests
 from repro.profiling.address_profile import profile_trace
 from repro.sim.executor import Executor
 from repro.sim.machine import BASELINE, MachineConfig
-from repro.sim.precompute import simulate_many, warm_precompute
+from repro.sim.precompute import simulate_many, warm_kernel, warm_precompute
 from repro.workloads import get_workload, workload_names
 
 #: Version stamp of the snapshot JSON schema.  2: added the
 #: ``precompute_s`` stage (shared stream construction split out of
-#: ``sim_s``).
-BENCH_SCHEMA = 2
+#: ``sim_s``).  3: added the ``replay_kernel_s`` stage (array-kernel
+#: compilation split out of the first in-sweep replay).
+BENCH_SCHEMA = 3
 
 #: Snapshot compared against by default when it exists in the cwd.
 DEFAULT_BASELINE = "BENCH_baseline.json"
@@ -141,8 +148,13 @@ def bench_workload(
 
         t0 = time.perf_counter()
         with tracer.span("precompute", workload=name):
-            warm_precompute(trace, machine, configs, per_config_overrides)
+            pre = warm_precompute(trace, machine, configs, per_config_overrides)
         t_precompute = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with tracer.span("replay_kernel", workload=name):
+            warm_kernel(pre, sweep=len(configs))
+        t_kernel = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         simulate_many(
@@ -164,6 +176,7 @@ def bench_workload(
         "emulate_s": round(t_emulate, 4),
         "profile_s": round(t_profile, 4),
         "precompute_s": round(t_precompute, 4),
+        "replay_kernel_s": round(t_kernel, 4),
         "sim_s": round(t_sim, 4),
         "sim_runs": sim_runs,
         "trace_instructions": len(trace),
@@ -196,6 +209,9 @@ def run_bench(
 
     total_sim = sum(w["sim_s"] for w in workloads.values())
     total_pre = sum(w["precompute_s"] for w in workloads.values())
+    total_kernel = sum(
+        w.get("replay_kernel_s", 0.0) for w in workloads.values()
+    )
     total_insts = sum(w["sim_instructions"] for w in workloads.values())
     total_runs = sum(w["sim_runs"] for w in workloads.values())
     return {
@@ -208,6 +224,7 @@ def run_bench(
         "totals": {
             "wall_s": round(total_wall, 3),
             "precompute_s": round(total_pre, 3),
+            "replay_kernel_s": round(total_kernel, 3),
             "sim_s": round(total_sim, 3),
             "sim_runs": total_runs,
             "sim_instructions": total_insts,

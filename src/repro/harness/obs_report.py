@@ -19,7 +19,12 @@ merges the files and prints:
   ``profile.classes`` event (the raw counts, so the table is a pure
   projection of the trace),
 * **simulator totals** — the ``sim.counters`` event counters summed
-  per early-generation config.
+  per early-generation config,
+* **replay path coverage** — the ``sim.replay`` events grouped by
+  chosen path (array-kernel leader/follower, stats memo, scalar, or
+  ``inline:<reason>``), with divergence patches and kernel
+  verify/repair effort, so a sweep's kernel coverage is visible at a
+  glance.
 
 ``--validate`` instead checks the manifest and every trace record
 against the schema and exits non-zero on any problem; CI runs this
@@ -67,6 +72,15 @@ SIM_HEADERS = {
     "pred_success": "Pred OK",
     "calc_success": "Calc OK",
     "raddr_interlock": "Raddr stall",
+}
+
+
+REPLAY_HEADERS = {
+    "path": "Path",
+    "runs": "Runs",
+    "patches": "Patches",
+    "verify_rounds": "Verify rounds",
+    "stepped": "Stepped",
 }
 
 
@@ -187,6 +201,36 @@ def sim_totals(records: List[dict]) -> List[dict]:
     return rows
 
 
+def replay_paths(records: List[dict]) -> List[dict]:
+    """``sim.replay`` events grouped by chosen replay path.
+
+    Declined configs report ``inline:<reason>`` so the rows show *why*
+    the array kernel / stream path was skipped; kernel rows accumulate
+    the divergence patches and the follower verify/repair effort.
+    """
+    rows: Dict[str, Dict[str, int]] = {}
+    for rec in records:
+        if rec.get("kind") != "event" or rec.get("name") != "sim.replay":
+            continue
+        tags = rec.get("tags", {})
+        path = str(tags.get("path", "?"))
+        reason = tags.get("reason")
+        if reason and path == "inline":
+            path = f"inline:{reason}"
+        row = rows.setdefault(
+            path,
+            {"runs": 0, "patches": 0, "verify_rounds": 0, "stepped": 0},
+        )
+        row["runs"] += 1
+        for key in ("patches", "verify_rounds", "stepped"):
+            value = tags.get(key)
+            if isinstance(value, int):
+                row[key] += value
+    return [
+        dict(rows[path], path=path) for path in sorted(rows)
+    ]
+
+
 def validate(trace_dir) -> List[str]:
     """Schema problems of a trace directory (empty list when valid)."""
     trace_dir = Path(trace_dir)
@@ -291,6 +335,14 @@ def render(trace_dir) -> str:
         out.append(format_table(
             sims, columns=list(SIM_HEADERS), headers=SIM_HEADERS,
             title="Simulator event totals per config",
+        ))
+    replays = replay_paths(records)
+    if replays:
+        out.append("")
+        out.append(format_table(
+            replays, columns=list(REPLAY_HEADERS),
+            headers=REPLAY_HEADERS,
+            title="Replay path coverage (sim.replay)",
         ))
     return "\n".join(out)
 

@@ -111,6 +111,25 @@ _EMASK_TAB = bytes(1 if b == 2 else 0 for b in range(256))
 #: normally takes one or two rebuilds.
 _MAX_PATCH_RETRIES = 6
 
+#: Traces shorter than this skip the precompute machinery entirely:
+#: building the record/dcache/predictor streams costs more than the
+#: handful of inline replays it would save (the BENCH_pr5 adpcm_encode
+#: wall regression was exactly this).  Patchable; the parity CLI and
+#: stream-level tests set it to 0.
+_PRECOMPUTE_MIN_N = 3000
+
+#: Identical stream tuples produce identical stats (the replay is a
+#: pure function of them), so sweeps memoize per-tuple results.
+_STATS_MEMO_LIMIT = 64
+
+#: Batches narrower than this keep the scalar replay: the array
+#: kernel's recording leader is slower than the plain scalar pass, and
+#: with one or two configs there are not enough followers to win the
+#: investment back (the 2-config MediaBench sweeps regressed ~25%
+#: before this gate).  Donors from an earlier wide sweep lift the gate
+#: — a warm follower is cheap at any width.
+_KERNEL_MIN_SWEEP = 4
+
 #: Process-wide divergence counters (exposed for tests and the parity
 #: CLI): patched = resolved by a stream rebuild, fallbacks = rerun
 #: inline.
@@ -177,6 +196,7 @@ class TracePrecompute:
         "dyn_load_uids", "sword", "static_load_uids",
         "per_entry_bound", "total_cycle_bound",
         "_routes", "_dstreams", "_estreams", "_patches",
+        "_stats_memo", "kernel",
     )
 
     def __init__(self, program, trace: Trace, cfg: MachineConfig):
@@ -302,6 +322,9 @@ class TracePrecompute:
         self._dstreams: OrderedDict = OrderedDict()
         self._estreams: OrderedDict = OrderedDict()
         self._patches: OrderedDict = OrderedDict()
+        self._stats_memo: OrderedDict = OrderedDict()
+        #: Lazily-populated :class:`repro.sim.replay_kernel.KernelState`.
+        self.kernel = None
 
     # -- derived per-config streams --------------------------------------
 
@@ -648,10 +671,62 @@ def _watchdogs_compatible(pre: TracePrecompute, sim: TimingSimulator) -> bool:
     return True
 
 
-def try_fast(sim: TimingSimulator, build: bool = False) -> Optional[SimStats]:
+#: Process-wide replay path counters, keyed by the ``sim.replay`` event
+#: ``path`` field (``inline:<reason>`` for configs the stream path
+#: declined).  Exposed for tests and ``obs_report``.
+_replay_paths: Dict[str, int] = {}
+
+
+def replay_path_counts() -> Dict[str, int]:
+    return dict(_replay_paths)
+
+
+_kernel_module = None
+
+
+def _kernel():
+    """The optional array-replay kernel (module import cached)."""
+    global _kernel_module
+    if _kernel_module is None:
+        from repro.sim import replay_kernel
+
+        _kernel_module = replay_kernel
+    return _kernel_module
+
+
+def _count_path(path: str) -> None:
+    _replay_paths[path] = _replay_paths.get(path, 0) + 1
+
+
+def _decline(reason: str) -> None:
+    """Record that the stream path handed this run to the inline loop."""
+    _count_path("inline:" + reason)
+    tracer = obs.current()
+    if tracer.enabled:
+        tracer.event("sim.replay", path="inline", reason=reason)
+
+
+def _copy_stats(stats: SimStats) -> SimStats:
+    from dataclasses import replace
+
+    return replace(stats, scheme_counts=dict(stats.scheme_counts))
+
+
+def try_fast(sim: TimingSimulator, build: bool = False,
+             sweep: int = 1) -> Optional[SimStats]:
     """Run *sim* on the precomputed-stream path, or return None when the
-    config is inline-only, the precompute is cold (``build=False``), or
-    the replay diverged (wrong-address pollution that did not dispatch).
+    config is inline-only, the precompute is cold (``build=False``), the
+    trace is too short to amortize stream construction, or the replay
+    diverged (wrong-address pollution that did not dispatch).
+
+    Within the stream path the per-config work is resolved, cheapest
+    first: a stats memo hit for an identical stream tuple, the array
+    kernel (donor-verified or recording leader) when numpy is present,
+    or the scalar replay.  *sweep* is the caller's batch width: the
+    kernel's recording leader costs more than the plain scalar replay,
+    so narrow sweeps (fewer than :data:`_KERNEL_MIN_SWEEP` configs)
+    stay scalar unless donors from an earlier wide sweep already
+    exist.
     """
     cfg = sim.config
     eg = cfg.earlygen
@@ -660,31 +735,83 @@ def try_fast(sim: TimingSimulator, build: bool = False) -> Optional[SimStats]:
         and eg.cached_regs
         and eg.selection is SelectionMode.HARDWARE
     ):
-        return None  # run-time (dual-path) selection is timing-dependent
+        # Run-time (dual-path) selection is timing-dependent.
+        _decline("hw-dual")
+        return None
     trace = sim.trace
+    if _PRECOMPUTE_MIN_N and len(trace.uids) < _PRECOMPUTE_MIN_N:
+        _decline("short-trace")
+        return None
     pre = get_precompute(trace, cfg, build=build)
-    if pre is None or pre.records is None:
+    if pre is None:
+        _decline("cold")
+        return None
+    if pre.records is None:
+        _decline("unstreamable")
         return None
     if not _watchdogs_compatible(pre, sim):
+        _decline("watchdog")
         return None
     sb = _scheme_bytes(trace.program, eg, sim.spec_override)
     if sb is None:
+        _decline("unstreamable")
         return None
     route = pre.route_for(sb)
     ecodes = pre.estream(eg, route)
     global _divergences, _divergence_fallbacks
     excluded = pre.known_exclusions(eg, route)
+    patched = 0
     for _ in range(_MAX_PATCH_RETRIES + 1):
         dcodes, dmiss, store_miss, poll_miss = pre.dstream(
             eg, route, excluded
         )
+        dtotals = (dmiss, store_miss, poll_miss)
+        memo_key = (route, dcodes, dtotals, ecodes, excluded)
+        memo = pre._stats_memo.get(memo_key)
+        info: dict = {}
         diverged: list = []
-        stats, ra_interlock = _replay(
-            pre, cfg, route, dcodes,
-            (dmiss, store_miss, poll_miss), ecodes, excluded, diverged,
-        )
+        if memo is not None:
+            # The replay is a pure function of the stream tuple (the
+            # machine shape is fixed per precompute), so an identical
+            # tuple short-circuits to the memoized result.
+            pre._stats_memo.move_to_end(memo_key)
+            stats, ra_interlock = memo
+            stats = _copy_stats(stats)
+            info["path"] = "memo"
+        else:
+            kern = _kernel()
+            if kern.eligible(pre) and (
+                sweep >= _KERNEL_MIN_SWEEP
+                or (pre.kernel is not None and pre.kernel.donors)
+            ):
+                stats, ra_interlock = kern.replay(
+                    pre, cfg, route, dcodes, dtotals, ecodes,
+                    excluded, diverged, info,
+                )
+            else:
+                info["path"] = "scalar"
+                stats, ra_interlock = _replay(
+                    pre, cfg, route, dcodes, dtotals, ecodes,
+                    excluded, diverged,
+                )
         if not diverged:
             pre.remember_exclusions(eg, route, excluded)
+            if info["path"] != "memo":
+                memo = pre._stats_memo
+                while len(memo) >= _STATS_MEMO_LIMIT:
+                    memo.popitem(last=False)
+                memo[memo_key] = (_copy_stats(stats), ra_interlock)
+            _count_path(info["path"])
+            tracer = obs.current()
+            if tracer.enabled:
+                tracer.event(
+                    "sim.replay",
+                    patches=patched,
+                    table=eg.table_entries,
+                    regs=eg.cached_regs,
+                    selection=eg.selection.value,
+                    **info,
+                )
             _emit_counters(sim, eg, stats, ra_interlock)
             return stats
         # The stream's fill assumptions disagreed with the ports the
@@ -693,8 +820,10 @@ def try_fast(sim: TimingSimulator, build: bool = False) -> Optional[SimStats]:
         # never return inexact stats; stats from this attempt are
         # discarded.
         _divergences += len(diverged)
+        patched += len(diverged)
         excluded = excluded.symmetric_difference(diverged)
     _divergence_fallbacks += 1
+    _decline("divergence-fallback")
     return None
 
 
@@ -998,6 +1127,22 @@ def _replay(pre: TracePrecompute, cfg: MachineConfig, route: bytes,
             iss += 1
             rr[dest] = cur + x
 
+    stats = _assemble_stats(
+        pre, route, dtotals, cur,
+        pred_disp, pred_succ, pred_wrong,
+        calc_disp, calc_succ, calc_part,
+        sp_noport, sp_interlock, sp_dmiss,
+    )
+    return stats, ra_interlock
+
+
+def _assemble_stats(pre: TracePrecompute, route: bytes, dtotals: tuple,
+                    cur: int,
+                    pred_disp: int, pred_succ: int, pred_wrong: int,
+                    calc_disp: int, calc_succ: int, calc_part: int,
+                    sp_noport: int, sp_interlock: int,
+                    sp_dmiss: int) -> SimStats:
+    """Shared stats assembly for the scalar replay and the array kernel."""
     dmiss_total, store_miss_total, poll_miss_total = dtotals
     n_loads = pre.n_loads
     sc_p = route.count(1)
@@ -1026,7 +1171,7 @@ def _replay(pre: TracePrecompute, cfg: MachineConfig, route: bytes,
     stats.scheme_counts = {
         "n": n_loads - sc_p - sc_e, "p": sc_p, "e": sc_e,
     }
-    return stats, ra_interlock
+    return stats
 
 
 def warm_precompute(
@@ -1039,8 +1184,12 @@ def warm_precompute(
 
     Separating this from :func:`simulate_many` lets callers (the bench
     harness in particular) attribute one-time stream construction to a
-    ``precompute`` stage and keep the per-config passes pure.
+    ``precompute`` stage and keep the per-config passes pure.  Short
+    traces return None: the sweep is cheaper inline than the streams
+    are to build (see :data:`_PRECOMPUTE_MIN_N`).
     """
+    if _PRECOMPUTE_MIN_N and len(trace.uids) < _PRECOMPUTE_MIN_N:
+        return None
     pre = get_precompute(trace, machine)
     if pre is None or pre.records is None:
         return None
@@ -1059,6 +1208,28 @@ def warm_precompute(
         pre.dstream(eg, route)
         pre.estream(eg, route)
     return pre
+
+
+def warm_kernel(pre: Optional[TracePrecompute],
+                sweep: Optional[int] = None) -> float:
+    """Compile the array kernel's config-invariant arrays up front.
+
+    Lets the bench harness attribute the one-time array compilation to
+    its own ``replay_kernel_s`` stage instead of the first in-sweep
+    replay.  Returns the build time in seconds; 0.0 when the kernel is
+    unavailable, the trace is ineligible, or *sweep* (the upcoming
+    batch width, when the caller knows it) is below
+    :data:`_KERNEL_MIN_SWEEP` — nothing is built then and the sweep
+    uses the scalar/inline paths unchanged.
+    """
+    if pre is None:
+        return 0.0
+    if sweep is not None and sweep < _KERNEL_MIN_SWEEP:
+        return 0.0
+    kern = _kernel()
+    if not kern.eligible(pre):
+        return 0.0
+    return kern.warm_kernel(pre)
 
 
 def simulate_many(
@@ -1092,11 +1263,11 @@ def simulate_many(
         tags = span_tags[idx] if span_tags is not None else None
         if tags is not None:
             with tracer.span("sim", **tags):
-                stats = try_fast(sim, build=True)
+                stats = try_fast(sim, build=True, sweep=len(configs))
                 if stats is None:
                     stats = sim._run_inline()
         else:
-            stats = try_fast(sim, build=True)
+            stats = try_fast(sim, build=True, sweep=len(configs))
             if stats is None:
                 stats = sim._run_inline()
         results.append(stats)
@@ -1141,7 +1312,17 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
         "--workloads", nargs="*", default=None,
         help="restrict to these workload names",
     )
+    parser.add_argument(
+        "--require-kernel", action="store_true",
+        help="fail unless the array kernel actually replayed configs "
+        "(CI kernel-parity job: proves numpy was present and used)",
+    )
     args = parser.parse_args(argv)
+
+    # The gate's whole point is exercising the stream path, so the
+    # short-trace threshold is disabled for every workload.
+    global _PRECOMPUTE_MIN_N
+    _PRECOMPUTE_MIN_N = 0
 
     suites = ("spec", "mediabench") if args.suite == "all" else (args.suite,)
     ctx = ExperimentContext(scale=args.scale)
@@ -1184,11 +1365,25 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"MISMATCH {name}: {', '.join(bad)}")
             else:
                 print(f"ok {name} ({len(configs)} configs)")
+    paths = replay_path_counts()
     print(
         f"parity: {checked} configs checked, {mismatches} mismatches, "
         f"{divergence_count()} divergences patched, "
         f"{divergence_fallback_count()} inline fallbacks"
     )
+    print("paths: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(paths.items())
+    ))
+    if args.require_kernel:
+        kernel_runs = sum(
+            v for k, v in paths.items() if k.startswith("kernel-")
+        )
+        if not _kernel().kernel_available():
+            print("require-kernel: numpy unavailable")
+            return 1
+        if not kernel_runs:
+            print("require-kernel: no config took the kernel path")
+            return 1
     return 1 if mismatches else 0
 
 

@@ -1,0 +1,1221 @@
+"""Array-compiled replay kernel for warm multi-config sweeps.
+
+:func:`repro.sim.precompute._replay` resolves one config's timing with a
+Python-level loop over the interned record stream.  A sweep replays the
+same stream 17+ times, and the schedules it produces are overwhelmingly
+similar across configs — the routing/outcome streams differ at a few
+percent of loads between neighbouring configs (and not at all between
+many of them).  This module compiles the record stream into dense numpy
+arrays once per ``(trace, machine)`` and turns every subsequent config's
+replay into *verification* instead of *simulation*:
+
+1.  **Leader** configs (no similar schedule known yet) run an
+    instrumented copy of the scalar replay that records the per-record
+    issue cycle ``T`` and per-load outcome ``O`` while producing the
+    usual stats.  The arrays are registered as donors.
+2.  **Follower** configs copy the nearest donor's ``(T, O)`` schedule
+    and check it against this config's streams with vectorized
+    forward-equation passes — the full dependence/issue/port/interlock
+    recurrence evaluated for every record at once.  The replay
+    recurrence has a unique fixed point (each record's issue time is a
+    function of strictly earlier records), so a candidate schedule that
+    satisfies *every* per-record equation **is** the exact replay; any
+    position that fails is re-simulated by a scalar stepper window and
+    the repaired schedule is verified again.  Only a candidate with
+    zero failing equations is ever accepted — byte-identical
+    ``SimStats`` or fallback, never approximate, exactly the PR-5
+    divergence-patching contract.
+
+The per-record equations verified for a candidate ``(T, O)``:
+
+* ``c0[i] = max(T[i-1] + redirect[i-1] + pen[i], V[p1[i]], V[p2[i]],
+  V[p3[i]])`` where ``V[j] = T[j] + latency(j)`` and ``p*`` are the
+  statically-resolved producer records of ``i``'s source registers;
+* ``T[i] = c0[i] + bump[i]`` where ``bump`` is the single re-arbitration
+  cycle charged when the issue-width / unit / port counts consumed at
+  cycle ``c0[i]`` by earlier records are saturated (the scalar loop's
+  counters reset on every clock advance, so those counts are exactly
+  segment sums over the run of records sharing the cycle — computed
+  with ``searchsorted`` + prefix sums);
+* the speculative-port window read by the early-dispatch paths is the
+  count of memory-port charges at cycle ``c0[i] - 2`` plus same-cycle
+  unbumped speculative charges (the scalar loop's three-slot shifting
+  window composes shifts, so its content at any read equals that
+  absolute-cycle count);
+* store-queue interlock holds iff the most recent earlier same-word
+  store issued at ``T_s >= c0[i] - 1``; the ``R_addr`` interlock iff
+  the base register's producer has ``V > c0[i] - 2``;
+* ``O[i]`` matches the outcome implied by the config's
+  routing/dcache/predictor/calc streams under those port and interlock
+  facts.
+
+Everything here is optional: without numpy (or with
+``REPRO_DISABLE_KERNEL=1``) the precompute layer keeps using the scalar
+replay and produces byte-identical results.  ``REPRO_NO_NUMPY=1``
+simulates a missing numpy install for tests/CI.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict, deque
+from typing import Optional
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled by REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Traces shorter than this replay faster scalar than the array
+#: compilation + verification machinery can pay for itself.
+_KERNEL_MIN_N = 4096
+#: Candidate schedules are only borrowed from a donor whose streams
+#: differ at no more than this fraction of dynamic loads.
+_MAX_DIFF_FRAC = 0.06
+#: Verify/repair bounds before the config falls back to a scalar leader
+#: replay (still exact, just unaccelerated).
+_MAX_ROUNDS = 24
+_SYNC_RUN = 12
+_REGION_GAP = 48
+#: Donor schedules kept per precompute (LRU).
+_DONOR_LIMIT = 8
+#: Obs/report chunk granularity: mismatch scanning and the progress
+#: accounting work in fixed-size chunks (the final chunk is usually
+#: shorter — covered by tests).
+_CHUNK = 4096
+
+# Load outcome codes shared by the recording replay, the verifier and
+# the stats assembly.  "dispatched" is ``O >= 2``; "success" is 5 or 6.
+_O_NONE = 0
+_O_NOPORT = 1
+_O_WRONG = 2
+_O_ILK = 3
+_O_DMISS = 4
+_O_SUCC = 5
+_O_PART = 6
+_O_RA = 7
+
+_kernel_followers = 0
+_kernel_leaders = 0
+_kernel_fallbacks = 0
+
+
+def kernel_available() -> bool:
+    """numpy importable and the kernel not disabled via environment."""
+    return _np is not None and not os.environ.get("REPRO_DISABLE_KERNEL")
+
+
+def path_counts() -> dict:
+    """Process-wide kernel path counters (tests, parity CLI)."""
+    return {
+        "followers": _kernel_followers,
+        "leaders": _kernel_leaders,
+        "fallbacks": _kernel_fallbacks,
+    }
+
+
+def eligible(pre) -> bool:
+    return (
+        kernel_available()
+        and pre.records is not None
+        and pre.n >= _KERNEL_MIN_N
+        and pre.n_loads > 0
+    )
+
+
+# ---------------------------------------------------------------------------
+# Config-invariant array compilation
+# ---------------------------------------------------------------------------
+
+class KernelArrays:
+    """The record stream compiled to dense arrays, once per precompute.
+
+    Producer resolution turns the scalar loop's register file into a
+    gather: ``p1/p2/p3[i]`` is the index of the last earlier record that
+    writes the corresponding source register (calls write r63, branches
+    and stores write nothing), stored pre-offset by one so a missing
+    producer indexes a zero sentinel.
+    """
+
+    __slots__ = (
+        "n", "nl", "ns", "kind", "pen", "redir", "latx",
+        "p1o", "p2o", "p3o", "prod_base_o",
+        "rec_of_load", "rec_of_store", "lastmatch",
+        "lword", "sword", "arange",
+        "m_alu", "m_fp", "m_bru", "m_free", "m_load", "m_store",
+        "c_alu", "c_fp", "c_bru", "n_chunks",
+    )
+
+    def __init__(self, pre):
+        np = _np
+        records = pre.records
+        n = len(records)
+        kind = bytearray(n)
+        pen_a = array("q", bytes(8 * n))
+        redir_a = array("q", bytes(8 * n))
+        latx_a = array("q", bytes(8 * n))
+        p1_a = array("i", bytes(4 * n))
+        p2_a = array("i", bytes(4 * n))
+        p3_a = array("i", bytes(4 * n))
+        nl = pre.n_loads
+        prod_base_a = array("i", bytes(4 * nl))
+        lastmatch_a = array("i", bytes(4 * nl))
+        lbase = pre.lbase
+        lword = pre.lword
+        sword = pre.sword
+
+        lastw = [0] * 130  # pre-offset producer indices; 0 = none
+        last_store_for_word: dict = {}
+        li = 0
+        si = 0
+        for i in range(n):
+            k, pen, s1, s2, s3, dest, x = records[i]
+            kind[i] = k
+            if pen:
+                pen_a[i] = pen
+            p1_a[i] = lastw[s1]
+            p2_a[i] = lastw[s2]
+            p3_a[i] = lastw[s3]
+            if k == 0:
+                prod_base_a[li] = lastw[lbase[li]]
+                lastmatch_a[li] = last_store_for_word.get(lword[li], 0)
+                lastw[dest] = i + 1
+                li += 1
+            elif k == 1:
+                last_store_for_word[sword[si]] = si + 1
+                si += 1
+            elif k == 2:
+                if x:
+                    redir_a[i] = x
+            elif k == 3:
+                if x:
+                    redir_a[i] = x
+                latx_a[i] = 1  # calls write r63 ready at cur + 1
+                lastw[63] = i + 1
+            else:  # ALU / FP / FREE
+                latx_a[i] = x
+                lastw[dest] = i + 1
+
+        self.n = n
+        self.nl = nl
+        self.ns = pre.n_stores
+        self.kind = np.frombuffer(bytes(kind), dtype=np.uint8)
+        self.pen = np.frombuffer(pen_a, dtype=np.int64)
+        self.redir = np.frombuffer(redir_a, dtype=np.int64)
+        self.latx = np.frombuffer(latx_a, dtype=np.int64)
+        self.p1o = np.frombuffer(p1_a, dtype=np.int32).astype(np.int64)
+        self.p2o = np.frombuffer(p2_a, dtype=np.int32).astype(np.int64)
+        self.p3o = np.frombuffer(p3_a, dtype=np.int32).astype(np.int64)
+        self.prod_base_o = np.frombuffer(
+            prod_base_a, dtype=np.int32
+        ).astype(np.int64)
+        self.lastmatch = np.frombuffer(
+            lastmatch_a, dtype=np.int32
+        ).astype(np.int64)
+        kv = self.kind
+        self.m_load = kv == 0
+        self.m_store = kv == 1
+        self.m_bru = (kv == 2) | (kv == 3)
+        self.m_alu = kv == 4
+        self.m_fp = kv == 5
+        self.m_free = kv == 6
+        self.rec_of_load = np.nonzero(self.m_load)[0]
+        self.rec_of_store = np.nonzero(self.m_store)[0]
+        self.lword = np.asarray(lword, dtype=np.int64)
+        self.sword = np.asarray(sword, dtype=np.int64)
+        self.arange = np.arange(n, dtype=np.int64)
+        self.c_alu = _ex_cumsum(self.m_alu)
+        self.c_fp = _ex_cumsum(self.m_fp)
+        self.c_bru = _ex_cumsum(self.m_bru)
+        self.n_chunks = (n + _CHUNK - 1) // _CHUNK
+
+
+def _ex_cumsum(mask):
+    out = _np.zeros(len(mask) + 1, dtype=_np.int64)
+    _np.cumsum(mask, out=out[1:])
+    return out
+
+
+class _Donor:
+    __slots__ = ("key", "T", "O")
+
+    def __init__(self, key, T, O):
+        self.key = key
+        self.T = T
+        self.O = O
+
+
+class KernelState:
+    """Per-precompute kernel state: compiled arrays + donor schedules."""
+
+    __slots__ = ("arrays", "donors", "build_seconds")
+
+    def __init__(self):
+        self.arrays: Optional[KernelArrays] = None
+        self.donors: OrderedDict = OrderedDict()
+        self.build_seconds = 0.0
+
+    def ensure_arrays(self, pre) -> KernelArrays:
+        if self.arrays is None:
+            import time
+
+            t0 = time.perf_counter()
+            self.arrays = KernelArrays(pre)
+            self.build_seconds = time.perf_counter() - t0
+        return self.arrays
+
+    def register(self, key, T, O) -> None:
+        donors = self.donors
+        if key in donors:
+            donors.move_to_end(key)
+            return
+        while len(donors) >= _DONOR_LIMIT:
+            donors.popitem(last=False)
+        donors[key] = _Donor(key, T, O)
+
+    def pick_donor(self, key, nl):
+        """Nearest donor by stream diff density, or None."""
+        np = _np
+        route, dcodes, ecodes, excluded = key
+        rv = np.frombuffer(route, dtype=np.uint8)
+        dv = np.frombuffer(dcodes, dtype=np.uint8)
+        ev = _ecview(ecodes, nl)
+        best = None
+        best_diff = None
+        for dkey, donor in self.donors.items():
+            droute, ddcodes, decodes, dexcl = dkey
+            diff = int(
+                np.count_nonzero(
+                    (rv != np.frombuffer(droute, dtype=np.uint8))
+                    | (dv != np.frombuffer(ddcodes, dtype=np.uint8))
+                    | (ev != _ecview(decodes, nl))
+                )
+            )
+            diff += len(excluded.symmetric_difference(dexcl))
+            if best_diff is None or diff < best_diff:
+                best, best_diff = donor, diff
+        if best is None or best_diff > nl * _MAX_DIFF_FRAC:
+            return None
+        self.donors.move_to_end(best.key)
+        return best
+
+
+def _ecview(ecodes: bytes, nl: int):
+    if ecodes:
+        return _np.frombuffer(ecodes, dtype=_np.uint8)
+    return _np.zeros(nl, dtype=_np.uint8)
+
+
+def _state(pre) -> KernelState:
+    st = pre.kernel
+    if st is None:
+        st = pre.kernel = KernelState()
+    return st
+
+
+def warm_kernel(pre) -> float:
+    """Build the config-invariant arrays; returns the build time.
+
+    The bench harness calls this between the ``precompute`` and ``sim``
+    stages so one-time array compilation is attributed to its own
+    ``replay_kernel_s`` stage split rather than to per-config sim time.
+    """
+    if not eligible(pre):
+        return 0.0
+    st = _state(pre)
+    st.ensure_arrays(pre)
+    return st.build_seconds
+
+
+# ---------------------------------------------------------------------------
+# Machine constants bundle
+# ---------------------------------------------------------------------------
+
+class _Mc:
+    __slots__ = (
+        "width", "n_ports", "n_alus", "n_fpus", "n_brus",
+        "ld_lat", "ld_hit_lat", "miss_lat",
+    )
+
+    def __init__(self, cfg):
+        self.width = cfg.issue_width
+        self.n_ports = cfg.mem_ports
+        self.n_alus = cfg.int_alus
+        self.n_fpus = cfg.fp_alus
+        self.n_brus = cfg.branch_units
+        ld_lat = cfg.load_latency
+        self.ld_lat = ld_lat
+        self.ld_hit_lat = 1 if ld_lat > 1 else ld_lat
+        self.miss_lat = ld_lat + cfg.dcache.miss_penalty
+
+
+# ---------------------------------------------------------------------------
+# Vectorized forward-equation verification
+# ---------------------------------------------------------------------------
+
+def _load_latency(mc: _Mc, rv, dv, O):
+    """Per-load writeback latency implied by route + outcome."""
+    np = _np
+    lat = np.where((dv & 1) != 0, mc.ld_lat, mc.miss_lat)
+    succ = O == _O_SUCC
+    lat = np.where((rv == 1) & succ, mc.ld_hit_lat, lat)
+    lat = np.where((rv == 2) & succ, 0, lat)
+    lat = np.where(O == _O_PART, 1, lat)
+    return lat
+
+
+def _expected(ka: KernelArrays, mc: _Mc, rv, dv, ev, excl, T, O):
+    """Expected (T, O) under the forward equations, given candidate (T, O).
+
+    Returns ``(mismatch_mask, expT, expO)``.  Positions before the first
+    mismatch are exact by induction (every equation only references
+    strictly earlier records), so the first mismatch is the repair
+    point.
+    """
+    np = _np
+    n = ka.n
+    rec_l = ka.rec_of_load
+
+    latL = _load_latency(mc, rv, dv, O)
+    vlat = ka.latx.copy()
+    vlat[rec_l] = latL
+    V = T + vlat
+    Vp = np.empty(n + 1, dtype=np.int64)
+    Vp[0] = 0
+    Vp[1:] = V
+
+    dep = Vp[ka.p1o]
+    np.maximum(dep, Vp[ka.p2o], out=dep)
+    np.maximum(dep, Vp[ka.p3o], out=dep)
+    base = np.empty(n, dtype=np.int64)
+    base[0] = 0
+    np.add(T[:-1], ka.redir[:-1], out=base[1:])
+    base += ka.pen
+    c0 = np.maximum(base, dep)
+
+    succ = (O == _O_SUCC) | (O == _O_PART)
+    succ_rec = np.zeros(n, dtype=bool)
+    succ_rec[rec_l] = succ
+    memchg = ka.m_store | (ka.m_load & ~succ_rec)
+    cM = _ex_cumsum(memchg)
+
+    # Per-cycle resource counts consumed by earlier records: the run of
+    # records sharing cycle c0[i] is a suffix of [0, i) because issue
+    # cycles are monotone.  c0[i] >= T[i-1] holds by construction
+    # (base >= T[i-1] with pen/redirect >= 0), so the segment start is
+    # either the run start of T[i-1]'s value or i itself; a candidate
+    # whose own T violates monotonicity necessarily fails the
+    # T == c0 + bump comparison (expT >= c0 >= T[i-1] > T[i]), so an
+    # accepted (zero-mismatch) pass also proves sortedness and with it
+    # the soundness of these segment counts.
+    run_start = np.where(
+        np.concatenate(([True], T[1:] != T[:-1])), ka.arange, 0
+    )
+    np.maximum.accumulate(run_start, out=run_start)
+    idx = ka.arange.copy()
+    cont = np.zeros(n, dtype=bool)
+    cont[1:] = c0[1:] == T[:-1]
+    idx[cont] = run_start[:-1][cont[1:]]
+    iss_cnt = ka.arange - idx
+    bump = iss_cnt >= mc.width
+    bump |= ka.m_alu & ((ka.c_alu[:n] - ka.c_alu[idx]) >= mc.n_alus)
+    bump |= ka.m_fp & ((ka.c_fp[:n] - ka.c_fp[idx]) >= mc.n_fpus)
+    bump |= ka.m_bru & ((ka.c_bru[:n] - ka.c_bru[idx]) >= mc.n_brus)
+    pc_cnt = cM[:n] - cM[idx]
+    bump |= (ka.m_store | (ka.m_load & ~succ_rec)) & (pc_cnt >= mc.n_ports)
+    expT = c0 + bump
+
+    # Speculative-port window at each load's evaluation point: memory
+    # charges two cycles back plus same-cycle unbumped spec dispatches.
+    c0l = c0[rec_l]
+    lo = np.searchsorted(T, c0l - 2, side="left")
+    hi = np.searchsorted(T, c0l - 2, side="right")
+    mcnt = cM[hi] - cM[lo]
+    disp = O >= 2
+    spec_rec = np.zeros(n, dtype=bool)
+    spec_rec[rec_l] = disp
+    spec_rec &= T == c0
+    cS = _ex_cumsum(spec_rec)
+    idx_l = idx[rec_l]
+    pp_at = mcnt + (cS[rec_l] - cS[idx_l])
+    noport = pp_at >= mc.n_ports
+
+    ra = Vp[ka.prod_base_o[: ka.nl]] > c0l - 2
+    if ka.ns:
+        t_store = T[ka.rec_of_store]
+        lm = ka.lastmatch
+        ilk = (lm > 0) & (t_store[np.maximum(lm - 1, 0)] >= c0l - 1)
+    else:
+        ilk = np.zeros(ka.nl, dtype=bool)
+
+    func = (dv & 2) != 0
+    corr = (dv & 4) != 0
+    dhit = (dv & 1) != 0
+    exp1 = np.where(
+        ~func, _O_NONE,
+        np.where(
+            noport, _O_NOPORT,
+            np.where(
+                ~corr, _O_WRONG,
+                np.where(ilk, _O_ILK, np.where(dhit, _O_SUCC, _O_DMISS)),
+            ),
+        ),
+    )
+    exp2 = np.where(
+        ev == 0, _O_NONE,
+        np.where(
+            noport, _O_NOPORT,
+            np.where(
+                ra, _O_RA,
+                np.where(
+                    ilk, _O_ILK,
+                    np.where(
+                        ~dhit, _O_DMISS,
+                        np.where((ev & 2) != 0, _O_PART, _O_SUCC),
+                    ),
+                ),
+            ),
+        ),
+    )
+    expO = np.where(
+        rv == 1, exp1, np.where(rv == 2, exp2, _O_NONE)
+    ).astype(np.uint8)
+
+    mm = T != expT
+    mm_l = O != expO
+    # mm is record-indexed; fold load outcome mismatches in.
+    lrec = rec_l[mm_l]
+    if len(lrec):
+        mm[lrec] = True
+    return mm, expT, expO
+
+
+# ---------------------------------------------------------------------------
+# Scalar repair stepper
+# ---------------------------------------------------------------------------
+
+def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                 T, O, start: int, limit: int):
+    """Re-simulate records from *start* until the schedule re-syncs.
+
+    Mirrors ``_replay``'s per-record semantics exactly, but reads
+    operand ready times by gathering ``V`` from the (exact-prefix)
+    candidate arrays instead of keeping a register file, and tracks the
+    port window as absolute-cycle charge counts.  Returns
+    ``(stop, delta, stepped)``: *stop* is one past the last repaired
+    record (or -1 when the window budget ran out before re-syncing),
+    *delta* the uniform shift already applied to the suffix beyond
+    *stop*.
+    """
+    np = _np
+    records = pre.records
+    n = ka.n
+    rec_of_load = ka.rec_of_load
+    rec_of_store = ka.rec_of_store
+    lword = pre.lword
+    sword = pre.sword
+    lbase = pre.lbase
+    redir_arr = ka.redir
+    latx = ka.latx
+    p1o, p2o, p3o = ka.p1o, ka.p2o, ka.p3o
+    prod_base_o = ka.prod_base_o
+
+    width = mc.width
+    n_ports = mc.n_ports
+    n_alus = mc.n_alus
+    n_fpus = mc.n_fpus
+    n_brus = mc.n_brus
+    ld_lat = mc.ld_lat
+    ld_hit_lat = mc.ld_hit_lat
+    miss_lat = mc.miss_lat
+
+    def v_of(off):
+        # ``off`` is a pre-offset producer index (0 = none).
+        if off == 0:
+            return 0
+        j = off - 1
+        k = records[j][0]
+        if k != 0:
+            return int(T[j]) + int(latx[j])
+        lj = int(np.searchsorted(rec_of_load, j))
+        o = O[lj]
+        r = rv[lj]
+        code = dv[lj]
+        if r == 1 and o == _O_SUCC:
+            lat = ld_hit_lat
+        elif r == 2 and o == _O_SUCC:
+            lat = 0
+        elif o == _O_PART:
+            lat = 1
+        else:
+            lat = ld_lat if code & 1 else miss_lat
+        return int(T[j]) + lat
+
+    li = int(np.searchsorted(rec_of_load, start))
+    si = int(np.searchsorted(rec_of_store, start))
+
+    if start:
+        prev_t = int(T[start - 1])
+        prev_end = prev_t + int(redir_arr[start - 1])
+    else:
+        prev_t = -1
+        prev_end = 0
+
+    # Reconstruct the entry window/counters from the exact prefix: every
+    # count the stepper can read only involves cycles >= prev_t - 3.
+    cyc_mem = {}
+    epoch = prev_t
+    iss = alu = fpu = bru = spec = 0
+    bound = prev_t - 3
+    j = start - 1
+    lj = li - 1
+    sj = si - 1
+    while j >= 0 and int(T[j]) >= bound:
+        tj = int(T[j])
+        k = records[j][0]
+        charged = False
+        if k == 1:
+            charged = True
+            sj -= 1
+        elif k == 0:
+            o = O[lj]
+            if not (o == _O_SUCC or o == _O_PART):
+                charged = True
+            if tj == epoch and o >= 2:
+                # Unbumped same-cycle spec dispatch: c0 == T holds iff
+                # the record was not re-arbitrated into this cycle.
+                pe = (
+                    int(T[j - 1]) + int(redir_arr[j - 1]) if j else 0
+                ) + int(ka.pen[j])
+                dep = max(v_of(int(p1o[j])), v_of(int(p2o[j])),
+                          v_of(int(p3o[j])))
+                if max(pe, dep) == tj:
+                    spec += 1
+            lj -= 1
+        if charged:
+            cyc_mem[tj] = cyc_mem.get(tj, 0) + 1
+        if tj == epoch:
+            iss += 1
+            if k == 4:
+                alu += 1
+            elif k == 5:
+                fpu += 1
+            elif k == 2 or k == 3:
+                bru += 1
+        j -= 1
+
+    sq: deque = deque()
+    j = si - 1
+    while j >= 0:
+        ts = int(T[rec_of_store[j]])
+        if ts < prev_t - 3:
+            break
+        sq.appendleft((ts, sword[j]))
+        j -= 1
+
+    cur = prev_end
+    streak = 0
+    prev_delta = None
+    i = start
+    end = min(n, start + limit)
+    while i < end:
+        k, pen, s1, s2, s3, dest, x = records[i]
+        if pen:
+            cur += pen
+        t = v_of(int(p1o[i]))
+        r2 = v_of(int(p2o[i]))
+        if r2 > t:
+            t = r2
+        r3 = v_of(int(p3o[i]))
+        if r3 > t:
+            t = r3
+        if t > cur:
+            cur = t
+        if cur != epoch:
+            epoch = cur
+            iss = alu = fpu = bru = spec = 0
+
+        o = _O_NONE
+        if k == 4:
+            if iss >= width or alu >= n_alus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            alu += 1
+        elif k == 0:
+            code = dv[li]
+            r = rv[li]
+            success = False
+            if r == 1:
+                if code & 2:
+                    if cyc_mem.get(cur - 2, 0) + spec < n_ports:
+                        spec += 1
+                        if code & 4:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq.popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = _O_ILK
+                            elif code & 1:
+                                success = True
+                                o = _O_SUCC
+                            else:
+                                o = _O_DMISS
+                        else:
+                            o = _O_WRONG
+                    else:
+                        o = _O_NOPORT
+            elif r == 2:
+                ec = ev[li]
+                if ec:
+                    if cyc_mem.get(cur - 2, 0) + spec < n_ports:
+                        spec += 1
+                        if v_of(int(prod_base_o[li])) > cur - 2:
+                            o = _O_RA
+                        else:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq.popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = _O_ILK
+                            elif code & 1:
+                                success = True
+                                o = _O_PART if ec & 2 else _O_SUCC
+                            else:
+                                o = _O_DMISS
+                    else:
+                        o = _O_NOPORT
+            if success:
+                if iss >= width:
+                    cur += 1
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+            else:
+                if iss >= width or cyc_mem.get(cur, 0) >= n_ports:
+                    cur += 1
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+                cyc_mem[cur] = cyc_mem.get(cur, 0) + 1
+        elif k == 2 or k == 3:
+            if iss >= width or bru >= n_brus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            bru += 1
+        elif k == 1:
+            if iss >= width or cyc_mem.get(cur, 0) >= n_ports:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            cyc_mem[cur] = cyc_mem.get(cur, 0) + 1
+            sq.append((cur, sword[si]))
+            si += 1
+        elif k == 5:
+            if iss >= width or fpu >= n_fpus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            fpu += 1
+        else:
+            if iss >= width:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+
+        same_o = True
+        if k == 0:
+            if O[li] != o:
+                O[li] = o
+                same_o = False
+            li += 1
+        delta = cur - int(T[i])
+        T[i] = cur
+        if same_o and delta == prev_delta:
+            streak += 1
+        else:
+            streak = 1
+            prev_delta = delta
+        if len(cyc_mem) > 16:
+            for ckey in [ck for ck in cyc_mem if ck < cur - 2]:
+                del cyc_mem[ckey]
+
+        if k == 2 or k == 3:
+            if x:
+                cur += x
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+
+        i += 1
+        if streak >= _SYNC_RUN and i < n:
+            if prev_delta:
+                T[i:] += prev_delta
+            return i, prev_delta or 0, i - start
+
+    if i >= n:
+        return n, 0, i - start
+    return -1, 0, i - start
+
+
+# ---------------------------------------------------------------------------
+# Recording scalar replay (leader path)
+# ---------------------------------------------------------------------------
+
+def _replay_recording(pre, cfg, route, dcodes, dtotals, ecodes,
+                      excluded, diverged):
+    """``precompute._replay`` with per-record schedule recording.
+
+    Identical semantics and stats (parity-gated); additionally returns
+    the issue-cycle array ``T`` and per-load outcome codes ``O`` that
+    seed the donor registry.
+    """
+    from repro.sim.precompute import _assemble_stats
+
+    records = pre.records
+    lword = pre.lword
+    lbase = pre.lbase
+    sword = pre.sword
+    n = pre.n
+
+    width = cfg.issue_width
+    n_ports = cfg.mem_ports
+    n_alus = cfg.int_alus
+    n_fpus = cfg.fp_alus
+    n_brus = cfg.branch_units
+    ld_lat = cfg.load_latency
+    ld_hit_lat = 1 if ld_lat > 1 else ld_lat
+    miss_lat = ld_lat + cfg.dcache.miss_penalty
+
+    T_rec = array("q", bytes(8 * n))
+    O_rec = bytearray(pre.n_loads)
+
+    rr = [0] * 130
+    cur = 0
+    iss = alu = fpu = bru = 0
+    pp = pm = pc = 0
+
+    spec_any = 1 in route or 2 in route
+    sq: deque = deque()
+    sq_append = sq.append
+    sq_popleft = sq.popleft
+
+    li = 0
+    si = 0
+    pred_disp = pred_succ = pred_wrong = 0
+    calc_disp = calc_succ = calc_part = 0
+    sp_noport = sp_interlock = sp_dmiss = 0
+    ra_interlock = 0
+
+    i = -1
+    for k, pen, s1, s2, s3, dest, x in records:
+        i += 1
+        if pen:
+            if pen == 1:
+                pp = pm
+                pm = pc
+            elif pen == 2:
+                pp = pc
+                pm = 0
+            else:
+                pp = 0
+                pm = 0
+            pc = 0
+            iss = alu = fpu = bru = 0
+            cur += pen
+
+        t = rr[s1]
+        r2 = rr[s2]
+        if r2 > t:
+            t = r2
+        r3 = rr[s3]
+        if r3 > t:
+            t = r3
+        if t > cur:
+            d = t - cur
+            if d == 1:
+                pp = pm
+                pm = pc
+            elif d == 2:
+                pp = pc
+                pm = 0
+            else:
+                pp = 0
+                pm = 0
+            pc = 0
+            iss = alu = fpu = bru = 0
+            cur = t
+
+        if k == 4:
+            if iss >= width or alu >= n_alus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            alu += 1
+            rr[dest] = cur + x
+
+        elif k == 0:
+            code = dcodes[li]
+            r = route[li]
+            if r == 0:
+                if iss >= width or pc >= n_ports:
+                    cur += 1
+                    pp = pm
+                    pm = pc
+                    pc = 0
+                    iss = alu = fpu = bru = 0
+                iss += 1
+                pc += 1
+                rr[dest] = cur + (ld_lat if code else miss_lat)
+            elif r == 1:
+                success = False
+                o = _O_NONE
+                if code & 2:
+                    if pp < n_ports:
+                        pp += 1
+                        pred_disp += 1
+                        if code & 4:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                sp_interlock += 1
+                                o = _O_ILK
+                            elif code & 1:
+                                success = True
+                                pred_succ += 1
+                                o = _O_SUCC
+                            else:
+                                sp_dmiss += 1
+                                o = _O_DMISS
+                        else:
+                            if li in excluded:
+                                diverged.append(li)
+                            pred_wrong += 1
+                            o = _O_WRONG
+                    else:
+                        if not code & 4 and li not in excluded:
+                            diverged.append(li)
+                        sp_noport += 1
+                        o = _O_NOPORT
+                O_rec[li] = o
+                if success:
+                    if iss >= width:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    rr[dest] = cur + ld_hit_lat
+                else:
+                    if iss >= width or pc >= n_ports:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    pc += 1
+                    rr[dest] = cur + (ld_lat if code & 1 else miss_lat)
+            else:
+                success = False
+                lat = 0
+                o = _O_NONE
+                ec = ecodes[li]
+                if ec:
+                    if pp < n_ports:
+                        pp += 1
+                        calc_disp += 1
+                        if rr[lbase[li]] > cur - 2:
+                            ra_interlock += 1
+                            o = _O_RA
+                        else:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                sp_interlock += 1
+                                o = _O_ILK
+                            elif code & 1:
+                                success = True
+                                calc_succ += 1
+                                o = _O_SUCC
+                                if ec & 2:
+                                    calc_part += 1
+                                    lat = 1
+                                    o = _O_PART
+                            else:
+                                sp_dmiss += 1
+                                o = _O_DMISS
+                    else:
+                        sp_noport += 1
+                        o = _O_NOPORT
+                O_rec[li] = o
+                if success:
+                    if iss >= width:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    rr[dest] = cur + lat
+                else:
+                    if iss >= width or pc >= n_ports:
+                        cur += 1
+                        pp = pm
+                        pm = pc
+                        pc = 0
+                        iss = alu = fpu = bru = 0
+                    iss += 1
+                    pc += 1
+                    rr[dest] = cur + (ld_lat if code & 1 else miss_lat)
+            li += 1
+
+        elif k == 2 or k == 3:
+            if iss >= width or bru >= n_brus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            bru += 1
+            if k == 3:
+                rr[63] = cur + 1
+            T_rec[i] = cur
+            if x:
+                if x == 1:
+                    pp = pm
+                    pm = pc
+                elif x == 2:
+                    pp = pc
+                    pm = 0
+                else:
+                    pp = 0
+                    pm = 0
+                pc = 0
+                iss = alu = fpu = bru = 0
+                cur += x
+            continue
+
+        elif k == 1:
+            if iss >= width or pc >= n_ports:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            pc += 1
+            if spec_any:
+                sq_append((cur, sword[si]))
+                if len(sq) > 32:
+                    c = cur - 1
+                    while sq[0][0] + 1 <= c:
+                        sq_popleft()
+            si += 1
+
+        elif k == 5:
+            if iss >= width or fpu >= n_fpus:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            fpu += 1
+            rr[dest] = cur + x
+
+        else:
+            if iss >= width:
+                cur += 1
+                pp = pm
+                pm = pc
+                pc = 0
+                iss = alu = fpu = bru = 0
+            iss += 1
+            rr[dest] = cur + x
+
+        T_rec[i] = cur
+
+    stats = _assemble_stats(
+        pre, route, dtotals, cur,
+        pred_disp, pred_succ, pred_wrong,
+        calc_disp, calc_succ, calc_part,
+        sp_noport, sp_interlock, sp_dmiss,
+    )
+    T = _np.frombuffer(T_rec, dtype=_np.int64).copy()
+    O = _np.frombuffer(bytes(O_rec), dtype=_np.uint8).copy()
+    return stats, ra_interlock, T, O
+
+
+# ---------------------------------------------------------------------------
+# Stats assembly from a verified schedule
+# ---------------------------------------------------------------------------
+
+def _stats_from_schedule(pre, ka, route, rv, dtotals, T, O):
+    from repro.sim.precompute import _assemble_stats
+
+    np = _np
+    nz = np.count_nonzero
+    r1 = rv == 1
+    r2 = rv == 2
+    disp = O >= 2
+    stats = _assemble_stats(
+        pre, route, dtotals, int(T[-1] + ka.redir[-1]),
+        int(nz(r1 & disp)), int(nz(r1 & (O == _O_SUCC))),
+        int(nz(O == _O_WRONG)),
+        int(nz(r2 & disp)),
+        int(nz(r2 & ((O == _O_SUCC) | (O == _O_PART)))),
+        int(nz(O == _O_PART)),
+        int(nz(O == _O_NOPORT)), int(nz(O == _O_ILK)),
+        int(nz(O == _O_DMISS)),
+    )
+    return stats, int(nz(O == _O_RA))
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def replay(pre, cfg, route, dcodes, dtotals, ecodes, excluded,
+           diverged, info):
+    """Replay one config's streams on the kernel path.
+
+    Returns ``(stats, ra_interlock)``, always exact: a donor-derived
+    schedule is only used after zero-mismatch verification; otherwise
+    the recording scalar replay runs (and registers a donor).  Fills
+    *diverged* and *info* (obs fields) like the scalar path.
+    """
+    global _kernel_followers, _kernel_leaders, _kernel_fallbacks
+    st = _state(pre)
+    ka = st.ensure_arrays(pre)
+    info["chunks"] = ka.n_chunks
+    key = (route, dcodes, ecodes, excluded)
+    mc = _Mc(cfg)
+    nl = ka.nl
+    rv = _np.frombuffer(route, dtype=_np.uint8)
+    dv = _np.frombuffer(dcodes, dtype=_np.uint8)
+    ev = _ecview(ecodes, nl)
+    excl = _np.zeros(nl, dtype=bool)
+    if excluded:
+        excl[list(excluded)] = True
+
+    donor = st.pick_donor(key, nl)
+    if donor is not None:
+        T = donor.T.copy()
+        O = donor.O.copy()
+        if _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info):
+            st.register(key, T, O)
+            _collect_divergence(rv, dv, excl, O, diverged)
+            _kernel_followers += 1
+            info["path"] = "kernel-follower"
+            return _stats_from_schedule(pre, ka, route, rv, dtotals, T, O)
+        _kernel_fallbacks += 1
+        info["repair_fallback"] = True
+
+    stats, ra, T, O = _replay_recording(
+        pre, cfg, route, dcodes, dtotals, ecodes, excluded, diverged
+    )
+    st.register(key, T, O)
+    _kernel_leaders += 1
+    info["path"] = "kernel-leader"
+    return stats, ra
+
+
+def _collect_divergence(rv, dv, excl, O, diverged):
+    wrong_addr = (rv == 1) & ((dv & 2) != 0) & ((dv & 4) == 0)
+    bad = wrong_addr & (
+        ((O == _O_WRONG) & excl) | ((O == _O_NOPORT) & ~excl)
+    )
+    if bad.any():
+        diverged.extend(int(x) for x in _np.nonzero(bad)[0])
+
+
+def _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info) -> bool:
+    """Verify candidate (T, O); repair failing positions in place.
+
+    True only when a verification pass reports zero mismatches — the
+    accepted schedule satisfies every forward equation and therefore
+    equals the exact scalar replay.
+    """
+    n = ka.n
+    step_budget = max(_CHUNK, n // 3)
+    rounds = 0
+    stepped_total = 0
+    repairs = 0
+    while rounds < _MAX_ROUNDS:
+        rounds += 1
+        mm, _expT, _expO = _expected(ka, mc, rv, dv, ev, excl, T, O)
+        pos = _np.nonzero(mm)[0]
+        if not len(pos):
+            info["verify_rounds"] = rounds
+            info["repaired"] = repairs
+            info["stepped"] = stepped_total
+            return False if stepped_total > step_budget else True
+        covered = -1
+        for p in pos:
+            p = int(p)
+            if p <= covered:
+                continue
+            if p <= covered + _REGION_GAP and covered >= 0:
+                start = covered + 1
+            else:
+                start = p
+            # A delta-shift from an earlier region leaves later mismatch
+            # positions valid as markers (indices don't move); stepping
+            # them re-syncs against the shifted suffix, so keep going
+            # rather than paying a full verify pass per region.
+            stop, _delta, stepped = _step_region(
+                pre, ka, mc, rv, dv, ev, excl, T, O, start,
+                step_budget - stepped_total,
+            )
+            stepped_total += stepped
+            repairs += 1
+            if stop < 0 or stepped_total > step_budget:
+                info["stepped"] = stepped_total
+                return False
+            covered = stop - 1
+    info["stepped"] = stepped_total
+    return False

@@ -1,0 +1,18 @@
+"""Shared fixtures for the sim test tree."""
+
+import pytest
+
+from repro.sim import precompute
+
+
+@pytest.fixture(autouse=True)
+def stream_path_on_tiny_traces(monkeypatch):
+    """Keep the precomputed-stream path engaged for unit-sized traces.
+
+    Real workloads only amortize stream construction above
+    ``_PRECOMPUTE_MIN_N`` dynamic instructions; the hand-built traces in
+    these tests are far below it, and the point of most of them is to
+    pin the stream path itself.  Tests covering the threshold behaviour
+    set their own value explicitly.
+    """
+    monkeypatch.setattr(precompute, "_PRECOMPUTE_MIN_N", 0)

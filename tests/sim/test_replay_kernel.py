@@ -1,0 +1,416 @@
+"""The vectorized array-replay kernel (:mod:`repro.sim.replay_kernel`).
+
+The kernel's contract is PR 5's divergence-patching contract verbatim:
+a config replayed through the kernel returns ``SimStats`` byte-identical
+to the inline simulator or it does not return at all (scalar/inline
+fallback).  These tests pin that contract on the leader, follower,
+memo, and disabled paths, plus the divergence-patching edge cases the
+kernel inherits: exclusion sets that flip across runs, patch-memo
+collisions, and streams whose final chunk is shorter than the chunk
+size.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.isa import parse_asm
+from repro.sim import precompute, replay_kernel
+from repro.sim.executor import execute
+from repro.sim.machine import (
+    CacheConfig,
+    EarlyGenConfig,
+    MachineConfig,
+    SelectionMode,
+)
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.precompute import simulate_many, warm_kernel, warm_precompute
+
+from golden_cases import stats_to_record
+from test_pipeline_parity import _random_asm
+
+needs_numpy = pytest.mark.skipif(
+    not replay_kernel.kernel_available(),
+    reason="numpy not importable (or kernel disabled in the environment)",
+)
+
+
+def _loop_asm(iters: int) -> str:
+    """A strided walk long enough to clear ``_KERNEL_MIN_N`` for real."""
+    return "\n".join([
+        f".data arr {4 * iters + 64}",
+        "main:",
+        "    lea r4, arr",
+        "    mov r6, 0",
+        "init:",
+        "    st r6, r4(0)",
+        "    add r4, r4, 4",
+        "    add r6, r6, 1",
+        f"    blt r6, {iters}, init",
+        "    lea r4, arr",
+        "    mov r6, 0",
+        "walk:",
+        "    ld_p r7, r4(0)",
+        "    ld_n r8, r4(4)",
+        "    add r7, r7, r8",
+        "    st r7, r4(0)",
+        "    add r4, r4, 4",
+        "    add r6, r6, 1",
+        f"    blt r6, {iters - 2}, walk",
+    ])
+
+
+@pytest.fixture
+def big_trace():
+    return execute(parse_asm(_loop_asm(700))).trace
+
+
+@pytest.fixture
+def small_trace():
+    rng = random.Random(0xBEE5)
+    return execute(parse_asm(_random_asm(rng))).trace
+
+
+def _eligible_kernel(monkeypatch):
+    """Let unit-sized traces onto the kernel path."""
+    monkeypatch.setattr(replay_kernel, "_KERNEL_MIN_N", 0)
+
+
+def _sweep_machines(eg_list):
+    return [MachineConfig().with_earlygen(eg) for eg in eg_list]
+
+
+def _inline_records(trace, machines):
+    return [
+        stats_to_record(TimingSimulator(trace, m)._run_inline())
+        for m in machines
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Parity: leader, follower, memo
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_kernel_sweep_matches_inline_on_long_trace(big_trace):
+    egs = [
+        EarlyGenConfig(0, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(16, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(16, 0, SelectionMode.HARDWARE, table_confidence_bits=2),
+        EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+    ]
+    machines = _sweep_machines(egs)
+    before = precompute.replay_path_counts()
+    stats = simulate_many(big_trace, machines)
+    after = precompute.replay_path_counts()
+    kernel_runs = sum(
+        after.get(k, 0) - before.get(k, 0)
+        for k in ("kernel-leader", "kernel-follower")
+    )
+    assert kernel_runs > 0, f"kernel path never engaged: {after}"
+    for got, want in zip(
+        (stats_to_record(s) for s in stats),
+        _inline_records(big_trace, machines),
+    ):
+        assert got == want
+
+
+@needs_numpy
+def test_follower_repairs_distant_donor_exactly(monkeypatch):
+    """Even a donor whose streams diverge wildly must be repaired into
+    the exact schedule — never accepted approximately.  A small trace
+    keeps every repair within the step budget, so the follower path is
+    forced to carry arbitrarily distant donors all the way."""
+    _eligible_kernel(monkeypatch)
+    monkeypatch.setattr(replay_kernel, "_MAX_DIFF_FRAC", float("inf"))
+    rng = random.Random(0xD0A0)
+    followers = 0
+    for _ in range(4):
+        trace = execute(parse_asm(_random_asm(rng))).trace
+        egs = [
+            EarlyGenConfig(0, 0, SelectionMode.HARDWARE),
+            EarlyGenConfig(16, 0, SelectionMode.HARDWARE),
+            EarlyGenConfig(32, 0, SelectionMode.HARDWARE),
+            EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+        ]
+        machines = _sweep_machines(egs)
+        before = precompute.replay_path_counts()
+        stats = simulate_many(trace, machines)
+        after = precompute.replay_path_counts()
+        followers += after.get("kernel-follower", 0) - before.get(
+            "kernel-follower", 0
+        )
+        for got, want in zip(
+            (stats_to_record(s) for s in stats),
+            _inline_records(trace, machines),
+        ):
+            assert got == want
+    assert followers > 0, "no config took the follower path"
+
+
+@needs_numpy
+def test_random_kernels_match_inline_through_kernel(monkeypatch):
+    _eligible_kernel(monkeypatch)
+    rng = random.Random(0x7E57)
+    for _ in range(4):
+        trace = execute(parse_asm(_random_asm(rng))).trace
+        egs = [
+            EarlyGenConfig(16, 0, SelectionMode.HARDWARE),
+            EarlyGenConfig(32, 0, SelectionMode.HARDWARE),
+            EarlyGenConfig(16, 0, SelectionMode.HARDWARE,
+                           table_confidence_bits=2),
+            EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+        ]
+        machines = _sweep_machines(egs)
+        stats = simulate_many(trace, machines)
+        for got, want in zip(
+            (stats_to_record(s) for s in stats),
+            _inline_records(trace, machines),
+        ):
+            assert got == want
+
+
+def test_stats_memo_dedupes_identical_streams(small_trace):
+    """The same stream tuple listed twice resolves from the stats memo
+    — equal records, but independent SimStats objects."""
+    eg = EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    machines = _sweep_machines([eg, eg])
+    before = precompute.replay_path_counts()
+    first, second = simulate_many(small_trace, machines)
+    after = precompute.replay_path_counts()
+    assert after.get("memo", 0) > before.get("memo", 0)
+    assert stats_to_record(first) == stats_to_record(second)
+    assert first is not second
+    first.scheme_counts["__mutated__"] = 1
+    assert "__mutated__" not in second.scheme_counts
+
+
+# ---------------------------------------------------------------------------
+# Divergence-patching edge cases
+# ---------------------------------------------------------------------------
+
+def _starved_machine(eg):
+    return MachineConfig(
+        mem_ports=1, dcache=CacheConfig(size=1024)
+    ).with_earlygen(eg)
+
+
+def _first_diverging(rng, eg):
+    """A (trace, machine) pair whose replay needs exclusion patching."""
+    for _ in range(12):
+        trace = execute(parse_asm(_random_asm(rng))).trace
+        machine = _starved_machine(eg)
+        before = precompute.divergence_count()
+        fast = precompute.try_fast(
+            TimingSimulator(trace, machine), build=True
+        )
+        assert fast is not None
+        if precompute.divergence_count() > before:
+            return trace, machine
+    raise AssertionError("seeds no longer produce divergence; rotate them")
+
+
+def test_exclusion_set_flips_twice_across_runs(monkeypatch):
+    """An ordinal excluded -> seeded un-excluded -> re-excluded must
+    land on identical stats every time (the patch loop re-converges
+    from any remembered starting point)."""
+    _eligible_kernel(monkeypatch)
+    eg = EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    trace, machine = _first_diverging(random.Random(0xF11B), eg)
+    inline = stats_to_record(TimingSimulator(trace, machine)._run_inline())
+
+    pre = precompute.get_precompute(trace, machine)
+    sb = precompute._scheme_bytes(trace.program, eg, None)
+    route = pre.route_for(sb)
+    converged = pre.known_exclusions(eg, route)
+    assert converged, "divergence should have recorded exclusions"
+
+    # Flip 1: forget everything (seed the complement-of-knowledge).
+    pre.remember_exclusions(eg, route, frozenset())
+    pre._stats_memo.clear()
+    rerun = precompute.try_fast(TimingSimulator(trace, machine), build=True)
+    assert stats_to_record(rerun) == inline
+    assert pre.known_exclusions(eg, route) == converged
+
+    # Flip 2: seed garbage ordinals on top of the converged set.  Inert
+    # ordinals (not wrong-address loads) cannot affect any stream, so
+    # they may persist — the contract is exact stats and the genuine
+    # exclusions kept.
+    garbage = frozenset(range(min(8, pre.n_loads))) | converged
+    pre.remember_exclusions(eg, route, garbage)
+    pre._stats_memo.clear()
+    rerun = precompute.try_fast(TimingSimulator(trace, machine), build=True)
+    assert stats_to_record(rerun) == inline
+    assert pre.known_exclusions(eg, route) >= converged
+
+
+def test_patch_memo_collision_still_exact(monkeypatch):
+    """A colliding patch-memo entry (same ``(table, conf, route)`` key
+    written by a different config's convergence) only seeds the first
+    attempt; the replay must re-converge to exact stats."""
+    _eligible_kernel(monkeypatch)
+    eg = EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    rng = random.Random(0xC0111)
+    trace = execute(parse_asm(_random_asm(rng))).trace
+    machine = _starved_machine(eg)
+    inline = stats_to_record(TimingSimulator(trace, machine)._run_inline())
+
+    pre = precompute.get_precompute(trace, machine)
+    sb = precompute._scheme_bytes(trace.program, eg, None)
+    route = pre.route_for(sb)
+    # Simulate another config's convergence landing under our key.
+    pre.remember_exclusions(
+        eg, route, frozenset(range(pre.n_loads))
+    )
+    fast = precompute.try_fast(TimingSimulator(trace, machine), build=True)
+    assert fast is not None
+    assert stats_to_record(fast) == inline
+    # A second EarlyGenConfig sharing the patch key replays exactly too.
+    eg2 = EarlyGenConfig(16, 2, SelectionMode.COMPILER)
+    key = pre._patch_key(eg, route)
+    machine2 = _starved_machine(eg2)
+    sb2 = precompute._scheme_bytes(trace.program, eg2, None)
+    route2 = pre.route_for(sb2)
+    if pre._patch_key(eg2, route2) == key:
+        inline2 = stats_to_record(
+            TimingSimulator(trace, machine2)._run_inline()
+        )
+        fast2 = precompute.try_fast(
+            TimingSimulator(trace, machine2), build=True
+        )
+        assert stats_to_record(fast2) == inline2
+
+
+@needs_numpy
+def test_final_chunk_shorter_than_chunk_size(monkeypatch):
+    """n not a multiple of the chunk size leaves a short final chunk;
+    the chunk accounting and the replay must both handle it."""
+    _eligible_kernel(monkeypatch)
+    rng = random.Random(0x51A3)
+    trace = execute(parse_asm(_random_asm(rng))).trace
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    )
+    machines = [machine] + _sweep_machines([
+        EarlyGenConfig(32, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+    ])
+    pre = warm_precompute(
+        trace, machine, [m.earlygen for m in machines],
+    )
+    assert pre is not None
+    warm_kernel(pre, sweep=len(machines))
+    ka = pre.kernel.arrays
+    assert ka.n % replay_kernel._CHUNK != 0
+    assert ka.n_chunks == -(-ka.n // replay_kernel._CHUNK)
+    batched = simulate_many(trace, machines)
+    for got, want in zip(
+        (stats_to_record(s) for s in batched),
+        _inline_records(trace, machines),
+    ):
+        assert got == want
+
+
+# ---------------------------------------------------------------------------
+# Gating: thresholds, disabled kernel, missing numpy
+# ---------------------------------------------------------------------------
+
+def test_short_trace_threshold_skips_precompute(small_trace, monkeypatch):
+    """Below ``_PRECOMPUTE_MIN_N`` the stream path declines up front
+    (the adpcm_encode regression fix) and the inline loop still
+    produces the stats."""
+    monkeypatch.setattr(precompute, "_PRECOMPUTE_MIN_N", 10**9)
+    machine = MachineConfig().with_earlygen(
+        EarlyGenConfig(16, 0, SelectionMode.HARDWARE)
+    )
+    assert warm_precompute(
+        small_trace, machine, [machine.earlygen]
+    ) is None
+    assert precompute.try_fast(
+        TimingSimulator(small_trace, machine), build=True
+    ) is None
+    before = precompute.replay_path_counts()
+    (batched,) = simulate_many(small_trace, [machine])
+    after = precompute.replay_path_counts()
+    assert after.get("inline:short-trace", 0) > before.get(
+        "inline:short-trace", 0
+    )
+    inline = stats_to_record(
+        TimingSimulator(small_trace, machine)._run_inline()
+    )
+    assert stats_to_record(batched) == inline
+
+
+def test_warm_kernel_degrades_to_zero():
+    assert warm_kernel(None) == 0.0
+
+
+@needs_numpy
+def test_disabled_kernel_env_is_byte_identical(big_trace, monkeypatch):
+    egs = [
+        EarlyGenConfig(16, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(32, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(64, 0, SelectionMode.HARDWARE),
+        EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+    ]
+    machines = _sweep_machines(egs)
+    with_kernel = [
+        stats_to_record(s) for s in simulate_many(big_trace, machines)
+    ]
+    monkeypatch.setenv("REPRO_DISABLE_KERNEL", "1")
+    assert not replay_kernel.kernel_available()
+    # Fresh memo so the disabled run actually replays.
+    pre = precompute.get_precompute(big_trace, machines[0])
+    pre._stats_memo.clear()
+    without = [
+        stats_to_record(s) for s in simulate_many(big_trace, machines)
+    ]
+    assert with_kernel == without
+
+
+def test_no_numpy_subprocess_is_byte_identical(tmp_path):
+    """REPRO_NO_NUMPY=1 (import-level numpy removal) reproduces the
+    same stats records as the kernel run, in a fresh interpreter."""
+    script = r"""
+import json, random, sys
+from repro.isa import parse_asm
+from repro.sim import precompute
+from repro.sim.executor import execute
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.precompute import simulate_many
+sys.path.insert(0, {testdir!r})
+from test_pipeline_parity import _random_asm
+from golden_cases import stats_to_record
+
+precompute._PRECOMPUTE_MIN_N = 0
+trace = execute(parse_asm(_random_asm(random.Random(0x9A11)))).trace
+machines = [
+    MachineConfig().with_earlygen(EarlyGenConfig(16, 0, SelectionMode.HARDWARE)),
+    MachineConfig().with_earlygen(EarlyGenConfig(32, 0, SelectionMode.HARDWARE)),
+    MachineConfig().with_earlygen(EarlyGenConfig(64, 0, SelectionMode.HARDWARE)),
+    MachineConfig().with_earlygen(EarlyGenConfig(0, 2, SelectionMode.COMPILER)),
+]
+print(json.dumps([stats_to_record(s) for s in simulate_many(trace, machines)]))
+"""
+    testdir = str(Path(__file__).resolve().parent)
+    script = script.format(testdir=testdir)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    outputs = []
+    for extra_env in ({}, {"REPRO_NO_NUMPY": "1"}):
+        env = dict(os.environ, PYTHONPATH=src, **extra_env)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.append(proc.stdout.strip().splitlines()[-1])
+    assert outputs[0] == outputs[1]
