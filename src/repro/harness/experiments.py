@@ -369,6 +369,8 @@ def eg_tag(earlygen: EarlyGenConfig, cache_key: Optional[str] = None) -> str:
         f"t{earlygen.table_entries}_r{earlygen.cached_regs}"
         f"_{earlygen.selection.value}"
     )
+    if earlygen.table_entries and earlygen.predictor != "stride":
+        tag += f"_{earlygen.predictor}"
     if cache_key:
         tag += f"+{cache_key}"
     return tag
@@ -692,4 +694,108 @@ def table4(
             else:
                 summary[key] = sum(r[key] for r in rows) / len(rows)
         rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Predictor-backend ablation (beyond the paper: the speculation zoo)
+# ---------------------------------------------------------------------------
+
+#: The hardware context every backend is compared in: the paper's
+#: proposed configuration (256-entry table + 1 compiler-directed
+#: register), with only the prediction backend swapped.
+ABLATION_TABLE_ENTRIES = 256
+ABLATION_CACHED_REGS = 1
+
+
+def ablation_config(backend: str) -> EarlyGenConfig:
+    """The proposed-config variant running *backend* on the P path."""
+    return EarlyGenConfig(
+        ABLATION_TABLE_ENTRIES, ABLATION_CACHED_REGS,
+        SelectionMode.COMPILER, predictor=backend,
+    )
+
+
+def predictor_ablation(
+    ctx: ExperimentContext,
+    backends: List[str],
+    names: Optional[List[str]] = None,
+) -> List[dict]:
+    """Speedup of each predictor backend on the proposed configuration.
+
+    One row per workload (both suites by default): the dynamic
+    prediction-class share (the loads the backends actually compete
+    on) and the speedup over the no-early-generation baseline with
+    each backend driving the prediction path.  Per-suite and overall
+    geomean summary rows close the table.
+
+    All of a workload's backend configs are replayed in one
+    :func:`repro.sim.precompute.simulate_many` batch, so the sweep
+    shares one trace precompute (and, with numpy, one replay-kernel
+    donor neighbourhood per backend) instead of simulating per config.
+    """
+    from repro.sim.precompute import simulate_many
+
+    if names is None:
+        names = [n for s in ("spec", "mediabench")
+                 for n in workload_names(s)]
+    rows = []
+    for name in names:
+        run = ctx.run(name)
+        suite = get_workload(name).suite
+        dynamic = run.get_profile().dynamic_class_shares()
+        # The baseline and every backend config go into one batch even
+        # when some are already cached: the batch width is what arms
+        # the replay kernel (see _KERNEL_MIN_SWEEP), and a cached
+        # config re-replays from the shared precompute for near free.
+        configs: List = [BASELINE]
+        keys: List = [None]
+        for backend in backends:
+            eg = ablation_config(backend)
+            configs.append(eg)
+            keys.append((eg, None))
+        if configs:
+            stats_list = simulate_many(
+                run.trace, configs, machine=ctx.machine,
+                span_tags=[{
+                    "workload": name,
+                    "config": ("baseline" if key is None
+                               else eg_tag(key[0])),
+                } for key in keys],
+            )
+            for key, stats in zip(keys, stats_list):
+                if key is None:
+                    run.baseline = stats
+                else:
+                    run._sims[key] = stats
+        row = {
+            "benchmark": name,
+            "suite": suite,
+            "dyn_pd": dynamic["p"] * 100,
+        }
+        for backend in backends:
+            row[backend] = ctx.speedup(name, ablation_config(backend))
+        rows.append(row)
+
+    def summary(label: str, members: List[dict]) -> dict:
+        out = {"benchmark": label, "suite": "", "dyn_pd":
+               sum(r["dyn_pd"] for r in members) / len(members)}
+        for backend in backends:
+            out[backend] = _geomean([r[backend] for r in members])
+        return out
+
+    suites = []
+    for row in rows:
+        if row["suite"] not in suites:
+            suites.append(row["suite"])
+    members_by_suite = {
+        s: [r for r in rows if r["suite"] == s] for s in suites
+    }
+    if len(suites) > 1:
+        for s in suites:
+            rows.append(summary(f"geomean ({s})", members_by_suite[s]))
+    if rows:
+        rows.append(summary("geomean", [r for r in rows
+                                        if not str(r["benchmark"])
+                                        .startswith("geomean")]))
     return rows

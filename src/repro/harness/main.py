@@ -7,6 +7,7 @@ Usage::
                                  [--checkpoint-dir DIR] [--profile]
                                  [--result-cache DIR]
                                  [--workers URL[,URL...]]
+                                 [--predictor NAME[,NAME...]]
                                  [--inject WORKLOAD=MODE]...
 
 Prints the paper-style tables to stdout; at ``--scale 1.0`` this is the
@@ -200,6 +201,12 @@ def main(argv=None) -> int:
                         "repro.service coordinators (round-robin); "
                         "their lease-based fault recovery replaces the "
                         "local retry policy")
+    parser.add_argument("--predictor", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="also print the predictor-backend ablation "
+                        "table comparing these prediction backends "
+                        "('all' = every registered backend) on the "
+                        "proposed configuration")
     parser.add_argument("--no-verify-ir", action="store_true",
                         help="skip the per-pass IR verifier")
     parser.add_argument("--trace-out", default=None, metavar="DIR",
@@ -209,6 +216,24 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    predictor_backends = []
+    if args.predictor is not None:
+        from repro.sim.predictors import backend_names
+        registered = backend_names()
+        requested = [b.strip() for b in args.predictor.split(",")
+                     if b.strip()]
+        if not requested:
+            parser.error("--predictor needs at least one backend name")
+        if requested == ["all"]:
+            requested = list(registered)
+        for backend in requested:
+            if backend not in registered:
+                parser.error(
+                    f"--predictor: unknown backend {backend!r} "
+                    f"(registered: {', '.join(registered)})"
+                )
+            if backend not in predictor_backends:
+                predictor_backends.append(backend)
     worker_urls = []
     if args.workers is not None:
         worker_urls = [u.strip() for u in args.workers.split(",")
@@ -292,6 +317,17 @@ def main(argv=None) -> int:
             "run", scale=args.scale, suite=args.suite, jobs=args.jobs
         ):
             outcomes = runner.run_suite(names)
+            ablation_rows = None
+            if predictor_backends:
+                from repro.harness.experiments import predictor_ablation
+                ok_names = [o.name for o in outcomes if not o.degraded]
+                with tracer.span(
+                    "predictor-ablation",
+                    backends=",".join(predictor_backends),
+                ):
+                    ablation_rows = predictor_ablation(
+                        ctx, predictor_backends, names=ok_names
+                    )
         if args.trace_out is not None:
             cli = list(argv) if argv is not None else list(sys.argv[1:])
             _write_run_manifest(args, cli, ctx, outcomes)
@@ -312,6 +348,19 @@ def main(argv=None) -> int:
             columns=list(spec.headers),
             headers=spec.headers,
             title=spec.title,
+        ))
+        sys.stdout.flush()
+
+    if predictor_backends and ablation_rows:
+        from repro.harness.reporting import predictor_ablation_headers
+        headers = predictor_ablation_headers(predictor_backends)
+        print()
+        print(format_table(
+            ablation_rows,
+            columns=list(headers),
+            headers=headers,
+            title="Predictor backend ablation "
+                  "(speedup vs no early generation)",
         ))
         sys.stdout.flush()
 

@@ -103,3 +103,18 @@ TABLE3_HEADERS = {
 }
 
 TABLE4_HEADERS = dict(TABLE2_HEADERS, speedup="Speedup")
+
+
+def predictor_ablation_headers(backends: Sequence[str]) -> Dict[str, str]:
+    """Headers for the predictor backend-comparison table.
+
+    One speedup column per backend; column order follows *backends*.
+    """
+    headers = {
+        "benchmark": "Benchmark",
+        "suite": "Suite",
+        "dyn_pd": "D.PD%",
+    }
+    for backend in backends:
+        headers[backend] = backend
+    return headers

@@ -103,14 +103,16 @@ class JobSpec:
     table_entries: int = 256
     cached_regs: int = 1
     selection: str = "compiler"
+    predictor: str = "stride"
+    predictor_params: Optional[dict] = None
     opt_level: int = 2
     verify_ir: bool = False
     kind: str = "simulate"
 
     #: Fields accepted by :meth:`from_dict` (anything else is a 400).
     FIELDS = ("workload", "source", "scale", "table_entries",
-              "cached_regs", "selection", "opt_level", "verify_ir",
-              "kind")
+              "cached_regs", "selection", "predictor",
+              "predictor_params", "opt_level", "verify_ir", "kind")
 
     def validate(self) -> "JobSpec":
         if self.kind not in JOB_KINDS:
@@ -145,17 +147,35 @@ class JobSpec:
                 f"'selection' must be one of "
                 f"{sorted(m.value for m in SelectionMode)}"
             ) from None
+        if not isinstance(self.predictor, str):
+            raise JobValidationError("'predictor' must be a string")
+        if self.predictor_params is not None and not isinstance(
+            self.predictor_params, dict
+        ):
+            raise JobValidationError(
+                "'predictor_params' must be a JSON object"
+            )
         try:
             self.earlygen()
-        except ValueError as exc:
+        except (TypeError, ValueError) as exc:
             raise JobValidationError(str(exc)) from None
         return self
 
     def earlygen(self) -> EarlyGenConfig:
+        """The early-gen config this spec describes.
+
+        ``predictor_params`` arrives as a JSON object; EarlyGenConfig
+        canonicalizes it to a sorted tuple of pairs, so two specs that
+        spell the same params in different orders select the same
+        predictor state machine (their store keys still differ — the
+        canonical config, not the spec, keys the sim-side caches).
+        """
         return EarlyGenConfig(
             table_entries=self.table_entries,
             cached_regs=self.cached_regs,
             selection=SelectionMode(self.selection),
+            predictor=self.predictor,
+            predictor_params=self.predictor_params or (),
         )
 
     def label(self) -> str:
@@ -187,8 +207,11 @@ class JobSpec:
 def _config_tag(earlygen: EarlyGenConfig) -> str:
     if not earlygen.enabled:
         return "baseline"
-    return (f"t{earlygen.table_entries}_r{earlygen.cached_regs}"
-            f"_{earlygen.selection.value}")
+    tag = (f"t{earlygen.table_entries}_r{earlygen.cached_regs}"
+           f"_{earlygen.selection.value}")
+    if earlygen.predictor != "stride":
+        tag += f"_{earlygen.predictor}"
+    return tag
 
 
 def _execute_rows(spec: JobSpec, machine: MachineConfig) -> dict:

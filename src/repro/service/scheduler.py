@@ -453,8 +453,16 @@ class JobScheduler:
         Returns ``{"abandon": True}`` when the named lease is no longer
         current — the job finished, timed out, or was requeued to
         another worker — so the holder stops wasting effort.
+
+        A heartbeat that arrives *after* the lease's expiry instant but
+        before the reaper has swept it is a revocation, not a renewal:
+        the lease is torn down here, the job requeued, and the worker
+        told to abandon (``"revoked": True``).  Re-arming ``expires``
+        in that window would resurrect a lease the rest of the system
+        is entitled to treat as dead, and the job could then run twice.
         """
         now = time.monotonic()
+        revoked = None
         with self._lock:
             worker = self._remote.get(worker_id)
             if worker is None:
@@ -469,10 +477,31 @@ class JobScheduler:
                     or lease.id != lease_id
                     or lease.worker_id != worker_id):
                 return {"ok": True, "abandon": True}
-            lease.expires = now + self.lease_ttl
-            if progress is not None:
-                lease.progress = progress
-            return {"ok": True, "abandon": False}
+            if now >= lease.expires:
+                if worker.lease is lease:
+                    worker.lease = None
+                job.lease = None
+                self._lease_expired += 1
+                revoked = (job, lease)
+            else:
+                lease.expires = now + self.lease_ttl
+                if progress is not None:
+                    lease.progress = progress
+        if revoked is not None:
+            job, lease = revoked
+            tracer = obs.current()
+            if tracer.enabled:
+                tracer.event("service.lease.expired",
+                             job=job.spec.label(),
+                             worker_id=worker_id, late_heartbeat=True)
+            self._retry_or_fail(
+                job, "LeaseExpired",
+                f"worker {worker_id} heartbeat after lease {lease.id} "
+                "expired",
+                leased=True,
+            )
+            return {"ok": True, "abandon": True, "revoked": True}
+        return {"ok": True, "abandon": False}
 
     def complete(self, worker_id: str, job_id: str, lease_id: str,
                  ok: bool, result=None, error: str = "",

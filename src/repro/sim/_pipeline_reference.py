@@ -33,7 +33,7 @@ from repro.sim.btb import BranchTargetBuffer
 from repro.sim.cache import DirectMappedCache
 from repro.sim.machine import SelectionMode
 from repro.sim.stats import SimStats
-from repro.sim.stride_table import AddressPredictionTable
+from repro.sim.predictors import create as _create_predictor
 
 #: Pipeline drain after the last issue (EXE -> MEM -> WB).
 _DRAIN = 3
@@ -72,11 +72,11 @@ def reference_run(sim) -> SimStats:
     dcache = DirectMappedCache(cfg.dcache)
     btb = BranchTargetBuffer(cfg.btb_entries)
 
-    table = (
-        AddressPredictionTable(eg.table_entries, eg.table_confidence_bits)
-        if eg.table_entries
-        else None
-    )
+    # The registry returns the paper's AddressPredictionTable for the
+    # default (stride) backend; other backends drop in behind the same
+    # probe/update surface.
+    table = _create_predictor(eg)
+    table_demand = table is not None and table.trains_on_demand
     use_compiler = eg.selection is SelectionMode.COMPILER
     raddr: Optional[RAddr] = None
     regcache: Optional[RegisterCache] = None
@@ -210,7 +210,15 @@ def reference_run(sim) -> SimStats:
                             dcache.access(predicted)
                     else:
                         stats.spec_no_port += 1
-                table.update(inst.addr, ea, predicted)
+                if table_demand:
+                    # Demand-outcome training signal, probed before the
+                    # demand access below mutates the cache (the update
+                    # itself never touches the cache, so this equals
+                    # the access outcome).
+                    table.update(inst.addr, ea, predicted,
+                                 dcache.probe(ea))
+                else:
+                    table.update(inst.addr, ea, predicted)
 
             elif scheme == "e":
                 stats.calc_loads += 1

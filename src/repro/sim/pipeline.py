@@ -61,7 +61,8 @@ from repro.sim.btb import BranchTargetBuffer
 from repro.sim.cache import DirectMappedCache
 from repro.sim.machine import BASELINE, EarlyGenConfig, MachineConfig, SelectionMode
 from repro.sim.stats import SimStats
-from repro.sim.stride_table import AddressPredictionTable, TableEntry
+from repro.sim.predictors import create as _create_predictor
+from repro.sim.predictors.stride import TableEntry
 from repro.sim.trace import Trace
 
 #: Pipeline drain after the last issue (EXE -> MEM -> WB).
@@ -430,19 +431,24 @@ class TimingSimulator:
             dbs = dim = dts = 0
         dc_miss = 0
 
-        table = (
-            AddressPredictionTable(eg.table_entries, eg.table_confidence_bits)
-            if eg.table_entries
-            else None
-        )
+        # All backends come from the predictor registry; the stride
+        # reference backend is what the registry returns for the default
+        # EarlyGenConfig, so this is byte-identical to constructing the
+        # AddressPredictionTable directly.
+        table = _create_predictor(eg)
         tb_probe = table.probe if table is not None else None
         tb_update = table.update if table is not None else None
+        # Backends that train on the demand d-cache outcome get it as an
+        # extra update argument (probed before the update; exact because
+        # nothing touches the cache between here and the demand access).
+        tb_demand = table is not None and table.trains_on_demand
         # Same treatment for the paper's confidence-free prediction
         # table: drive the entry state machines in place.  (The table's
         # own probe/hit counters never reach SimStats, so the inlined
-        # path does not maintain them.)  Confidence-counter configs use
-        # the method path.
-        tb_inline = table is not None and not table.confidence_bits
+        # path does not maintain them.)  Confidence-counter configs and
+        # non-stride backends use the method path.
+        tb_inline = (table is not None and eg.predictor == "stride"
+                     and not table.confidence_bits)
         if tb_inline:
             tbl = table._table
             t_im = table._index_mask
@@ -676,6 +682,13 @@ class TimingSimulator:
                         else:
                             entry.st = ea - entry.pa
                             entry.pa = ea
+                    elif tb_demand:
+                        if dct is not None:
+                            cblk = ea >> dbs
+                            dm_hit = dct[cblk & dim] == cblk >> dts
+                        else:
+                            dm_hit = dc_probe(ea)
+                        tb_update(addr, ea, predicted, dm_hit)
                     else:
                         tb_update(addr, ea, predicted)
 

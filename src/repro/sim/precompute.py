@@ -12,11 +12,14 @@ order:
   the hit/miss stream and the fill-state timeline depend only on the
   address stream — *except* for wrong-address prediction accesses,
   which pollute the cache with the mispredicted block (see below).
-* **Stride-predictor outcomes** — the table is probed and updated
+* **Predictor outcomes** — the backend is probed and updated
   unconditionally for every load routed to the prediction path, so the
-  outcome stream depends only on ``(table_entries, confidence_bits)``
-  and on *which* loads are routed there (the routing mask), never on
-  ports, latencies, or the calc path.
+  outcome stream depends only on the backend's canonical
+  ``predictor_key`` (backend name, capacity, confidence, params) and
+  on *which* loads are routed there (the routing mask), never on
+  ports, latencies, or the calc path.  Backends that train on demand
+  d-cache outcomes additionally see the demand-hit stream, which is
+  itself a pure function of the routing mask and the exclusion set.
 * **Early-calc cache outcomes** — ``R_addr`` bindings and BRIC probes
   likewise evolve only with the sequence of calc-routed loads.
 
@@ -74,7 +77,11 @@ from repro.sim.pipeline import (
     _precompute_frontend,
 )
 from repro.sim.stats import SimStats
-from repro.sim.stride_table import AddressPredictionTable, TableEntry
+from repro.sim.predictors import (
+    create as _create_predictor,
+    predictor_key as _predictor_key,
+)
+from repro.sim.predictors.stride import TableEntry
 from repro.sim.trace import Trace
 
 #: Per-program bound on cached machine variants (front-end + dcache
@@ -173,8 +180,8 @@ class TracePrecompute:
     Per-config streams are derived lazily and cached with an LRU bound:
 
     * ``dstream`` — demand-hit / prediction-outcome codes per dynamic
-      load, keyed ``(table_entries, confidence_bits, p-mask)``, plus
-      the demand/store/pollution miss totals,
+      load, keyed ``(predictor_key, p-mask)``, plus the
+      demand/store/pollution miss totals,
     * ``estream`` — calc-path dispatch-candidate codes, keyed
       ``(cached_regs, use_raddr, e-mask)``.
 
@@ -348,8 +355,7 @@ class TracePrecompute:
         if not eg.table_entries or 1 not in route:
             return None
         return (
-            eg.table_entries,
-            eg.table_confidence_bits,
+            _predictor_key(eg),
             route.translate(_PMASK_TAB),
         )
 
@@ -383,8 +389,7 @@ class TracePrecompute:
             key = None
         else:
             key = (
-                eg.table_entries,
-                eg.table_confidence_bits,
+                _predictor_key(eg),
                 route.translate(_PMASK_TAB),
                 excluded,
             )
@@ -394,15 +399,15 @@ class TracePrecompute:
             streams.move_to_end(key)
             return hit
         if key is None:
-            built = self._build_dstream(0, 0, None, excluded)
+            built = self._build_dstream(None, None, excluded)
         else:
-            built = self._build_dstream(key[0], key[1], key[2], excluded)
+            built = self._build_dstream(eg, key[1], excluded)
         while len(streams) >= _STREAM_LIMIT:
             streams.popitem(last=False)
         streams[key] = built
         return built
 
-    def _build_dstream(self, entries: int, conf: int,
+    def _build_dstream(self, eg: Optional[EarlyGenConfig],
                        pmask: Optional[bytes],
                        excluded: frozenset) -> tuple:
         dc = DirectMappedCache(self.dcache_cfg)
@@ -415,8 +420,17 @@ class TracePrecompute:
         dc_access = dc.access
         dc_write = dc.write_access
 
-        table = AddressPredictionTable(entries, conf) if entries else None
-        tb_inline = table is not None and not conf
+        # The backend comes from the same registry factory as both
+        # pipelines, so the stream replays the identical state machine.
+        table = (_create_predictor(eg)
+                 if eg is not None and pmask is not None else None)
+        tb_inline = (table is not None and eg.predictor == "stride"
+                     and not eg.table_confidence_bits)
+        # Demand-trained backends consume the demand outcome, so their
+        # update is deferred until after the demand access below (the
+        # update itself never touches the cache — same outcome as the
+        # pipelines' probe-before-access).
+        tb_demand = table is not None and table.trains_on_demand
         if tb_inline:
             tbl = table._table
             t_im = table._index_mask
@@ -435,7 +449,8 @@ class TracePrecompute:
             idx += 1
             if mk == 0:
                 code = 0
-                if pmask is not None and pmask[li]:
+                probed = pmask is not None and pmask[li]
+                if probed:
                     pc_addr = lpc[li]
                     if tb_inline:
                         tword = pc_addr >> 2
@@ -501,7 +516,7 @@ class TracePrecompute:
                         else:
                             entry.st = ea - entry.pa
                             entry.pa = ea
-                    elif table is not None:
+                    elif not tb_demand:
                         tb_update(pc_addr, ea, predicted)
                 # The demand access happens for every load, whatever
                 # the speculation outcome: a successful speculative
@@ -521,6 +536,8 @@ class TracePrecompute:
                     code |= 1
                 else:
                     dmiss += 1
+                if probed and tb_demand:
+                    tb_update(pc_addr, ea, predicted, bool(code & 1))
                 codes[li] = code
                 li += 1
             else:
@@ -698,12 +715,15 @@ def _count_path(path: str) -> None:
     _replay_paths[path] = _replay_paths.get(path, 0) + 1
 
 
-def _decline(reason: str) -> None:
+def _decline(reason: str, eg=None) -> None:
     """Record that the stream path handed this run to the inline loop."""
     _count_path("inline:" + reason)
     tracer = obs.current()
     if tracer.enabled:
-        tracer.event("sim.replay", path="inline", reason=reason)
+        tags = {"path": "inline", "reason": reason}
+        if eg is not None:
+            tags["predictor"] = eg.predictor
+        tracer.event("sim.replay", **tags)
 
 
 def _copy_stats(stats: SimStats) -> SimStats:
@@ -736,25 +756,25 @@ def try_fast(sim: TimingSimulator, build: bool = False,
         and eg.selection is SelectionMode.HARDWARE
     ):
         # Run-time (dual-path) selection is timing-dependent.
-        _decline("hw-dual")
+        _decline("hw-dual", eg)
         return None
     trace = sim.trace
     if _PRECOMPUTE_MIN_N and len(trace.uids) < _PRECOMPUTE_MIN_N:
-        _decline("short-trace")
+        _decline("short-trace", eg)
         return None
     pre = get_precompute(trace, cfg, build=build)
     if pre is None:
-        _decline("cold")
+        _decline("cold", eg)
         return None
     if pre.records is None:
-        _decline("unstreamable")
+        _decline("unstreamable", eg)
         return None
     if not _watchdogs_compatible(pre, sim):
-        _decline("watchdog")
+        _decline("watchdog", eg)
         return None
     sb = _scheme_bytes(trace.program, eg, sim.spec_override)
     if sb is None:
-        _decline("unstreamable")
+        _decline("unstreamable", eg)
         return None
     route = pre.route_for(sb)
     ecodes = pre.estream(eg, route)
@@ -810,6 +830,7 @@ def try_fast(sim: TimingSimulator, build: bool = False,
                     table=eg.table_entries,
                     regs=eg.cached_regs,
                     selection=eg.selection.value,
+                    predictor=eg.predictor,
                     **info,
                 )
             _emit_counters(sim, eg, stats, ra_interlock)
@@ -823,7 +844,7 @@ def try_fast(sim: TimingSimulator, build: bool = False,
         patched += len(diverged)
         excluded = excluded.symmetric_difference(diverged)
     _divergence_fallbacks += 1
-    _decline("divergence-fallback")
+    _decline("divergence-fallback", eg)
     return None
 
 
@@ -1286,6 +1307,7 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
     non-identical :class:`SimStats`.
     """
     import argparse
+    import dataclasses
     from dataclasses import asdict
 
     from repro.compiler.profile_feedback import (
@@ -1317,7 +1339,26 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail unless the array kernel actually replayed configs "
         "(CI kernel-parity job: proves numpy was present and used)",
     )
+    parser.add_argument(
+        "--predictor", default=None, metavar="NAME",
+        help="run every table-bearing config with this prediction "
+        "backend instead of the default stride table",
+    )
+    parser.add_argument(
+        "--require-stream", action="store_true",
+        help="fail if any table-bearing config fell back to the "
+        "inline pipeline (CI predictor-parity job: proves the "
+        "backend streams through the precompute fast path; dual-"
+        "predictor hardware configs are exempt — they never stream)",
+    )
     args = parser.parse_args(argv)
+    if args.predictor is not None:
+        from repro.sim.predictors import backend_names
+        if args.predictor not in backend_names():
+            parser.error(
+                f"unknown predictor backend {args.predictor!r} "
+                f"(registered: {', '.join(backend_names())})"
+            )
 
     # The gate's whole point is exercising the stream path, so the
     # short-trace threshold is disabled for every workload.
@@ -1325,12 +1366,22 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
     _PRECOMPUTE_MIN_N = 0
 
     suites = ("spec", "mediabench") if args.suite == "all" else (args.suite,)
+    if args.workloads:
+        known = {n for s in suites for n in workload_names(s)}
+        unknown = sorted(set(args.workloads) - known)
+        if unknown:
+            parser.error(f"unknown workloads for --suite {args.suite}: "
+                         f"{', '.join(unknown)}")
     ctx = ExperimentContext(scale=args.scale)
     mismatches = 0
     checked = 0
     for suite in suites:
         requests = sim_requests(suite)
-        for name in workload_names(suite):
+        names = [
+            n for n in workload_names(suite)
+            if not args.workloads or n in args.workloads
+        ]
+        for name in names:
             run = ctx.run(name)
             override = None
             if any(r.use_profile_override for r in requests):
@@ -1339,6 +1390,12 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
                     run.get_profile().predictor,
                 )
             configs = [BASELINE] + [r.earlygen for r in requests]
+            if args.predictor is not None:
+                configs = [
+                    dataclasses.replace(eg, predictor=args.predictor)
+                    if eg.table_entries else eg
+                    for eg in configs
+                ]
             overrides = [None] + [
                 override if r.use_profile_override else None
                 for r in requests
@@ -1374,6 +1431,17 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
     print("paths: " + ", ".join(
         f"{k}={v}" for k, v in sorted(paths.items())
     ))
+    if args.require_stream:
+        fallbacks = {
+            k: v for k, v in paths.items()
+            if k.startswith("inline:") and k != "inline:hw-dual"
+        }
+        if fallbacks:
+            print("require-stream: configs fell back to the inline "
+                  "pipeline: " + ", ".join(
+                      f"{k}={v}" for k, v in sorted(fallbacks.items())
+                  ))
+            return 1
     if args.require_kernel:
         kernel_runs = sum(
             v for k, v in paths.items() if k.startswith("kernel-")

@@ -1,0 +1,198 @@
+"""Hermes-style perceptron gate over the stride address generator.
+
+Hermes (Bera et al., PAPERS.md) predicts whether a load goes off-chip
+with a multi-feature hashed perceptron and uses the prediction to start
+the slow path early.  Transplanted to this machine's question — *should
+the speculative access for this load dispatch at all?* — the perceptron
+becomes a learned replacement for the stride table's saturating
+confidence counter:
+
+* address generation is unchanged Fig. 3 stride hardware (an internal
+  :class:`~repro.sim.predictors.stride.AddressPredictionTable` with no
+  confidence bits supplies the candidate address);
+* a hashed-PC weight row dotted with a global history register of
+  recent *prediction outcomes* decides whether the candidate is
+  trusted.  ``sum >= 0`` dispatches; ``sum < 0`` suppresses (counted in
+  ``suppressed``, like the stride counter extension);
+* training follows the standard perceptron rule (Jiménez & Lin): on
+  every routed load whose entry produced a candidate, if the sign
+  disagrees with the observed outcome or ``|sum| <= theta``, each
+  weight moves toward the outcome along its history bit, saturating at
+  ``weight_bits`` signed bits.
+
+The outcome fed to both training and the history register is "the
+stride candidate matched the computed address", which depends only on
+the PC/address sequence of routed loads — never on whether the dispatch
+actually happened — so the backend keeps the timing-independence
+contract the precompute fast path relies on.
+
+Parameters (``EarlyGenConfig.predictor_params``): ``history`` (register
+length, default 8), ``weights`` (rows in the weight table, default 64),
+``theta`` (training threshold; 0, the default, derives the classic
+``floor(1.93 * history + 14)``), ``weight_bits`` (signed weight width,
+default 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.predictors.base import Predictor, register
+from repro.sim.predictors.stride import AddressPredictionTable
+
+__all__ = ["PerceptronPredictor"]
+
+
+@register
+class PerceptronPredictor(Predictor):
+    """Stride address generation gated by a hashed perceptron."""
+
+    name = "perceptron"
+    trains_on_demand = False
+    PARAM_DEFAULTS: Dict[str, int] = {
+        "history": 8,
+        "weights": 64,
+        "theta": 0,
+        "weight_bits": 6,
+    }
+
+    __slots__ = ("entries", "confidence_bits", "_params", "_table",
+                 "_history_len", "_hist_mask", "_rows", "_row_mask",
+                 "_row_bits", "_theta", "_w_max", "_weights", "_history",
+                 "probes", "tag_hits", "predictions", "correct",
+                 "suppressed")
+
+    def __init__(self, entries: int, history: int = 8, weights: int = 64,
+                 theta: int = 0, weight_bits: int = 6):
+        self.entries = entries
+        self.confidence_bits = 0
+        self._params = (("history", history), ("theta", theta),
+                        ("weight_bits", weight_bits), ("weights", weights))
+        self._table = AddressPredictionTable(entries, 0)
+        self._history_len = history
+        self._hist_mask = (1 << history) - 1
+        self._rows = weights
+        self._row_mask = weights - 1
+        self._row_bits = weights.bit_length() - 1
+        self._theta = theta if theta > 0 else int(1.93 * history + 14)
+        self._w_max = (1 << (weight_bits - 1)) - 1
+        self.reset()
+
+    @classmethod
+    def validate_config(cls, table_entries: int, confidence_bits: int,
+                        params: Tuple[Tuple[str, int], ...]) -> None:
+        if confidence_bits:
+            raise ValueError(
+                "the perceptron backend carries its own dispatch gate; "
+                "table_confidence_bits must be 0")
+        resolved = cls.resolved_params(params)
+        if not 1 <= resolved["history"] <= 24:
+            raise ValueError("perceptron history must be in [1, 24]")
+        rows = resolved["weights"]
+        if rows <= 0 or rows & (rows - 1) or rows > 4096:
+            raise ValueError(
+                "perceptron weights must be a power of two in [1, 4096]")
+        if resolved["theta"] < 0:
+            raise ValueError("perceptron theta must be >= 0 (0 derives "
+                             "the classic 1.93*history + 14)")
+        if not 2 <= resolved["weight_bits"] <= 8:
+            raise ValueError("perceptron weight_bits must be in [2, 8]")
+
+    @classmethod
+    def from_config(cls, table_entries: int, confidence_bits: int,
+                    params: Tuple[Tuple[str, int], ...]
+                    ) -> "PerceptronPredictor":
+        cls.validate_config(table_entries, confidence_bits, params)
+        resolved = cls.resolved_params(params)
+        return cls(table_entries, history=resolved["history"],
+                   weights=resolved["weights"], theta=resolved["theta"],
+                   weight_bits=resolved["weight_bits"])
+
+    def params_key(self) -> tuple:
+        return (self.name, self.entries, 0, self._params)
+
+    def reset(self) -> None:
+        self._table.reset()
+        self._weights = [[0] * (self._history_len + 1)
+                         for _ in range(self._rows)]
+        self._history = 0
+        self.probes = 0
+        self.tag_hits = 0
+        self.predictions = 0
+        self.correct = 0
+        #: Candidates withheld by a negative perceptron sum.
+        self.suppressed = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, pc: int):
+        """(candidate, tag_hit) from the stride engine, no counters."""
+        index, tag = self._table._split(pc)
+        entry = self._table._table[index]
+        if entry is None or entry.tag != tag:
+            return None, False
+        return entry.predict(), True
+
+    def _dot(self, pc: int):
+        """(row index, perceptron sum) for *pc* and the current history."""
+        word = pc >> 2
+        row = (word ^ (word >> self._row_bits)) & self._row_mask
+        weights = self._weights[row]
+        total = weights[0]
+        hist = self._history
+        for i in range(1, self._history_len + 1):
+            if hist & 1:
+                total += weights[i]
+            else:
+                total -= weights[i]
+            hist >>= 1
+        return row, total
+
+    # -- protocol ----------------------------------------------------------
+
+    def probe(self, pc: int) -> Optional[int]:
+        """The stride candidate, gated by the perceptron sign."""
+        self.probes += 1
+        candidate, hit = self._peek(pc)
+        if not hit:
+            return None
+        self.tag_hits += 1
+        if candidate is None:
+            return None
+        _, total = self._dot(pc)
+        if total < 0:
+            self.suppressed += 1
+            return None
+        self.predictions += 1
+        return candidate
+
+    def update(self, pc: int, ca: int, predicted: Optional[int] = None,
+               demand_hit: Optional[bool] = None) -> None:
+        """Train the perceptron and advance the stride engine.
+
+        Re-derives the would-be candidate before touching the engine, so
+        the method is self-contained (no stashed probe state) and the
+        pair stays well-defined even under adversarial call orders.
+        ``demand_hit`` is accepted for uniformity and ignored.
+        """
+        if predicted is not None and predicted == ca:
+            self.correct += 1
+        candidate, hit = self._peek(pc)
+        if hit and candidate is not None:
+            taken = candidate == ca
+            row, total = self._dot(pc)
+            if (total >= 0) != taken or abs(total) <= self._theta:
+                weights = self._weights[row]
+                w_max = self._w_max
+                step = 1 if taken else -1
+                value = weights[0] + step
+                weights[0] = max(-w_max, min(w_max, value))
+                hist = self._history
+                for i in range(1, self._history_len + 1):
+                    agree = bool(hist & 1) == taken
+                    value = weights[i] + (1 if agree else -1)
+                    weights[i] = max(-w_max, min(w_max, value))
+                    hist >>= 1
+            self._history = (((self._history << 1) | int(taken))
+                             & self._hist_mask)
+        self._table.update(pc, ca)

@@ -62,6 +62,8 @@ from array import array
 from collections import OrderedDict, deque
 from typing import Optional
 
+from repro.sim.predictors import predictor_key as _predictor_key
+
 try:  # pragma: no cover - exercised via the no-numpy CI job
     if os.environ.get("REPRO_NO_NUMPY"):
         raise ImportError("numpy disabled by REPRO_NO_NUMPY")
@@ -277,16 +279,22 @@ class KernelState:
         donors[key] = _Donor(key, T, O)
 
     def pick_donor(self, key, nl):
-        """Nearest donor by stream diff density, or None."""
+        """Nearest same-backend donor by stream diff density, or None."""
         np = _np
-        route, dcodes, ecodes, excluded = key
+        pkey, route, dcodes, ecodes, excluded = key
         rv = np.frombuffer(route, dtype=np.uint8)
         dv = np.frombuffer(dcodes, dtype=np.uint8)
         ev = _ecview(ecodes, nl)
         best = None
         best_diff = None
         for dkey, donor in self.donors.items():
-            droute, ddcodes, decodes, dexcl = dkey
+            dpkey, droute, ddcodes, decodes, dexcl = dkey
+            if dpkey != pkey:
+                # Donor neighbourhoods never cross predictor backends:
+                # stream shapes correlate within one backend's sweep,
+                # and a cross-backend borrow would only waste a verify
+                # pass.
+                continue
             diff = int(
                 np.count_nonzero(
                     (rv != np.frombuffer(droute, dtype=np.uint8))
@@ -1132,7 +1140,7 @@ def replay(pre, cfg, route, dcodes, dtotals, ecodes, excluded,
     st = _state(pre)
     ka = st.ensure_arrays(pre)
     info["chunks"] = ka.n_chunks
-    key = (route, dcodes, ecodes, excluded)
+    key = (_predictor_key(cfg.earlygen), route, dcodes, ecodes, excluded)
     mc = _Mc(cfg)
     nl = ka.nl
     rv = _np.frombuffer(route, dtype=_np.uint8)

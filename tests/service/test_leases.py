@@ -302,3 +302,88 @@ def test_stop_strands_leased_jobs(tmp_path):
         sched.stop()
     assert job.status == "error"
     assert job.error_type == "SchedulerStopped"
+
+
+def _pause_reaper(sched):
+    """Stop the scheduler's poll loop without tearing the scheduler
+    down, so a test can hit the heartbeat path in the
+    expired-but-not-yet-reaped window deterministically.  ``_thread``
+    stays set (lease_job and friends require a started scheduler);
+    ``stop()`` afterwards still works (the join returns immediately).
+    """
+    sched._stop.set()
+    sched._wake.set()
+    sched._thread.join()
+
+
+def test_late_heartbeat_revokes_instead_of_rearming(tmp_path):
+    # A heartbeat arriving after the lease's expiry instant but before
+    # the reaper sweeps it must NOT re-arm the lease: it tears the
+    # lease down, requeues the job, and tells the worker to abandon.
+    sched = make_scheduler(tmp_path, lease_ttl=60.0, backoff=0.0)
+    try:
+        _pause_reaper(sched)
+        job = sched.submit(spec("m"))
+        w1 = sched.register_worker()["worker_id"]
+        w2 = sched.register_worker()["worker_id"]
+        first = sched.lease_job(w1)
+        assert first is not None and first["attempt"] == 1
+        # The lease passes its expiry with no reaper running.
+        job.lease.expires = time.monotonic() - 0.001
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=first["lease_id"])
+        assert beat["abandon"] is True
+        assert beat["revoked"] is True
+        # Revoked, not resurrected: no lease, job back in the queue.
+        assert job.lease is None
+        assert job.status == "queued"
+        assert sched.stats()["lease_expired"] == 1
+        assert sched.stats()["requeued"] == 1
+        # A second late heartbeat on the same dead lease is a plain
+        # abandon (nothing left to revoke) and must not requeue again.
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=first["lease_id"])
+        assert beat["abandon"] is True
+        assert "revoked" not in beat
+        assert sched.stats()["requeued"] == 1
+        # The obedient w1 aborts; w2 picks the job up and finishes it.
+        second = lease_until(sched, w2)
+        assert second is not None
+        assert second["job_id"] == job.id
+        assert second["attempt"] == 2
+        # w1's heartbeat against its old lease still says abandon even
+        # while w2 holds a live lease on the same job.
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=first["lease_id"])
+        assert beat["abandon"] is True
+        ack = sched.complete(w2, job.id, second["lease_id"], ok=True,
+                             result=valid_result(job))
+        assert ack["accepted"] is True
+        # Executed (to completion) exactly once.
+        stats = sched.stats()
+        assert stats["completed"] == 1
+        assert stats["duplicate_completions"] == 0
+        assert job.status == "done"
+    finally:
+        sched.stop()
+
+
+def test_live_heartbeat_still_renews(tmp_path):
+    # The revocation path must not break ordinary renewal: a heartbeat
+    # before expiry pushes the lease out by a fresh TTL.
+    sched = make_scheduler(tmp_path, lease_ttl=60.0)
+    try:
+        job = sched.submit(spec("n"))
+        w1 = sched.register_worker()["worker_id"]
+        leased = sched.lease_job(w1)
+        before = job.lease.expires
+        job.lease.expires = before - 30.0  # half-spent lease
+        beat = sched.heartbeat(w1, job_id=job.id,
+                               lease_id=leased["lease_id"],
+                               progress="halfway")
+        assert beat == {"ok": True, "abandon": False}
+        assert job.lease is not None
+        assert job.lease.expires > before - 1.0
+        assert job.lease.progress == "halfway"
+    finally:
+        sched.stop()
