@@ -430,7 +430,9 @@ def sim_requests(suite: str) -> List[SimRequest]:
         add(EarlyGenConfig(256, 1, SelectionMode.COMPILER))
         add(EarlyGenConfig(256, 1, SelectionMode.COMPILER),
             cache_key="profile", use_profile_override=True)
-    elif suite == "mediabench":
+    elif suite in ("mediabench", "gen"):
+        # Generated workloads report the Table-4-style row: the
+        # proposed compiler-selected configuration only.
         add(EarlyGenConfig(256, 1, SelectionMode.COMPILER))
     else:
         raise ValueError(f"unknown suite {suite!r}")

@@ -33,6 +33,7 @@ corrupt-output) for exercising that machinery end to end.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 import time
 from pathlib import Path
@@ -73,6 +74,44 @@ _SUITES = {
     "spec": ("spec",),
     "media": ("mediabench",),
 }
+
+
+def select_workloads(patterns):
+    """Resolve comma/glob ``--workloads`` patterns into workload names.
+
+    Each pattern is either an exact workload name (``gen:`` names
+    materialize on demand) or a glob matched against the registered
+    names (``'gen:*'``, ``'1*'``, ``'*decode*'``).  A pattern that
+    selects nothing raises :class:`ValueError` — silently running an
+    empty suite hides typos.  Order follows the patterns; duplicates
+    collapse to the first occurrence.
+    """
+    from repro.workloads import get_workload
+
+    selected = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matched = fnmatch.filter(workload_names(), pattern)
+            if not matched:
+                raise ValueError(
+                    f"--workloads pattern {pattern!r} matched no "
+                    f"registered workload (known: {workload_names()}); "
+                    "note that generated workloads only match globs "
+                    "after they are named exactly once"
+                )
+            for name in sorted(matched):
+                if name not in selected:
+                    selected.append(name)
+        else:
+            try:
+                workload = get_workload(pattern)
+            except (KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"--workloads: {exc.args[0] if exc.args else exc}"
+                ) from None
+            if workload.name not in selected:
+                selected.append(workload.name)
+    return selected
 
 
 def _write_profile(args, outcomes) -> None:
@@ -164,6 +203,14 @@ def main(argv=None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--suite", choices=("all", "spec", "media"),
                         default="all")
+    parser.add_argument("--workloads", default=None,
+                        metavar="PAT[,PAT...]",
+                        help="run only these workloads: exact names "
+                        "(including generated 'gen:<fingerprint>:<seed>' "
+                        "names, materialized on demand) and/or globs "
+                        "over registered names ('gen:*', '*decode*'); "
+                        "overrides --suite; unmatched patterns are an "
+                        "error")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes; >1 fans workloads and "
                         "config sweeps across a pool (default 1)")
@@ -306,8 +353,23 @@ def main(argv=None) -> int:
         pool=pool,
     )
 
-    suites = _SUITES[args.suite]
-    names = [n for s in suites for n in workload_names(s)]
+    if args.workloads is not None:
+        patterns = [p.strip() for p in args.workloads.split(",")
+                    if p.strip()]
+        if not patterns:
+            parser.error("--workloads needs at least one name or pattern")
+        try:
+            names = select_workloads(patterns)
+        except ValueError as exc:
+            parser.error(str(exc))
+        # Print only the tables the selection populates.
+        from repro.workloads import get_workload
+        suites = tuple(dict.fromkeys(
+            get_workload(n).suite for n in names
+        ))
+    else:
+        suites = _SUITES[args.suite]
+        names = [n for s in suites for n in workload_names(s)]
     started = time.time()
     try:
         if args.trace_out is not None:

@@ -75,6 +75,23 @@ def git_revision(cwd=None) -> Optional[Dict[str, object]]:
         return None
 
 
+def _gen_provenance(name: str) -> Optional[dict]:
+    """Generator provenance of a ``gen:`` workload, or None on failure.
+
+    The provenance (fingerprint, seed, recipe weights, achieved mix) is
+    enough to regenerate the exact program from the manifest alone.
+    Planning is deterministic per name and usually already cached in
+    this process by the run that produced the entry; a name that fails
+    to materialize must not take the manifest down with it.
+    """
+    try:
+        from repro.workloads.gen import provenance
+
+        return provenance(name)
+    except Exception:
+        return None
+
+
 def build_manifest(
     *,
     command: str,
@@ -86,6 +103,12 @@ def build_manifest(
 ) -> dict:
     """Assemble a manifest dict (trace files are filled at write time)."""
     import platform as _platform
+
+    workloads = [dict(entry) for entry in workloads]
+    for entry in workloads:
+        name = entry.get("name", "")
+        if isinstance(name, str) and name.startswith("gen:"):
+            entry.setdefault("gen", _gen_provenance(name))
 
     manifest = {
         "schema": MANIFEST_SCHEMA,
@@ -166,6 +189,23 @@ def validate_manifest(manifest: dict) -> List[str]:
         for i, entry in enumerate(workloads):
             if not isinstance(entry, dict) or "name" not in entry:
                 problems.append(f"workloads[{i}] lacks a name")
+                continue
+            name = entry.get("name")
+            if isinstance(name, str) and name.startswith("gen:"):
+                gen = entry.get("gen")
+                if not isinstance(gen, dict):
+                    problems.append(
+                        f"workloads[{i}] ({name}) lacks generator "
+                        "provenance ('gen' key)"
+                    )
+                else:
+                    for key in ("fingerprint", "seed", "weights",
+                                "achieved"):
+                        if key not in gen:
+                            problems.append(
+                                f"workloads[{i}] ({name}) provenance "
+                                f"lacks {key!r}"
+                            )
     if not isinstance(manifest.get("trace_files"), list):
         problems.append("trace_files is not a list")
     return problems

@@ -129,11 +129,18 @@ class JobSpec:
                 "exactly one of 'workload' and 'source' must be set"
             )
         if self.workload is not None:
-            from repro.workloads import workload_names
-            if self.workload not in workload_names():
+            from repro.errors import ReproError
+            from repro.workloads import get_workload
+            try:
+                # Resolves hand-written names and lazily materializes
+                # generated 'gen:<fingerprint>:<seed>' names, so a
+                # coordinator validates exactly what a worker will run.
+                get_workload(self.workload)
+            except (KeyError, ValueError, ReproError) as exc:
+                detail = exc.args[0] if exc.args else str(exc)
                 raise JobValidationError(
-                    f"unknown workload {self.workload!r}"
-                )
+                    f"unknown workload {self.workload!r}: {detail}"
+                ) from None
         elif not self.source.strip():
             raise JobValidationError("'source' is empty")
         if self.scale <= 0:

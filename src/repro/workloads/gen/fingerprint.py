@@ -1,0 +1,165 @@
+"""Load-mix fingerprints: the target space of the program generator.
+
+A :class:`Fingerprint` names a point in the Table-2 class-mix simplex —
+the fractions of dynamic loads the compiled program should exhibit per
+scheme class as measured by :mod:`repro.profiling`:
+
+* ``nt`` — irregular loads (class ``n``: load-dependent reg+reg
+  addressing, hash-mix indexed access; "no technique"),
+* ``pd`` — strided loads (class ``p``: arithmetic-induction addresses
+  the Figure-3 table predicts; "predicted"),
+* ``ec`` — pointer-chasing loads (class ``e``: load-dependent reg+offset
+  chains that win the ``R_addr`` early-calculation register).
+
+Beyond the class simplex a fingerprint carries three texture knobs that
+shape the program without changing its class mix: ``depth`` (loop-nest
+depth of the kernels), ``alias`` (store-aliasing density — the weight of
+the store/load interleaver recipe relative to the class budget), and
+``ws`` (working-set size band of the data arrays).
+
+Fingerprints have a compact canonical spelling used inside workload
+names (``gen:<fingerprint>:<seed>``)::
+
+    n20p60e20            fractions in percent (must sum to 100)
+    n20p60e20-d2         ... with loop depth 2
+    n20p60e20-a30        ... with alias density 30%
+    n20p60e20-wl         ... with the large working-set band
+    strided              a canonical named fingerprint (see CANONICAL)
+
+:func:`parse_fingerprint` accepts both forms; :func:`format_fingerprint`
+renders the compact form (named fingerprints round-trip through their
+definition, not their name, so the name is sugar only).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict
+
+#: Acceptance tolerance on each class fraction: the planner must land
+#: every measured fraction within this absolute distance of the target.
+TOLERANCE = 0.10
+
+_WS_BANDS = ("small", "large")
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A requested load-mix: class fractions plus texture knobs."""
+
+    #: Fraction of dynamic loads in class ``n`` (irregular).
+    nt: float
+    #: Fraction of dynamic loads in class ``p`` (strided).
+    pd: float
+    #: Fraction of dynamic loads in class ``e`` (pointer-chasing).
+    ec: float
+    #: Loop-nest depth of the recipe kernels (1 = single loop).
+    depth: int = 1
+    #: Store-aliasing density in [0, 1]: weight of the store/load
+    #: interleaver relative to the class-load budget (0 = no stores
+    #: beyond incidental ones).
+    alias: float = 0.0
+    #: Working-set band of the data arrays: "small" | "large".
+    ws: str = "small"
+
+    def __post_init__(self) -> None:
+        for field_name in ("nt", "pd", "ec"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fingerprint fraction {field_name}={value!r} "
+                    "must be in [0, 1]"
+                )
+        total = self.nt + self.pd + self.ec
+        if abs(total - 1.0) > 0.015:
+            raise ValueError(
+                f"fingerprint fractions must sum to 1 (got {total:.3f})"
+            )
+        if not 1 <= self.depth <= 4:
+            raise ValueError("fingerprint depth must be in [1, 4]")
+        if not 0.0 <= self.alias <= 1.0:
+            raise ValueError("fingerprint alias density must be in [0, 1]")
+        if self.ws not in _WS_BANDS:
+            raise ValueError(
+                f"fingerprint ws must be one of {_WS_BANDS}, got {self.ws!r}"
+            )
+
+    def shares(self) -> Dict[str, float]:
+        """Target fractions keyed like the profiler's class shares."""
+        return {"n": self.nt, "p": self.pd, "e": self.ec}
+
+    def token(self) -> str:
+        """The compact canonical spelling (see :func:`format_fingerprint`)."""
+        return format_fingerprint(self)
+
+
+#: The four canonical fingerprints of the acceptance gate: the corners
+#: the paper's suites actually populate (Table 2's interpreters are
+#: EC-heavy, MediaBench's kernels PD-heavy, hash/sort codes NT-heavy)
+#: plus the balanced centre.
+CANONICAL: Dict[str, Fingerprint] = {
+    "strided": Fingerprint(nt=0.20, pd=0.70, ec=0.10),
+    "pointer": Fingerprint(nt=0.15, pd=0.25, ec=0.60),
+    "irregular": Fingerprint(nt=0.60, pd=0.25, ec=0.15),
+    "mixed": Fingerprint(nt=0.34, pd=0.33, ec=0.33),
+}
+
+_TOKEN_RE = re.compile(
+    r"^n(?P<nt>\d{1,3})p(?P<pd>\d{1,3})e(?P<ec>\d{1,3})"
+    r"(?P<mods>(-(d\d|a\d{1,3}|w[sl]))*)$"
+)
+
+
+def parse_fingerprint(token: str) -> Fingerprint:
+    """Parse a compact or canonical fingerprint spelling.
+
+    Raises :class:`ValueError` with the accepted grammar on mismatch.
+    """
+    if not isinstance(token, str) or not token:
+        raise ValueError("fingerprint token must be a non-empty string")
+    named = CANONICAL.get(token)
+    if named is not None:
+        return named
+    match = _TOKEN_RE.match(token)
+    if match is None:
+        raise ValueError(
+            f"bad fingerprint {token!r}: expected a canonical name "
+            f"({', '.join(sorted(CANONICAL))}) or "
+            "'n<pct>p<pct>e<pct>[-d<depth>][-a<pct>][-w<s|l>]' "
+            "with the three percentages summing to 100"
+        )
+    nt = int(match.group("nt"))
+    pd = int(match.group("pd"))
+    ec = int(match.group("ec"))
+    if nt + pd + ec != 100:
+        raise ValueError(
+            f"bad fingerprint {token!r}: class percentages sum to "
+            f"{nt + pd + ec}, expected 100"
+        )
+    depth, alias, ws = 1, 0.0, "small"
+    for mod in filter(None, match.group("mods").split("-")):
+        if mod[0] == "d":
+            depth = int(mod[1:])
+        elif mod[0] == "a":
+            alias = int(mod[1:]) / 100.0
+        else:  # w
+            ws = "large" if mod[1] == "l" else "small"
+    return Fingerprint(
+        nt=nt / 100.0, pd=pd / 100.0, ec=ec / 100.0,
+        depth=depth, alias=alias, ws=ws,
+    )
+
+
+def format_fingerprint(fp: Fingerprint) -> str:
+    """The compact canonical spelling of *fp* (inverse of parsing)."""
+    token = (
+        f"n{round(fp.nt * 100)}p{round(fp.pd * 100)}e{round(fp.ec * 100)}"
+    )
+    if fp.depth != 1:
+        token += f"-d{fp.depth}"
+    if fp.alias:
+        token += f"-a{round(fp.alias * 100)}"
+    if fp.ws != "small":
+        token += "-wl"
+    return token

@@ -1,0 +1,451 @@
+"""Composable mini-C recipe generators and their Python mirrors.
+
+Each :class:`Recipe` emits one self-contained kernel — globals, an init
+function, and a ``kern(int reps)`` function — whose loads land
+dominantly in one scheme class of the paper's classifier
+(:mod:`repro.compiler.classify`):
+
+* :class:`StridedRecipe` — arithmetic-induction array scans.  Addresses
+  derive from loop counters, so the loads classify ``ld_p`` and the
+  Figure-3 stride table predicts them.
+* :class:`ChaseRecipe` — a linked-list walk.  Every load's base register
+  was itself loaded (``p->val`` / ``p = p->next``), reg+offset
+  addressing, one base group: the group wins ``R_addr`` and classifies
+  ``ld_e``.
+* :class:`IrregularRecipe` — hash-mix indexed chasing through an int
+  table (``v = tab[(v + r) & m]``).  Load-dependent *reg+reg*
+  addressing: ``ld_n``, the class no technique covers.
+* :class:`AliasRecipe` — a store/load interleaver over one buffer.  Its
+  loads are strided (``ld_p``) but every iteration also stores into the
+  same working set, exercising the store-queue/forwarding interlocks.
+
+All data is initialized from seeded *compile-time* constants (no runtime
+RNG), so the kernels' class mixes are nearly pure — which is what lets
+the planner treat recipe weights as a linear control over the measured
+fingerprint — and every recipe carries an exact pure-Python mirror, so
+generated programs stay self-checking like the hand-written suite.
+
+Determinism contract: all randomness comes from the ``random.Random``
+instance handed to the constructors; emission itself is pure string
+assembly (no sets, no hashing), so one seed yields byte-identical
+source in any process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+#: Checksum masks shared with the hand-written suite.
+_ACC_MASK = 16777215
+_KERN_MASK = 65535
+
+
+def _pow2_choice(rng: random.Random, ws: str) -> int:
+    if ws == "large":
+        return rng.choice((1024, 2048))
+    return rng.choice((64, 128, 256))
+
+
+def _outer_loops(depth: int) -> int:
+    """Decorative loop-nest levels around the rep loop (depth >= 1)."""
+    return depth - 1
+
+
+class Recipe:
+    """One kernel generator; subclasses fill the emission/mirror pair."""
+
+    #: Planner role, also the key of its weight: "strided" | "chase" |
+    #: "irregular" | "alias".
+    role: str = ""
+    #: Dominant profiler class of this kernel's loads ("p"/"e"/"n").
+    dominant: str = ""
+
+    def __init__(self, index: int, rng: random.Random, ws: str, depth: int):
+        self.index = index
+        self.tag = f"g{index}"
+        self.depth = depth
+        #: Work multiplier of the decorative outer loops (trip 2 each).
+        self.mult = 2 ** _outer_loops(depth)
+
+    # -- emission ----------------------------------------------------------
+
+    def decls_c(self) -> str:
+        raise NotImplementedError
+
+    def init_c(self) -> str:
+        raise NotImplementedError
+
+    def kernel_c(self) -> str:
+        raise NotImplementedError
+
+    def _wrap_kernel(self, decls: List[str], body: List[str]) -> str:
+        """A ``kern_<tag>(int reps)`` function with decorative outers."""
+        outers = _outer_loops(self.depth)
+        lines = [f"int kern_{self.tag}(int reps) {{"]
+        all_decls = ["int r; int t = 0;"] + decls
+        if outers:
+            all_decls.append(
+                " ".join(f"int o{k};" for k in range(outers))
+            )
+        lines.extend(f"    {d}" for d in all_decls)
+        indent = "    "
+        for k in range(outers):
+            lines.append(f"{indent}for (o{k} = 0; o{k} < 2; o{k}++) {{")
+            indent += "    "
+        lines.append(f"{indent}for (r = 0; r < reps; r++) {{")
+        for stmt in body:
+            lines.append(f"{indent}    {stmt}")
+        lines.append(f"{indent}}}")
+        for k in range(outers):
+            indent = indent[:-4]
+            lines.append(f"{indent}}}")
+        lines.extend(self._epilogue_c())
+        lines.append("    return t;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _epilogue_c(self) -> List[str]:
+        """Statements between the loop nest and ``return t;``."""
+        return []
+
+    # -- planner model -----------------------------------------------------
+
+    def per_unit_loads(self) -> int:
+        """Approximate dominant-class loads per weight unit (analytic)."""
+        raise NotImplementedError
+
+    # -- Python mirror -----------------------------------------------------
+
+    def ref_make_state(self):
+        raise NotImplementedError
+
+    def ref_call(self, state, reps: int) -> int:
+        raise NotImplementedError
+
+
+class StridedRecipe(Recipe):
+    role = "strided"
+    dominant = "p"
+
+    def __init__(self, index, rng, ws, depth):
+        super().__init__(index, rng, ws, depth)
+        if ws == "large":
+            self.n = 16 * rng.randint(64, 128)
+        else:
+            self.n = 16 * rng.randint(6, 16)
+        self.stride = rng.choice((1, 1, 2, 4))
+        self.mul = rng.randrange(3, 97, 2)
+        self.xor = rng.randrange(0, 4096)
+
+    def decls_c(self) -> str:
+        return f"int arr_{self.tag}[{self.n}];"
+
+    def init_c(self) -> str:
+        return (
+            f"void init_{self.tag}() {{\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {self.n}; i++) {{\n"
+            f"        arr_{self.tag}[i] = ((i * {self.mul}) ^ {self.xor})"
+            f" & 4095;\n"
+            f"    }}\n"
+            f"}}"
+        )
+
+    def kernel_c(self) -> str:
+        return self._wrap_kernel(
+            ["int i;"],
+            [
+                f"for (i = 0; i < {self.n}; i += {self.stride}) {{",
+                f"    t = (t + arr_{self.tag}[i]) & {_KERN_MASK};",
+                "}",
+            ],
+        )
+
+    def per_unit_loads(self) -> int:
+        return self.mult * (1 + (self.n - 1) // self.stride)
+
+    def ref_make_state(self):
+        return [((i * self.mul) ^ self.xor) & 4095 for i in range(self.n)]
+
+    def ref_call(self, arr, reps: int) -> int:
+        t = 0
+        for _outer in range(self.mult):
+            for _r in range(reps):
+                for i in range(0, self.n, self.stride):
+                    t = (t + arr[i]) & _KERN_MASK
+        return t
+
+
+class ChaseRecipe(Recipe):
+    role = "chase"
+    dominant = "e"
+
+    def __init__(self, index, rng, ws, depth):
+        super().__init__(index, rng, ws, depth)
+        if ws == "large":
+            self.nk = rng.randint(96, 224)
+        else:
+            self.nk = rng.randint(12, 40)
+        self.mul = rng.randrange(5, 61, 2)
+        self.add = rng.randrange(0, 256)
+
+    def decls_c(self) -> str:
+        node = f"node_{self.tag}"
+        return (
+            f"struct {node} {{ int val; struct {node} *next; }};\n"
+            f"struct {node} *head_{self.tag};"
+        )
+
+    def init_c(self) -> str:
+        node = f"node_{self.tag}"
+        return (
+            f"void init_{self.tag}() {{\n"
+            f"    int i;\n"
+            f"    head_{self.tag} = 0;\n"
+            f"    for (i = 0; i < {self.nk}; i++) {{\n"
+            f"        struct {node} *n = (struct {node} *) "
+            f"malloc(sizeof(struct {node}));\n"
+            f"        n->val = ((i * {self.mul}) + {self.add}) & 255;\n"
+            f"        n->next = head_{self.tag};\n"
+            f"        head_{self.tag} = n;\n"
+            f"    }}\n"
+            f"}}"
+        )
+
+    def kernel_c(self) -> str:
+        node = f"node_{self.tag}"
+        return self._wrap_kernel(
+            [f"struct {node} *p;"],
+            [
+                f"p = head_{self.tag};",
+                "while (p) {",
+                f"    t = (t + p->val) & {_KERN_MASK};",
+                "    p = p->next;",
+                "}",
+            ],
+        )
+
+    def per_unit_loads(self) -> int:
+        return self.mult * (2 * self.nk + 1)
+
+    def ref_make_state(self):
+        # Head insertion reverses creation order; walk order is the
+        # traversal the C kernel sees.
+        return [
+            ((i * self.mul) + self.add) & 255
+            for i in reversed(range(self.nk))
+        ]
+
+    def ref_call(self, vals, reps: int) -> int:
+        t = 0
+        for _outer in range(self.mult):
+            for _r in range(reps):
+                for val in vals:
+                    t = (t + val) & _KERN_MASK
+        return t
+
+
+class IrregularRecipe(Recipe):
+    role = "irregular"
+    dominant = "n"
+
+    def __init__(self, index, rng, ws, depth):
+        super().__init__(index, rng, ws, depth)
+        self.sz = _pow2_choice(rng, ws)
+        self.mask = self.sz - 1
+        self.mul = rng.randrange(3, 127, 2)
+        self.add = rng.randrange(0, 1024)
+        self.xc = rng.randrange(1, self.sz)
+        self.start = rng.randrange(0, self.sz)
+
+    def decls_c(self) -> str:
+        return f"int tab_{self.tag}[{self.sz}];\nint cur_{self.tag};"
+
+    def init_c(self) -> str:
+        return (
+            f"void init_{self.tag}() {{\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {self.sz}; i++) {{\n"
+            f"        tab_{self.tag}[i] = ((i * {self.mul} + {self.add})"
+            f" ^ (i >> 2)) & 8191;\n"
+            f"    }}\n"
+            f"    cur_{self.tag} = {self.start};\n"
+            f"}}"
+        )
+
+    def kernel_c(self) -> str:
+        tab = f"tab_{self.tag}"
+        return self._wrap_kernel(
+            [f"int v;", f"v = cur_{self.tag};"],
+            [
+                f"v = {tab}[(v + r) & {self.mask}];",
+                f"t = (t + v) & {_KERN_MASK};",
+                f"v = {tab}[(v ^ {self.xc}) & {self.mask}];",
+                f"t = (t + v) & {_KERN_MASK};",
+            ],
+        )
+
+    def _epilogue_c(self) -> List[str]:
+        return [f"    cur_{self.tag} = v;"]
+
+    def per_unit_loads(self) -> int:
+        return self.mult * 2
+
+    def ref_make_state(self):
+        tab = [
+            ((i * self.mul + self.add) ^ (i >> 2)) & 8191
+            for i in range(self.sz)
+        ]
+        return {"tab": tab, "cur": self.start}
+
+    def ref_call(self, state, reps: int) -> int:
+        tab = state["tab"]
+        mask = self.mask
+        v = state["cur"]
+        t = 0
+        for _outer in range(self.mult):
+            for r in range(reps):
+                v = tab[(v + r) & mask]
+                t = (t + v) & _KERN_MASK
+                v = tab[(v ^ self.xc) & mask]
+                t = (t + v) & _KERN_MASK
+        state["cur"] = v
+        return t
+
+
+class AliasRecipe(Recipe):
+    role = "alias"
+    dominant = "p"
+
+    def __init__(self, index, rng, ws, depth):
+        super().__init__(index, rng, ws, depth)
+        self.sz = _pow2_choice(rng, ws)
+        self.mask = self.sz - 1
+        self.c_store = rng.choice((5, 7, 11, 13))
+        self.c_src = rng.choice((3, 5, 9))
+        self.c_load = rng.choice((3, 7, 11))
+        self.off = rng.randrange(0, self.sz)
+        self.mul = rng.randrange(3, 63, 2)
+        self.add = rng.randrange(0, 512)
+
+    def decls_c(self) -> str:
+        return f"int buf_{self.tag}[{self.sz}];"
+
+    def init_c(self) -> str:
+        return (
+            f"void init_{self.tag}() {{\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {self.sz}; i++) {{\n"
+            f"        buf_{self.tag}[i] = (i * {self.mul} + {self.add})"
+            f" & 1023;\n"
+            f"    }}\n"
+            f"}}"
+        )
+
+    def kernel_c(self) -> str:
+        buf = f"buf_{self.tag}"
+        m = self.mask
+        return self._wrap_kernel(
+            [],
+            [
+                f"{buf}[(r * {self.c_store} + 3) & {m}] = "
+                f"({buf}[(r * {self.c_src}) & {m}] + r) & {_KERN_MASK};",
+                f"t = (t + {buf}[(r * {self.c_load} + {self.off}) & {m}])"
+                f" & {_KERN_MASK};",
+            ],
+        )
+
+    def per_unit_loads(self) -> int:
+        return self.mult * 2
+
+    def ref_make_state(self):
+        return [(i * self.mul + self.add) & 1023 for i in range(self.sz)]
+
+    def ref_call(self, buf, reps: int) -> int:
+        m = self.mask
+        t = 0
+        for _outer in range(self.mult):
+            for r in range(reps):
+                buf[(r * self.c_store + 3) & m] = (
+                    buf[(r * self.c_src) & m] + r
+                ) & _KERN_MASK
+                t = (t + buf[(r * self.c_load + self.off) & m]) & _KERN_MASK
+        return t
+
+
+#: Construction order of the recipe set (also the planner weight order).
+RECIPE_CLASSES = (
+    StridedRecipe,
+    ChaseRecipe,
+    IrregularRecipe,
+    AliasRecipe,
+)
+
+
+def make_recipes(rng: random.Random, ws: str, depth: int) -> List[Recipe]:
+    """The full recipe set for one generated program, in fixed order."""
+    return [
+        cls(index, rng, ws, depth)
+        for index, cls in enumerate(RECIPE_CLASSES)
+    ]
+
+
+def build_source(recipes: List[Recipe], weights: Dict[str, int]) -> str:
+    """Assemble the full mini-C program template (``__SCALE__`` intact).
+
+    Every recipe's globals/init/kernel are always emitted; a recipe with
+    weight 0 simply is not called from the main loop, which keeps the
+    classification of the *other* kernels stable while the planner moves
+    weights around (each kernel lives in its own function, so the
+    classifier never mixes them).
+    """
+    parts: List[str] = []
+    for recipe in recipes:
+        parts.append(recipe.decls_c())
+    for recipe in recipes:
+        parts.append(recipe.init_c())
+    for recipe in recipes:
+        parts.append(recipe.kernel_c())
+
+    main: List[str] = ["int main() {", "    int rep;"]
+    for i in range(len(recipes)):
+        main.append(f"    int acc{i} = 0;")
+    main.append("    int total = 0;")
+    for recipe in recipes:
+        main.append(f"    init_{recipe.tag}();")
+    main.append("    for (rep = 0; rep < __SCALE__; rep++) {")
+    for i, recipe in enumerate(recipes):
+        weight = weights.get(recipe.role, 0)
+        if weight > 0:
+            main.append(
+                f"        acc{i} = (acc{i} + kern_{recipe.tag}({weight}))"
+                f" & {_ACC_MASK};"
+            )
+    main.append("    }")
+    for i in range(len(recipes)):
+        main.append(f"    print_int(acc{i});")
+    accs = " + ".join(f"acc{i}" for i in range(len(recipes)))
+    main.append(f"    total = ({accs}) & {_ACC_MASK};")
+    main.append("    print_int(total);")
+    main.append("    return 0;")
+    main.append("}")
+    parts.append("\n".join(main))
+    return "\n\n".join(parts) + "\n"
+
+
+def reference_output(
+    recipes: List[Recipe], weights: Dict[str, int], scale: int
+) -> List[int]:
+    """Pure-Python expected OUT stream of the assembled program."""
+    states = [recipe.ref_make_state() for recipe in recipes]
+    accs = [0] * len(recipes)
+    for _rep in range(scale):
+        for i, recipe in enumerate(recipes):
+            weight = weights.get(recipe.role, 0)
+            if weight > 0:
+                accs[i] = (
+                    accs[i] + recipe.ref_call(states[i], weight)
+                ) & _ACC_MASK
+    total = sum(accs) & _ACC_MASK
+    return accs + [total]

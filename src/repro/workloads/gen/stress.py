@@ -1,0 +1,95 @@
+"""Predictor stress suites: adversarial fingerprints per backend.
+
+Each registered prediction backend (:mod:`repro.sim.predictors`) has a
+failure mode the hand-written suite only brushes against; the generator
+can aim straight at it.  A *stress suite* is a small set of fingerprints
+chosen to be hostile to one backend:
+
+* ``stride`` — the Figure-3 stride table assumes arithmetic address
+  progressions, so its hostile mixes are chase/irregular-heavy (few
+  PD-class loads to predict, and what PD remains is diluted by
+  alias-interleaver traffic whose store-conflicts shrink the win);
+* ``perceptron`` — learns correlated patterns, so pure-irregular
+  hash-mix traffic with deep nests starves it of signal;
+* ``cache-level`` — predicts which level services a load, so mixes that
+  flap the working set between the small and large bands (and alias
+  stores that dirty it) disturb its level stability.
+
+The driver reuses the harness's :func:`predictor_ablation` on each
+backend's suite, so "stress" results are computed by exactly the
+machinery the paper-table runs use — one row per generated workload,
+speedup per backend, dominated by the suite targeted at that backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.harness.experiments import ExperimentContext, predictor_ablation
+from repro.workloads.gen import materialize
+
+#: Adversarial fingerprint tokens per prediction backend.
+STRESS_FINGERPRINTS: Dict[str, Sequence[str]] = {
+    "stride": ("n25p5e70", "n60p10e30-a40", "n45p15e40-d2"),
+    "perceptron": ("n80p10e10", "n70p10e20-d3", "n90p5e5-wl"),
+    "cache-level": ("n30p50e20-wl", "n20p60e20-a60-wl", "n40p40e20-a80"),
+}
+
+
+def stress_names(
+    backend: str, seeds: int = 2, seed_base: int = 0
+) -> List[str]:
+    """The ``gen:`` workload names of *backend*'s stress suite."""
+    try:
+        fingerprints = STRESS_FINGERPRINTS[backend]
+    except KeyError:
+        raise ValueError(
+            f"no stress suite for backend {backend!r} "
+            f"(known: {sorted(STRESS_FINGERPRINTS)})"
+        ) from None
+    return [
+        f"gen:{fp}:{seed_base + seed}"
+        for fp in fingerprints
+        for seed in range(seeds)
+    ]
+
+
+def run_stress(
+    backends: Optional[Sequence[str]] = None,
+    seeds: int = 2,
+    scale: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, List[dict]]:
+    """Ablation rows of every backend over its hostile suite.
+
+    Returns ``{backend: rows}`` where each row set compares *all* the
+    requested backends on that backend's adversarial fingerprints — the
+    interesting signal is how far the targeted backend falls behind the
+    others on its own suite.
+    """
+    if backends is None:
+        backends = sorted(STRESS_FINGERPRINTS)
+    for backend in backends:
+        if backend not in STRESS_FINGERPRINTS:
+            raise ValueError(
+                f"no stress suite for backend {backend!r} "
+                f"(known: {sorted(STRESS_FINGERPRINTS)})"
+            )
+    tracer = obs.current()
+    results: Dict[str, List[dict]] = {}
+    with tracer.span("gen.stress", backends=",".join(backends)):
+        for backend in backends:
+            names = stress_names(backend, seeds=seeds)
+            for name in names:
+                materialize(name)
+            if progress is not None:
+                progress(
+                    f"stress[{backend}]: {len(names)} workloads "
+                    f"({', '.join(names)})"
+                )
+            ctx = ExperimentContext(scale=scale)
+            results[backend] = predictor_ablation(
+                ctx, list(backends), names=names
+            )
+    return results

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -16,18 +17,30 @@ class Workload:
     """
 
     name: str
-    suite: str  # "spec" | "mediabench"
+    suite: str  # "spec" | "mediabench" | "gen"
     description: str
     source_template: str
     reference: Callable[[int], List[int]]
     default_scale: int = 1
 
+    def _check_scale(self, n: int) -> int:
+        if n <= 0:
+            raise ValueError(
+                f"workload {self.name!r} scale must be a positive "
+                f"integer, got {n!r}"
+            )
+        return n
+
     def source(self, scale: Optional[int] = None) -> str:
-        n = self.default_scale if scale is None else scale
+        n = self._check_scale(
+            self.default_scale if scale is None else scale
+        )
         return self.source_template.replace("__SCALE__", str(n))
 
     def expected_output(self, scale: Optional[int] = None) -> List[int]:
-        n = self.default_scale if scale is None else scale
+        n = self._check_scale(
+            self.default_scale if scale is None else scale
+        )
         return self.reference(n)
 
 
@@ -46,9 +59,23 @@ def get_workload(name: str) -> Workload:
     try:
         return REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
-        ) from None
+        pass
+    if name.startswith("gen:"):
+        # Generated workloads materialize lazily and deterministically
+        # from their name (fingerprint + seed); a malformed name raises
+        # ValueError with the grammar.
+        from repro.workloads.gen import materialize
+
+        return materialize(name)
+    suggestion = ""
+    close = difflib.get_close_matches(name, sorted(REGISTRY), n=1)
+    if close:
+        suggestion = f"; did you mean {close[0]!r}?"
+    raise KeyError(
+        f"unknown workload {name!r}{suggestion} "
+        f"(known: {sorted(REGISTRY)}; generated workloads are named "
+        "'gen:<fingerprint>:<seed>')"
+    ) from None
 
 
 def workload_names(suite: Optional[str] = None) -> List[str]:

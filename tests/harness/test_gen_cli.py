@@ -1,0 +1,73 @@
+"""Harness/CLI integration of generated workloads: ``--workloads``
+selection and the synthetic-SPEC sweep tier."""
+
+import pytest
+
+from repro.harness.main import main, select_workloads
+from repro.workloads.gen.__main__ import main as gen_main
+
+
+def test_select_workloads_globs_and_exact_names():
+    from repro.workloads import get_workload
+
+    get_workload("gen:mixed:0")  # materialize so the glob can see it
+    names = select_workloads(["gen:*"])
+    assert "gen:n34p33e33:0" in names
+    assert select_workloads(["026.compress", "026.compress"]) == \
+        ["026.compress"]
+    decode = select_workloads(["*decode*"])
+    assert decode and all("decode" in n for n in decode)
+
+
+def test_select_workloads_unmatched_pattern_fails_loudly():
+    with pytest.raises(ValueError, match="matched no"):
+        select_workloads(["zzz*"])
+    with pytest.raises(ValueError, match="unknown workload"):
+        select_workloads(["nonesuch"])
+
+
+def test_cli_workloads_selection_runs_gen_table(capsys):
+    assert main(
+        ["--workloads", "gen:mixed:0,adpcm_decode", "--scale", "0.25"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Generated workloads" in out
+    assert "gen:n34p33e33:0" in out
+    assert "Table 4" in out  # mediabench table for adpcm_decode
+    assert "Table 2" not in out  # no spec workload selected
+
+
+def test_cli_workloads_bad_pattern_exits(capsys):
+    with pytest.raises(SystemExit):
+        main(["--workloads", "gen:zzz*"])
+
+
+def test_sweep_cli_end_to_end_with_jobs_and_result_cache(
+    tmp_path, capsys
+):
+    cache = tmp_path / "cache"
+    md = tmp_path / "sweep.md"
+    args = [
+        "sweep", "--step", "50", "--scale", "0.25", "--jobs", "2",
+        "--result-cache", str(cache), "--markdown-out", str(md),
+    ]
+    assert gen_main(args) == 0
+    out = capsys.readouterr().out
+    assert "Synthetic-SPEC sweep" in out
+    assert "n100p0e0" in out and "geomean" in out
+    text = md.read_text()
+    assert text.startswith("### Synthetic-SPEC sweep")
+    assert "| n0p0e100 |" in text
+
+    # Second run is served from the result cache, rows identical.
+    assert gen_main(args) == 0
+    out2 = capsys.readouterr().out
+    assert "result-cache" in out2 or md.read_text() == text
+
+
+def test_gen_cli_emit_and_bad_name(capsys):
+    assert gen_main(["emit", "gen:strided:0", "--ref"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip().splitlines()  # the reference OUT stream
+    assert gen_main(["emit", "gen:nope:0"]) == 2
+    assert "fingerprint" in capsys.readouterr().err

@@ -98,3 +98,19 @@ def test_execute_workload_job_verifies_output():
 def test_execute_is_deterministic():
     spec = JobSpec(source=SRC_TINY, table_entries=16)
     assert execute_job(spec) == execute_job(spec)
+
+
+def test_execute_generated_workload_job():
+    # 'gen:' names materialize during validation and verify like any
+    # registered workload — zero special-casing in the executor.
+    result = execute_job(JobSpec(workload="gen:mixed:1", scale=0.25))
+    assert result["job"] == "gen:mixed:1"
+    assert result["output_verified"] is True
+    assert result["speedup"] >= 1.0
+
+
+def test_generated_workload_bad_name_rejected():
+    with pytest.raises(JobValidationError, match="unknown workload"):
+        JobSpec(workload="gen:n1p1e1:0").validate()
+    with pytest.raises(JobValidationError, match="unknown workload"):
+        JobSpec(workload="gen:mixed:minus").validate()

@@ -43,7 +43,10 @@ def test_workload_is_deterministic(name):
 def test_suite_membership():
     assert len(spec_workloads()) == 12
     assert len(mediabench_workloads()) == 13
-    assert len(workload_names()) == 25
+    # Generated 'gen:' workloads materialize into the registry on
+    # demand (test-order dependent), so count only the static suites.
+    static = [n for n in workload_names() if not n.startswith("gen:")]
+    assert len(static) == 25
 
 
 def test_unknown_workload_raises():
