@@ -1,0 +1,35 @@
+"""Small environment-variable helpers shared across layers.
+
+Tuning knobs that gate performance machinery (the replay kernel's
+profitability thresholds, sweep-width floors) are plain module
+constants overridable via ``REPRO_*`` environment variables.  The
+parsing lives here so every consumer validates identically and a typo
+fails loudly at import instead of silently running with the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Integer from ``os.environ[name]``, or *default* when unset/empty.
+
+    Raises :class:`ValueError` on a non-integer value or one below
+    *minimum* — a malformed gate must not silently disable (or
+    mis-enable) the machinery it tunes.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw, 10)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(
+            f"{name} must be >= {minimum}, got {value}"
+        )
+    return value

@@ -330,6 +330,10 @@ class ExperimentContext:
         stats_list = simulate_many(
             run.trace, configs, machine=self.machine,
             overrides=overrides, span_tags=tags,
+            # Cached entries shrink the batch below the sweep it
+            # logically belongs to; declare the full width so the
+            # kernel profitability gate is unaffected.
+            sweep_width=1 + len(sim_requests(suite)),
         )
         for key, stats in zip(keys, stats_list):
             if key is None:

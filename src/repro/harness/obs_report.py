@@ -80,6 +80,8 @@ REPLAY_HEADERS = {
     "runs": "Runs",
     "patches": "Patches",
     "verify_rounds": "Verify rounds",
+    "fixed_point_rounds": "Fixed-pt rounds",
+    "batched_windows": "Batched",
     "stepped": "Stepped",
 }
 
@@ -206,7 +208,11 @@ def replay_paths(records: List[dict]) -> List[dict]:
 
     Declined configs report ``inline:<reason>`` so the rows show *why*
     the array kernel / stream path was skipped; kernel rows accumulate
-    the divergence patches and the follower verify/repair effort.
+    the divergence patches, the follower verify/repair effort, the
+    fixed-point leader's iteration rounds and the windows served by the
+    cross-config batched-repair memo.  ``kernel-fallback`` rows (a
+    config the fixed-point leader could not converge) render like any
+    other path, with the rounds spent before giving up.
     """
     rows: Dict[str, Dict[str, int]] = {}
     for rec in records:
@@ -219,10 +225,12 @@ def replay_paths(records: List[dict]) -> List[dict]:
             path = f"inline:{reason}"
         row = rows.setdefault(
             path,
-            {"runs": 0, "patches": 0, "verify_rounds": 0, "stepped": 0},
+            {"runs": 0, "patches": 0, "verify_rounds": 0,
+             "fixed_point_rounds": 0, "batched_windows": 0, "stepped": 0},
         )
         row["runs"] += 1
-        for key in ("patches", "verify_rounds", "stepped"):
+        for key in ("patches", "verify_rounds", "fixed_point_rounds",
+                    "batched_windows", "stepped"):
             value = tags.get(key)
             if isinstance(value, int):
                 row[key] += value

@@ -146,6 +146,19 @@ class MachineConfig:
     ras_entries: int = 0
     earlygen: EarlyGenConfig = field(default_factory=lambda: BASELINE)
 
+    def load_latencies(self) -> tuple:
+        """``(ld_lat, ld_hit_lat, miss_lat)`` writeback latencies.
+
+        One derivation for the four consumers that must agree exactly:
+        the inline pipeline, the scalar stream replay, the array
+        kernel's recording replay and its vectorized forward equations.
+        ``ld_hit_lat`` is the early-generated hit latency (the paper's
+        single-cycle use of a predicted/calculated address), capped by
+        the demand latency for degenerate sub-cycle configs.
+        """
+        ld = self.load_latency
+        return ld, min(1, ld), ld + self.dcache.miss_penalty
+
     def with_earlygen(self, earlygen: EarlyGenConfig) -> "MachineConfig":
         """A copy of this machine with different early-gen hardware."""
         return MachineConfig(

@@ -91,7 +91,11 @@ def _decode_program(program: Program):
 
     Returns ``(dec, load_uids)`` where ``dec[uid]`` is the tuple
     ``(kind, iblock, src_slots, dest_slot, base_slot, reg_offset,
-    disp_slot, alu_latency, addr)``.  Everything here is immutable
+    disp_slot, alu_latency, addr, s1, s2, s3)`` — the trailing three
+    entries are ``src_slots`` padded to exactly three with the
+    always-ready sentinel slot 128, so the issue loop reads operand
+    readiness with three unconditional indexed loads instead of
+    iterating a variable-length tuple.  Everything here is immutable
     across timing runs — load-scheme specifiers (``lspec``) are
     deliberately excluded because profile feedback rewrites them in
     place on laid-out programs; :meth:`TimingSimulator.run` resolves
@@ -156,8 +160,14 @@ def _decode_program(program: Program):
                 kind = _K_ALU
             if dest is not None:
                 lat = latency_of(op)
+        if len(srcs) > 3:
+            raise AssertionError(
+                f"uid {uid}: {len(srcs)} source registers; the padded "
+                f"readiness slots assume at most three"
+            )
         dec.append((kind, inst.addr >> 6, srcs, dest_slot, base_slot,
-                    reg_offset, disp_slot, lat, inst.addr))
+                    reg_offset, disp_slot, lat, inst.addr)
+                   + srcs + (128,) * (3 - len(srcs)))
     program._timing_decode = (flat, dec, load_uids)
     return dec, load_uids
 
@@ -461,9 +471,17 @@ class TimingSimulator:
         rc_probe = rc_insert = None
         use_raddr = False
         ra_bound = None  # R_addr binding (a bare register slot)
+        # A 1-entry BRIC cache (the paper's hardware dual-path point) is
+        # a single slot: probe == equality, insert == assignment, and
+        # LRU refresh is a no-op.  Keep it in a local instead of paying
+        # two OrderedDict method calls per calc-path load.
+        rc1 = False
+        rc_slot = -1
         if eg.cached_regs:
             if use_compiler:
                 use_raddr = True
+            elif eg.cached_regs == 1:
+                rc1 = True
             else:
                 regcache = RegisterCache(eg.cached_regs)
                 rc_probe = regcache.probe
@@ -493,7 +511,7 @@ class TimingSimulator:
                         scheme_map[u] = 1
                     elif lspec is LoadSpec.E and has_reg:
                         scheme_map[u] = 2
-            elif table is not None and regcache is not None:
+            elif table is not None and (regcache is not None or rc1):
                 hw_dual = True
             elif table is not None:
                 hw_scheme = 1
@@ -505,9 +523,7 @@ class TimingSimulator:
         n_alus = cfg.int_alus
         n_fpus = cfg.fp_alus
         n_brus = cfg.branch_units
-        d_miss = cfg.dcache.miss_penalty
-        ld_lat = cfg.load_latency
-        ld_hit_lat = min(1, ld_lat)
+        ld_lat, ld_hit_lat, miss_lat = cfg.load_latencies()
 
         reg_ready = [0] * 129
 
@@ -534,9 +550,23 @@ class TimingSimulator:
         sq_append = store_q.append
 
         t_next = 0
-        t_last = 0
         max_cycles = self.max_cycles
         stall_limit = self.stall_limit
+        # Watchdog thresholds as plain compares (0 = disabled becomes an
+        # unreachable sentinel, so the loop pays one comparison, not a
+        # truthiness test plus a comparison).
+        slim = stall_limit if stall_limit else (1 << 62)
+        mcyc = max_cycles if max_cycles else (1 << 62)
+
+        # Decode rows in trace order, cached on the program: one indexed
+        # fetch per record instead of the uids[i] -> dec[uid] double hop.
+        cached_rows = getattr(program, "_trace_decode", None)
+        if (cached_rows is not None and cached_rows[0] is uids
+                and cached_rows[1] is flat):
+            drows = cached_rows[2]
+        else:
+            drows = [dec[u] for u in uids]
+            program._trace_decode = (uids, flat, drows)
 
         # Local stat counters (folded into ``stats`` after the loop).
         n_loads = n_stores = 0
@@ -547,10 +577,8 @@ class TimingSimulator:
         dhits = dmisses = 0
         sc_n = sc_p = sc_e = 0
 
-        for i in range(n):
-            uid = uids[i]
-            (kind, iblock, srcs, dest, base_slot, reg_offset, disp_slot,
-             alu_lat, addr) = dec[uid]
+        for i, d in enumerate(drows):
+            kind = d[0]
             t_enter = t_next
 
             # ---- instruction fetch (precomputed stall) -----------------
@@ -558,25 +586,80 @@ class TimingSimulator:
             if pen:
                 t_next += pen
 
-            # ---- operand readiness -------------------------------------
+            # ---- operand readiness (three padded slots; 128 is the
+            # always-ready sentinel) -------------------------------------
             t0 = t_next
-            for s in srcs:
-                r = reg_ready[s]
-                if r > t0:
-                    t0 = r
+            r = reg_ready[d[9]]
+            if r > t0:
+                t0 = r
+            r = reg_ready[d[10]]
+            if r > t0:
+                t0 = r
+            r = reg_ready[d[11]]
+            if r > t0:
+                t0 = r
 
             # ---- dispatch by class ----------------------------------------
-            if kind == 0:  # load
+            if kind > 5:  # ALU / FP / HALT / NOP
+                t = t0
+                if kind == 6:
+                    while True:
+                        ti = t & mask
+                        if issue_t[ti] == t and issue_c[ti] >= width:
+                            t += 1
+                            continue
+                        if fp_t[ti] == t and fp_c[ti] >= n_fpus:
+                            t += 1
+                            continue
+                        break
+                    if fp_t[ti] == t:
+                        fp_c[ti] += 1
+                    else:
+                        fp_t[ti] = t
+                        fp_c[ti] = 1
+                elif kind == 7:
+                    ti = t & mask
+                    while issue_t[ti] == t and issue_c[ti] >= width:
+                        t += 1
+                        ti = t & mask
+                else:
+                    while True:
+                        ti = t & mask
+                        if issue_t[ti] == t and issue_c[ti] >= width:
+                            t += 1
+                            continue
+                        if alu_t[ti] == t and alu_c[ti] >= n_alus:
+                            t += 1
+                            continue
+                        break
+                    if alu_t[ti] == t:
+                        alu_c[ti] += 1
+                    else:
+                        alu_t[ti] = t
+                        alu_c[ti] = 1
+                if issue_t[ti] == t:
+                    issue_c[ti] += 1
+                else:
+                    issue_t[ti] = t
+                    issue_c[ti] = 1
+                dest = d[3]
+                if dest >= 0:
+                    reg_ready[dest] = t + d[7]
+                t_next = t
+                if tl_append is not None:
+                    tl_append((uids[i], t, ""))
+
+            elif kind == 0:  # load
                 n_loads += 1
                 ea = eas[i]
 
                 # Scheme selection.
                 if scheme_map is not None:
-                    scheme = scheme_map[uid]
+                    scheme = scheme_map[uids[i]]
                 elif hw_dual:
                     # Eickemeyer-Vassiliadis: prediction only for loads
                     # with a register interlock at decode.
-                    scheme = 1 if reg_ready[base_slot] > t_next - 2 else 2
+                    scheme = 1 if reg_ready[d[4]] > t_next - 2 else 2
                 else:
                     scheme = hw_scheme
 
@@ -598,6 +681,7 @@ class TimingSimulator:
                 if scheme == 1:
                     sc_p += 1
                     pred_loads += 1
+                    addr = d[8]
                     if tbl is not None:
                         tword = addr >> 2
                         t_idx = tword & t_im
@@ -695,18 +779,27 @@ class TimingSimulator:
                 elif scheme == 2:
                     sc_e += 1
                     calc_loads += 1
+                    base_slot = d[4]
                     partial = False
                     if use_raddr:
                         hit = ra_bound == base_slot
+                    elif rc1:
+                        hit = rc_slot == base_slot
+                        if hit and not d[5]:
+                            # register+register: the index register must
+                            # be cached too — with one entry, only when
+                            # it is the base register itself.
+                            hit = rc_slot == d[6]
+                            partial = True
                     else:
                         hit = rc_probe(base_slot)
-                        if hit and not reg_offset:
+                        if hit and not d[5]:
                             # register+register: the index register must
                             # be cached too, and the best case saves only
                             # one cycle (access slides to MEM).
-                            hit = rc_probe(disp_slot)
+                            hit = rc_probe(d[6])
                             partial = True
-                    if hit and (reg_offset or partial):
+                    if hit and (d[5] or partial):
                         c = t0 - 1
                         ci = c & mask
                         if (port_c[ci] if port_t[ci] == c else 0) < n_ports:
@@ -754,6 +847,8 @@ class TimingSimulator:
                     # Binding/fill happens for every load on this path.
                     if use_raddr:
                         ra_bound = base_slot
+                    elif rc1:
+                        rc_slot = base_slot
                     else:
                         rc_insert(base_slot)
 
@@ -806,17 +901,18 @@ class TimingSimulator:
                             dct[cidx] = ctag
                             dc_miss += 1
                             dmisses += 1
-                            latency = ld_lat + d_miss
+                            latency = miss_lat
                     elif dc_access(ea):
                         dhits += 1
                     else:
                         dmisses += 1
-                        latency = ld_lat + d_miss
+                        latency = miss_lat
                 if issue_t[ti] == t:
                     issue_c[ti] += 1
                 else:
                     issue_t[ti] = t
                     issue_c[ti] = 1
+                dest = d[3]
                 if dest >= 0:
                     reg_ready[dest] = t + latency
                 t_next = t
@@ -830,7 +926,7 @@ class TimingSimulator:
                         note = f"{scheme_ch}-miss lat={latency}"
                     else:
                         note = f"load lat={latency}"
-                    tl_append((uid, t, note))
+                    tl_append((uids[i], t, note))
 
             elif kind == 1:  # store
                 n_stores += 1
@@ -867,9 +963,9 @@ class TimingSimulator:
                 sq_append((t, ea >> 2))
                 t_next = t
                 if tl_append is not None:
-                    tl_append((uid, t, "store"))
+                    tl_append((uids[i], t, "store"))
 
-            elif kind <= 5:  # branches (2 cond, 3 jump, 4 call, 5 ret)
+            else:  # branches (2 cond, 3 jump, 4 call, 5 ret)
                 t = t0
                 while True:
                     ti = t & mask
@@ -899,74 +995,28 @@ class TimingSimulator:
                     note = "branch"
                     if t_next > t + 1:
                         note = "branch mispredict"
-                    tl_append((uid, t, note))
+                    tl_append((uids[i], t, note))
 
-            else:  # ALU / FP / HALT / NOP
-                t = t0
-                if kind == 6:
-                    while True:
-                        ti = t & mask
-                        if issue_t[ti] == t and issue_c[ti] >= width:
-                            t += 1
-                            continue
-                        if fp_t[ti] == t and fp_c[ti] >= n_fpus:
-                            t += 1
-                            continue
-                        break
-                    if fp_t[ti] == t:
-                        fp_c[ti] += 1
-                    else:
-                        fp_t[ti] = t
-                        fp_c[ti] = 1
-                elif kind == 7:
-                    ti = t & mask
-                    while issue_t[ti] == t and issue_c[ti] >= width:
-                        t += 1
-                        ti = t & mask
-                else:
-                    while True:
-                        ti = t & mask
-                        if issue_t[ti] == t and issue_c[ti] >= width:
-                            t += 1
-                            continue
-                        if alu_t[ti] == t and alu_c[ti] >= n_alus:
-                            t += 1
-                            continue
-                        break
-                    if alu_t[ti] == t:
-                        alu_c[ti] += 1
-                    else:
-                        alu_t[ti] = t
-                        alu_c[ti] = 1
-                if issue_t[ti] == t:
-                    issue_c[ti] += 1
-                else:
-                    issue_t[ti] = t
-                    issue_c[ti] = 1
-                if dest >= 0:
-                    reg_ready[dest] = t + alu_lat
-                t_next = t
-                if tl_append is not None:
-                    tl_append((uid, t, ""))
-
-            if t_next > t_last:
-                t_last = t_next
-            if stall_limit and t_next - t_enter > stall_limit:
+            if t_next - t_enter > slim:
                 raise SimulationHang(
                     f"no retirement for {t_next - t_enter} cycles "
                     f"(stall limit {stall_limit})",
                     dump=self._hang_dump(
-                        i, uid, flat[uid].opcode, t_next, store_q
+                        i, uids[i], flat[uids[i]].opcode, t_next, store_q
                     ),
                 )
-            if max_cycles and t_next > max_cycles:
+            if t_next > mcyc:
                 raise SimulationHang(
                     f"cycle budget exceeded ({max_cycles})",
                     dump=self._hang_dump(
-                        i, uid, flat[uid].opcode, t_next, store_q
+                        i, uids[i], flat[uids[i]].opcode, t_next, store_q
                     ),
                 )
 
+        # Issue cycles never move backwards (each iteration seeds its
+        # ready time from the previous ``t_next``), so the last value is
+        # the maximum — no per-record tracking needed.
+        t_last = t_next
         stats.cycles = t_last + 1 + _DRAIN
         stats.loads = n_loads
         stats.stores = n_stores

@@ -59,9 +59,11 @@ from __future__ import annotations
 
 from array import array
 from collections import OrderedDict, deque
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
+from repro.envutil import env_int
 from repro.isa.opcodes import LoadSpec
 from repro.sim.addr_reg import RegisterCache
 from repro.sim.cache import DirectMappedCache
@@ -129,13 +131,16 @@ _PRECOMPUTE_MIN_N = 3000
 #: pure function of them), so sweeps memoize per-tuple results.
 _STATS_MEMO_LIMIT = 64
 
-#: Batches narrower than this keep the scalar replay: the array
-#: kernel's recording leader is slower than the plain scalar pass, and
-#: with one or two configs there are not enough followers to win the
-#: investment back (the 2-config MediaBench sweeps regressed ~25%
-#: before this gate).  Donors from an earlier wide sweep lift the gate
-#: — a warm follower is cheap at any width.
-_KERNEL_MIN_SWEEP = 4
+#: Single-config batches keep the scalar replay: with no follower to
+#: amortize into, the kernel's recording leader plus verify pass loses
+#: to the plain scalar walk.  At width 2 the whole-trace recording
+#: pass closes the gap — the follower replays off the leader schedule
+#: at vector speed, which is what let the 2-config MediaBench sweeps
+#: onto the kernel (they regressed ~25% under the old window-stepped
+#: leader).  Donors from an earlier wide sweep lift the gate — a warm
+#: follower is cheap at any width.  Overridable for experiments via
+#: ``REPRO_KERNEL_MIN_SWEEP``.
+_KERNEL_MIN_SWEEP = env_int("REPRO_KERNEL_MIN_SWEEP", 2)
 
 #: Process-wide divergence counters (exposed for tests and the parity
 #: CLI): patched = resolved by a stream rebuild, fallbacks = rerun
@@ -733,7 +738,7 @@ def _copy_stats(stats: SimStats) -> SimStats:
 
 
 def try_fast(sim: TimingSimulator, build: bool = False,
-             sweep: int = 1) -> Optional[SimStats]:
+             sweep: int = 1, counters=None) -> Optional[SimStats]:
     """Run *sim* on the precomputed-stream path, or return None when the
     config is inline-only, the precompute is cold (``build=False``), the
     trace is too short to amortize stream construction, or the replay
@@ -743,10 +748,11 @@ def try_fast(sim: TimingSimulator, build: bool = False,
     first: a stats memo hit for an identical stream tuple, the array
     kernel (donor-verified or recording leader) when numpy is present,
     or the scalar replay.  *sweep* is the caller's batch width: the
-    kernel's recording leader costs more than the plain scalar replay,
-    so narrow sweeps (fewer than :data:`_KERNEL_MIN_SWEEP` configs)
-    stay scalar unless donors from an earlier wide sweep already
-    exist.
+    kernel's leader costs more than the plain scalar replay, so narrow
+    sweeps (fewer than :data:`_KERNEL_MIN_SWEEP` configs) stay scalar
+    unless donors from an earlier wide sweep already exist.  *counters*
+    is an optional per-sweep kernel :class:`PathCounters` instance
+    (``_kernel().new_counters()``) threaded through to the replay.
     """
     cfg = sim.config
     eg = cfg.earlygen
@@ -782,9 +788,20 @@ def try_fast(sim: TimingSimulator, build: bool = False,
     excluded = pre.known_exclusions(eg, route)
     patched = 0
     for _ in range(_MAX_PATCH_RETRIES + 1):
-        dcodes, dmiss, store_miss, poll_miss = pre.dstream(
-            eg, route, excluded
-        )
+        if counters is not None:
+            # Stream (re)builds here are sweep-shared repair work: a
+            # divergence-patched stream lands in the per-trace cache
+            # and the converged exclusion set in the patch memo, so
+            # every later config with the same patch key reuses both.
+            t0 = _perf_counter()
+            dcodes, dmiss, store_miss, poll_miss = pre.dstream(
+                eg, route, excluded
+            )
+            counters.bump("repair_s", _perf_counter() - t0)
+        else:
+            dcodes, dmiss, store_miss, poll_miss = pre.dstream(
+                eg, route, excluded
+            )
         dtotals = (dmiss, store_miss, poll_miss)
         memo_key = (route, dcodes, dtotals, ecodes, excluded)
         memo = pre._stats_memo.get(memo_key)
@@ -806,7 +823,7 @@ def try_fast(sim: TimingSimulator, build: bool = False,
             ):
                 stats, ra_interlock = kern.replay(
                     pre, cfg, route, dcodes, dtotals, ecodes,
-                    excluded, diverged, info,
+                    excluded, diverged, info, counters=counters,
                 )
             else:
                 info["path"] = "scalar"
@@ -892,9 +909,7 @@ def _replay(pre: TracePrecompute, cfg: MachineConfig, route: bytes,
     n_alus = cfg.int_alus
     n_fpus = cfg.fp_alus
     n_brus = cfg.branch_units
-    ld_lat = cfg.load_latency
-    ld_hit_lat = 1 if ld_lat > 1 else ld_lat
-    miss_lat = ld_lat + cfg.dcache.miss_penalty
+    ld_lat, ld_hit_lat, miss_lat = cfg.load_latencies()
 
     rr = [0] * 130
     cur = 0
@@ -1253,12 +1268,22 @@ def warm_kernel(pre: Optional[TracePrecompute],
     return kern.warm_kernel(pre)
 
 
+def kernel_counters():
+    """A fresh per-sweep kernel path-counter object (or None when the
+    kernel module cannot produce one).  Callers pass it to
+    :func:`simulate_many` to observe one sweep's path split and stage
+    timings in isolation from other sweeps in the process."""
+    return _kernel().new_counters()
+
+
 def simulate_many(
     trace: Trace,
     configs: Sequence[Union[EarlyGenConfig, MachineConfig]],
     machine: Optional[MachineConfig] = None,
     overrides: Optional[Sequence[Optional[Dict[int, LoadSpec]]]] = None,
     span_tags: Optional[Sequence[Optional[dict]]] = None,
+    counters=None,
+    sweep_width: Optional[int] = None,
 ) -> List[SimStats]:
     """Simulate *trace* under every config, sharing one precompute.
 
@@ -1270,9 +1295,19 @@ def simulate_many(
     order and byte-identical to independent ``TimingSimulator`` runs —
     configs the streams cannot express (hardware dual-path, diverging
     pollution) transparently use the inline path.
+
+    *counters* is the sweep's kernel :class:`PathCounters` (one is
+    created when omitted so a sweep never shares another's object);
+    *sweep_width* declares the logical width of the sweep this batch
+    belongs to, for callers that shard one sweep across workers or
+    skip cached entries — the kernel profitability gate then sees the
+    full width instead of the (possibly narrow) batch length.
     """
     base = machine if machine is not None else MachineConfig()
     tracer = obs.current()
+    sweep = max(len(configs), sweep_width or 0)
+    if counters is None:
+        counters = kernel_counters()
     results: List[SimStats] = []
     for idx, item in enumerate(configs):
         if isinstance(item, MachineConfig):
@@ -1284,11 +1319,13 @@ def simulate_many(
         tags = span_tags[idx] if span_tags is not None else None
         if tags is not None:
             with tracer.span("sim", **tags):
-                stats = try_fast(sim, build=True, sweep=len(configs))
+                stats = try_fast(sim, build=True, sweep=sweep,
+                                 counters=counters)
                 if stats is None:
                     stats = sim._run_inline()
         else:
-            stats = try_fast(sim, build=True, sweep=len(configs))
+            stats = try_fast(sim, build=True, sweep=sweep,
+                             counters=counters)
             if stats is None:
                 stats = sim._run_inline()
         results.append(stats)
@@ -1338,6 +1375,13 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
         "--require-kernel", action="store_true",
         help="fail unless the array kernel actually replayed configs "
         "(CI kernel-parity job: proves numpy was present and used)",
+    )
+    parser.add_argument(
+        "--require-leaderless", action="store_true",
+        help="fail if any kernel config fell back to the scalar "
+        "recording replay (CI kernel-parity job: proves warm sweeps "
+        "are served entirely by donor-verified followers and "
+        "fixed-point leaders)",
     )
     parser.add_argument(
         "--predictor", default=None, metavar="NAME",
@@ -1451,6 +1495,15 @@ def _parity_main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         if not kernel_runs:
             print("require-kernel: no config took the kernel path")
+            return 1
+    if args.require_leaderless:
+        # Both views count the same events; max() guards against one
+        # layer being reset by a test harness.
+        scalar_falls = max(paths.get("kernel-fallback", 0),
+                           _kernel().path_counts()["fallbacks"])
+        if scalar_falls:
+            print(f"require-leaderless: {scalar_falls} kernel configs "
+                  "fell back to the scalar recording replay")
             return 1
     return 1 if mismatches else 0
 

@@ -9,11 +9,7 @@ many of them).  This module compiles the record stream into dense numpy
 arrays once per ``(trace, machine)`` and turns every subsequent config's
 replay into *verification* instead of *simulation*:
 
-1.  **Leader** configs (no similar schedule known yet) run an
-    instrumented copy of the scalar replay that records the per-record
-    issue cycle ``T`` and per-load outcome ``O`` while producing the
-    usual stats.  The arrays are registered as donors.
-2.  **Follower** configs copy the nearest donor's ``(T, O)`` schedule
+1.  **Follower** configs copy the nearest donor's ``(T, O)`` schedule
     and check it against this config's streams with vectorized
     forward-equation passes — the full dependence/issue/port/interlock
     recurrence evaluated for every record at once.  The replay
@@ -25,6 +21,28 @@ replay into *verification* instead of *simulation*:
     zero failing equations is ever accepted — byte-identical
     ``SimStats`` or fallback, never approximate, exactly the PR-5
     divergence-patching contract.
+2.  **Leader** configs (no donor close enough) are scheduled by the
+    same forward equations run to a *fixed point* instead of a scalar
+    recording replay: seed the issue cycles from the dependence-free
+    front-end floor, then iterate {evaluate equations, re-solve the
+    issue chain with a max-plus prefix scan} until a pass reports zero
+    mismatches.  Serially-bound stretches the per-round scan advances
+    only one dependence hop at a time (pointer chases) are stepped by
+    the scalar window stepper mid-iteration, exactly like follower
+    repairs.  Acceptance is the same zero-mismatch pass, so the leader
+    is exact by the same argument — the construction is only a
+    convergence strategy.
+3.  **Batched repair**: follower candidates of one sweep fail at
+    overwhelmingly overlapping windows (they copy the same donors), so
+    each stepped window is memoized *relative to its entry cycle* and
+    keyed by everything the stepper read; later configs of the sweep
+    apply the recorded per-config delta instead of re-entering the
+    Python stepper.  Hits remain gated by the zero-mismatch pass.
+
+The fallback ladder per config is therefore donor-follower →
+fixed-point leader → scalar recording replay (``kernel-fallback``,
+still exact); warm wide sweeps are expected to never reach the last
+rung.
 
 The per-record equations verified for a candidate ``(T, O)``:
 
@@ -60,8 +78,10 @@ from __future__ import annotations
 import os
 from array import array
 from collections import OrderedDict, deque
+from time import perf_counter
 from typing import Optional
 
+from repro.envutil import env_int
 from repro.sim.predictors import predictor_key as _predictor_key
 
 try:  # pragma: no cover - exercised via the no-numpy CI job
@@ -73,10 +93,15 @@ except ImportError:  # pragma: no cover
 
 #: Traces shorter than this replay faster scalar than the array
 #: compilation + verification machinery can pay for itself.
-_KERNEL_MIN_N = 4096
+#: Overridable for experiments via ``REPRO_KERNEL_MIN_N``.
+_KERNEL_MIN_N = env_int("REPRO_KERNEL_MIN_N", 4096)
 #: Candidate schedules are only borrowed from a donor whose streams
-#: differ at no more than this fraction of dynamic loads.
-_MAX_DIFF_FRAC = 0.06
+#: differ at no more than this fraction of dynamic loads.  Exactness
+#: never depends on this choice (the zero-mismatch gate does that); it
+#: only bounds how much repair stepping a follower may buy into, so it
+#: is deliberately loose — repairing half the trace scalar still beats
+#: scheduling a fresh leader from scratch.
+_MAX_DIFF_FRAC = 0.5
 #: Verify/repair bounds before the config falls back to a scalar leader
 #: replay (still exact, just unaccelerated).
 _MAX_ROUNDS = 24
@@ -84,10 +109,35 @@ _SYNC_RUN = 12
 _REGION_GAP = 48
 #: Donor schedules kept per precompute (LRU).
 _DONOR_LIMIT = 8
+#: Fixed-point leader bounds: outer evaluation rounds, and how many
+#: rounds without a new mismatch-count minimum before the first failing
+#: window is handed to the scalar stepper (a serially-bound stretch the
+#: per-round scan closes one dependence hop at a time).
+_FP_MAX_ROUNDS = 64
+_FP_STALL = 2
+#: Batched-repair memo shape: entry-state lookback (records at most
+#: ``issue_width`` share a cycle, so 64 records safely cover the <= 4
+#: cycles the stepper's entry reconstruction reads), the largest window
+#: worth memoizing, and the LRU caps.
+_ENTRY_LOOKBACK = 64
+_MEMO_MAX_EXTENT = 4096
+_MEMO_STARTS = 32
+_MEMO_PER_START = 4
 #: Obs/report chunk granularity: mismatch scanning and the progress
 #: accounting work in fixed-size chunks (the final chunk is usually
 #: shorter — covered by tests).
 _CHUNK = 4096
+
+#: Minimum stepped span for the list-mode stepping loop: below this the
+#: O(n) list materialization costs more than it saves.
+_LIST_STEP_MIN = 2048
+
+#: A repair round whose mismatches split into at least this many
+#: regions steps one contiguous sweep through the whole failing span
+#: instead: per-window entry reconstruction is the dominant cost once
+#: mismatches scatter (pointer-chase traces produce thousands of
+#: few-record windows).
+_SCATTER_REGIONS = 24
 
 # Load outcome codes shared by the recording replay, the verifier and
 # the stats assembly.  "dispatched" is ``O >= 2``; "success" is 5 or 6.
@@ -100,9 +150,59 @@ _O_SUCC = 5
 _O_PART = 6
 _O_RA = 7
 
-_kernel_followers = 0
-_kernel_leaders = 0
-_kernel_fallbacks = 0
+class PathCounters:
+    """Per-sweep kernel path/effort counters.
+
+    :func:`repro.sim.precompute.simulate_many` threads one instance
+    through each sweep so parallel tests and the bench harness see
+    isolated counts instead of sharing process-wide mutable globals.
+    Every increment also mirrors into the module aggregate behind
+    :func:`path_counts`, which keeps the legacy process-wide view
+    (the pre-PR10 ``_kernel_*`` globals) as a shim.
+
+    ``leader_s`` / ``repair_s`` accumulate the wall time of the
+    fixed-point leader and the follower verify/repair passes — the
+    bench harness records them as schema-4 stage splits.
+    """
+
+    __slots__ = ("followers", "leaders", "fallbacks",
+                 "fixed_point_rounds", "batched_windows",
+                 "leader_s", "repair_s", "_mirror")
+
+    def __init__(self, _mirror: "Optional[PathCounters]" = None):
+        self.followers = 0
+        self.leaders = 0
+        self.fallbacks = 0
+        self.fixed_point_rounds = 0
+        self.batched_windows = 0
+        self.leader_s = 0.0
+        self.repair_s = 0.0
+        self._mirror = _mirror
+
+    def bump(self, field: str, amount=1) -> None:
+        setattr(self, field, getattr(self, field) + amount)
+        if self._mirror is not None:
+            self._mirror.bump(field, amount)
+
+    def as_dict(self) -> dict:
+        return {
+            "followers": self.followers,
+            "leaders": self.leaders,
+            "fallbacks": self.fallbacks,
+            "fixed_point_rounds": self.fixed_point_rounds,
+            "batched_windows": self.batched_windows,
+            "leader_s": self.leader_s,
+            "repair_s": self.repair_s,
+        }
+
+
+#: Process-wide aggregate every per-sweep counter mirrors into.
+_TOTALS = PathCounters()
+
+
+def new_counters() -> PathCounters:
+    """A fresh per-sweep counter object mirroring into the aggregate."""
+    return PathCounters(_mirror=_TOTALS)
 
 
 def kernel_available() -> bool:
@@ -111,11 +211,13 @@ def kernel_available() -> bool:
 
 
 def path_counts() -> dict:
-    """Process-wide kernel path counters (tests, parity CLI)."""
+    """Aggregated kernel path counters (tests, parity CLI)."""
     return {
-        "followers": _kernel_followers,
-        "leaders": _kernel_leaders,
-        "fallbacks": _kernel_fallbacks,
+        "followers": _TOTALS.followers,
+        "leaders": _TOTALS.leaders,
+        "fallbacks": _TOTALS.fallbacks,
+        "fixed_point_rounds": _TOTALS.fixed_point_rounds,
+        "batched_windows": _TOTALS.batched_windows,
     }
 
 
@@ -148,7 +250,7 @@ class KernelArrays:
         "rec_of_load", "rec_of_store", "lastmatch",
         "lword", "sword", "arange",
         "m_alu", "m_fp", "m_bru", "m_free", "m_load", "m_store",
-        "c_alu", "c_fp", "c_bru", "n_chunks",
+        "c_alu", "c_fp", "c_bru", "n_chunks", "_lists",
     )
 
     def __init__(self, pre):
@@ -233,6 +335,39 @@ class KernelArrays:
         self.c_fp = _ex_cumsum(self.m_fp)
         self.c_bru = _ex_cumsum(self.m_bru)
         self.n_chunks = (n + _CHUNK - 1) // _CHUNK
+        self._lists = None
+
+    def lists(self) -> "_StepLists":
+        """Plain-list views for the scalar stepper's hot loop.
+
+        Built lazily once per trace: list indexing beats per-element
+        numpy scalar extraction (and the ``searchsorted`` producer
+        lookups it replaces) by an order of magnitude in the
+        per-record stepping loop.
+        """
+        if self._lists is None:
+            np = _np
+            lord = np.where(
+                self.m_load, np.cumsum(self.m_load) - 1, -1
+            )
+            self._lists = _StepLists(
+                self.p1o.tolist(), self.p2o.tolist(), self.p3o.tolist(),
+                self.prod_base_o.tolist(), lord.tolist(),
+                self.latx.tolist(),
+            )
+        return self._lists
+
+
+class _StepLists:
+    __slots__ = ("p1l", "p2l", "p3l", "prodbl", "lordl", "latxl")
+
+    def __init__(self, p1l, p2l, p3l, prodbl, lordl, latxl):
+        self.p1l = p1l
+        self.p2l = p2l
+        self.p3l = p3l
+        self.prodbl = prodbl
+        self.lordl = lordl
+        self.latxl = latxl
 
 
 def _ex_cumsum(mask):
@@ -241,23 +376,130 @@ def _ex_cumsum(mask):
     return out
 
 
-class _Donor:
-    __slots__ = ("key", "T", "O")
+def _mc_head(mc) -> bytes:
+    """Machine-dimension prefix of a repair-memo signature."""
+    return b"%d,%d,%d,%d,%d,%d,%d,%d;" % (
+        mc.width, mc.n_ports, mc.n_alus, mc.n_fpus, mc.n_brus,
+        mc.ld_lat, mc.ld_hit_lat, mc.miss_lat,
+    )
 
-    def __init__(self, key, T, O):
+
+def _window_sig(ka, mc, rv, dv, ev, T, O, start: int, extent: int,
+                t_off: int = 0, l_off: int = 0):
+    """Signature of everything the stepper reads for window *start*.
+
+    Issue cycles are rebased to the window's entry cycle
+    ``T[start - 1]`` so the signature is portable across configs whose
+    absolute schedules differ by accumulated earlier deltas — the
+    entire point of batching repairs across one sweep's followers.
+    Covers the entry lookback (the stepper's window/store-queue
+    reconstruction never reads below ``T[start-1] - 3``, which
+    :data:`_ENTRY_LOOKBACK` records bound because at most
+    ``issue_width`` records share a cycle), the candidate content over
+    the window, and the per-load streams.  Producer ready times
+    *outside* the lookback are deliberately unsigged: a collision there
+    is caught by the caller's zero-mismatch verification pass, costing
+    repair rounds but never exactness.
+
+    ``t_off``/``l_off`` let the store path pass pre-step snapshot
+    slices (indexed from the lookback start / its first load) through
+    the same layout as the live arrays.  Returns None when the window
+    is not memoizable (trace head, entry not contained).
+    """
+    np = _np
+    stop = start + extent
+    if start <= 0 or stop > ka.n:
+        return None
+    e0 = max(0, start - _ENTRY_LOOKBACK)
+    base = int(T[start - 1 - t_off])
+    if e0 > 0 and int(T[e0 - t_off]) >= base - 3:
+        return None
+    rec_l = ka.rec_of_load
+    le0 = int(np.searchsorted(rec_l, e0))
+    l0 = int(np.searchsorted(rec_l, start))
+    l1 = int(np.searchsorted(rec_l, stop))
+    rel = T[e0 - t_off : stop - t_off] - base
+    return (
+        _mc_head(mc)
+        + rel.tobytes()
+        + O[le0 - l_off : l1 - l_off].tobytes()
+        + rv[le0:l1].tobytes()
+        + dv[le0:l1].tobytes()
+        + ev[l0:l1].tobytes()
+    )
+
+
+class _RepairMemo:
+    """Cross-config batched repair: each failing window stepped once.
+
+    Follower candidates of one sweep fail at overwhelmingly overlapping
+    record windows (they copy the same donor schedules), so the first
+    config to step a window registers the repair *relative to the
+    window's entry cycle* under a :func:`_window_sig` key; later
+    configs whose signature matches apply the stored segment and
+    suffix delta instead of re-entering the Python stepper.  Entries
+    that survive a bad application (signature collision on unsigged
+    far-back producers) are dropped by the caller; hits are always
+    re-gated by the zero-mismatch verification pass.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        # start record -> [(extent, sig, relT_new, newO, suffix_delta)]
+        self.entries: OrderedDict = OrderedDict()
+
+    def lookup(self, ka, mc, rv, dv, ev, T, O, start: int):
+        bucket = self.entries.get(start)
+        if not bucket:
+            return None
+        for extent, sig, relT_new, newO, delta in bucket:
+            got = _window_sig(ka, mc, rv, dv, ev, T, O, start, extent)
+            if got is not None and got == sig:
+                self.entries.move_to_end(start)
+                return extent, relT_new, newO, delta
+        return None
+
+    def store(self, start: int, extent: int, sig: bytes,
+              relT_new, newO, delta: int) -> None:
+        bucket = self.entries.setdefault(start, [])
+        if len(bucket) >= _MEMO_PER_START:
+            bucket.pop(0)
+        bucket.append((extent, sig, relT_new, newO, delta))
+        self.entries.move_to_end(start)
+        while len(self.entries) > _MEMO_STARTS:
+            self.entries.popitem(last=False)
+
+    def drop(self, start: int) -> None:
+        self.entries.pop(start, None)
+
+
+class _Donor:
+    __slots__ = ("key", "T", "O", "rv", "dv", "ev")
+
+    def __init__(self, key, T, O, nl):
         self.key = key
         self.T = T
         self.O = O
+        _pkey, route, dcodes, ecodes, _excl = key
+        # Stream views decoded once at registration: pick_donor compares
+        # against every stored donor per config, so per-pick frombuffer
+        # calls add up across a sweep.
+        self.rv = _np.frombuffer(route, dtype=_np.uint8)
+        self.dv = _np.frombuffer(dcodes, dtype=_np.uint8)
+        self.ev = _ecview(ecodes, nl)
 
 
 class KernelState:
-    """Per-precompute kernel state: compiled arrays + donor schedules."""
+    """Per-precompute kernel state: compiled arrays, donor schedules and
+    the cross-config batched-repair memo shared by one sweep."""
 
-    __slots__ = ("arrays", "donors", "build_seconds")
+    __slots__ = ("arrays", "donors", "repairs", "build_seconds")
 
     def __init__(self):
         self.arrays: Optional[KernelArrays] = None
         self.donors: OrderedDict = OrderedDict()
+        self.repairs = _RepairMemo()
         self.build_seconds = 0.0
 
     def ensure_arrays(self, pre) -> KernelArrays:
@@ -269,17 +511,17 @@ class KernelState:
             self.build_seconds = time.perf_counter() - t0
         return self.arrays
 
-    def register(self, key, T, O) -> None:
+    def register(self, key, T, O, nl) -> None:
         donors = self.donors
         if key in donors:
             donors.move_to_end(key)
             return
         while len(donors) >= _DONOR_LIMIT:
             donors.popitem(last=False)
-        donors[key] = _Donor(key, T, O)
+        donors[key] = _Donor(key, T, O, nl)
 
     def pick_donor(self, key, nl):
-        """Nearest same-backend donor by stream diff density, or None."""
+        """Nearest donor by stream diff density, or None."""
         np = _np
         pkey, route, dcodes, ecodes, excluded = key
         rv = np.frombuffer(route, dtype=np.uint8)
@@ -288,23 +530,20 @@ class KernelState:
         best = None
         best_diff = None
         for dkey, donor in self.donors.items():
-            dpkey, droute, ddcodes, decodes, dexcl = dkey
-            if dpkey != pkey:
-                # Donor neighbourhoods never cross predictor backends:
-                # stream shapes correlate within one backend's sweep,
-                # and a cross-backend borrow would only waste a verify
-                # pass.
-                continue
+            dexcl = dkey[4]
+            # Cross-backend donors are allowed: the zero-mismatch gate
+            # makes any borrow exact, so the only question is stream
+            # distance, which the diff density below measures directly.
             diff = int(
                 np.count_nonzero(
-                    (rv != np.frombuffer(droute, dtype=np.uint8))
-                    | (dv != np.frombuffer(ddcodes, dtype=np.uint8))
-                    | (ev != _ecview(decodes, nl))
+                    (rv != donor.rv) | (dv != donor.dv) | (ev != donor.ev)
                 )
             )
             diff += len(excluded.symmetric_difference(dexcl))
             if best_diff is None or diff < best_diff:
                 best, best_diff = donor, diff
+                if diff == 0:
+                    break
         if best is None or best_diff > nl * _MAX_DIFF_FRAC:
             return None
         self.donors.move_to_end(best.key)
@@ -354,10 +593,7 @@ class _Mc:
         self.n_alus = cfg.int_alus
         self.n_fpus = cfg.fp_alus
         self.n_brus = cfg.branch_units
-        ld_lat = cfg.load_latency
-        self.ld_lat = ld_lat
-        self.ld_hit_lat = 1 if ld_lat > 1 else ld_lat
-        self.miss_lat = ld_lat + cfg.dcache.miss_penalty
+        self.ld_lat, self.ld_hit_lat, self.miss_lat = cfg.load_latencies()
 
 
 # ---------------------------------------------------------------------------
@@ -375,13 +611,13 @@ def _load_latency(mc: _Mc, rv, dv, O):
     return lat
 
 
-def _expected(ka: KernelArrays, mc: _Mc, rv, dv, ev, excl, T, O):
-    """Expected (T, O) under the forward equations, given candidate (T, O).
+def _forward_quantities(ka: KernelArrays, mc: _Mc, rv, dv, ev, T, O):
+    """One pass of the forward equations over candidate ``(T, O)``.
 
-    Returns ``(mismatch_mask, expT, expO)``.  Positions before the first
-    mismatch are exact by induction (every equation only references
-    strictly earlier records), so the first mismatch is the repair
-    point.
+    Returns ``(dep, bump, expT, expO)``: the dependence-readiness floor
+    and re-arbitration bump feed the fixed-point leader's prefix-scan
+    update; ``expT``/``expO`` are the expected schedule the verifier
+    compares against.
     """
     np = _np
     n = ka.n
@@ -492,13 +728,30 @@ def _expected(ka: KernelArrays, mc: _Mc, rv, dv, ev, excl, T, O):
         rv == 1, exp1, np.where(rv == 2, exp2, _O_NONE)
     ).astype(np.uint8)
 
+    return dep, bump, expT, expO
+
+
+def _mismatch(ka: KernelArrays, T, O, expT, expO):
+    """Record-indexed mismatch mask of candidate vs expected."""
     mm = T != expT
     mm_l = O != expO
     # mm is record-indexed; fold load outcome mismatches in.
-    lrec = rec_l[mm_l]
+    lrec = ka.rec_of_load[mm_l]
     if len(lrec):
         mm[lrec] = True
-    return mm, expT, expO
+    return mm
+
+
+def _expected(ka: KernelArrays, mc: _Mc, rv, dv, ev, excl, T, O):
+    """Expected (T, O) under the forward equations, given candidate (T, O).
+
+    Returns ``(mismatch_mask, expT, expO)``.  Positions before the first
+    mismatch are exact by induction (every equation only references
+    strictly earlier records), so the first mismatch is the repair
+    point.
+    """
+    _dep, _bump, expT, expO = _forward_quantities(ka, mc, rv, dv, ev, T, O)
+    return _mismatch(ka, T, O, expT, expO), expT, expO
 
 
 # ---------------------------------------------------------------------------
@@ -506,7 +759,8 @@ def _expected(ka: KernelArrays, mc: _Mc, rv, dv, ev, excl, T, O):
 # ---------------------------------------------------------------------------
 
 def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
-                 T, O, start: int, limit: int):
+                 T, O, start: int, limit: int, big: bool = False,
+                 through: int = 0):
     """Re-simulate records from *start* until the schedule re-syncs.
 
     Mirrors ``_replay``'s per-record semantics exactly, but reads
@@ -517,7 +771,38 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
     record (or -1 when the window budget ran out before re-syncing),
     *delta* the uniform shift already applied to the suffix beyond
     *stop*.
+
+    *big* is the caller's hint that the failing span ahead is long
+    (serially-bound stretches found by the fixed-point leader): those
+    go through the list-mode loop, which pays an O(n) setup to make
+    every per-record operation a plain-list index.  Short repair
+    windows keep the numpy-view loop whose setup is O(window).
+
+    *through* suppresses the re-sync early exit before that record
+    index: scattered-mismatch rounds step one contiguous sweep through
+    every failing region instead of paying the per-window entry
+    overhead thousands of times.
     """
+    if through - start >= _LIST_STEP_MIN and start * 3 <= through:
+        # The failing span covers most of the trace: re-walking the
+        # exact prefix from record 0 with register-file state is
+        # cheaper than window-entry reconstruction plus per-record
+        # producer gathers over the span.
+        return _record_pass(
+            pre, ka, mc, rv, dv, ev, excl, T, O,
+            min(ka.n, start + limit), through,
+        )
+    if big and min(ka.n, start + limit) - start >= _LIST_STEP_MIN:
+        return _step_region_list(
+            pre, ka, mc, rv, dv, ev, excl, T, O, start, limit, through
+        )
+    return _step_region_np(
+        pre, ka, mc, rv, dv, ev, excl, T, O, start, limit, through
+    )
+
+
+def _step_region_np(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                    T, O, start: int, limit: int, through: int = 0):
     np = _np
     records = pre.records
     n = ka.n
@@ -527,7 +812,6 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
     sword = pre.sword
     lbase = pre.lbase
     redir_arr = ka.redir
-    latx = ka.latx
     p1o, p2o, p3o = ka.p1o, ka.p2o, ka.p3o
     prod_base_o = ka.prod_base_o
 
@@ -540,15 +824,18 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
     ld_hit_lat = mc.ld_hit_lat
     miss_lat = mc.miss_lat
 
+    sl = ka.lists()
+    lordl = sl.lordl
+    latxl = sl.latxl
+
     def v_of(off):
         # ``off`` is a pre-offset producer index (0 = none).
         if off == 0:
             return 0
         j = off - 1
-        k = records[j][0]
-        if k != 0:
-            return int(T[j]) + int(latx[j])
-        lj = int(np.searchsorted(rec_of_load, j))
+        lj = lordl[j]
+        if lj < 0:
+            return int(T[j]) + latxl[j]
         o = O[lj]
         r = rv[lj]
         code = dv[lj]
@@ -767,7 +1054,9 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
         else:
             streak = 1
             prev_delta = delta
-        if len(cyc_mem) > 16:
+        if len(cyc_mem) > 64:
+            # Amortized purge: scanning the dict every record once it
+            # crosses a small threshold costs more than the stale keys.
             for ckey in [ck for ck in cyc_mem if ck < cur - 2]:
                 del cyc_mem[ckey]
 
@@ -778,7 +1067,7 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
                 iss = alu = fpu = bru = spec = 0
 
         i += 1
-        if streak >= _SYNC_RUN and i < n:
+        if streak >= _SYNC_RUN and i < n and i >= through:
             if prev_delta:
                 T[i:] += prev_delta
             return i, prev_delta or 0, i - start
@@ -786,6 +1075,867 @@ def _step_region(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
     if i >= n:
         return n, 0, i - start
     return -1, 0, i - start
+
+
+def _step_region_list(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                      T, O, start: int, limit: int, through: int = 0):
+    """List-mode twin of :func:`_step_region_np` for long spans.
+
+    Semantically identical; the ready-time table ``V`` (``V[off]`` =
+    writeback cycle of pre-offset producer *off*, ``V[0]`` the missing
+    sentinel) and the per-config streams are materialized as plain
+    Python lists up front, so the per-record loop touches no numpy
+    scalars at all.  Results are written back to ``T``/``O`` in one
+    vectorized slice assignment at exit.
+    """
+    np = _np
+    records = pre.records
+    n = ka.n
+    rec_of_load = ka.rec_of_load
+    rec_of_store = ka.rec_of_store
+    lword = pre.lword
+    sword = pre.sword
+    redir_arr = ka.redir
+    sl = ka.lists()
+    p1l, p2l, p3l = sl.p1l, sl.p2l, sl.p3l
+    prodbl = sl.prodbl
+
+    width = mc.width
+    n_ports = mc.n_ports
+    n_alus = mc.n_alus
+    n_fpus = mc.n_fpus
+    n_brus = mc.n_brus
+    ld_lat = mc.ld_lat
+    ld_hit_lat = mc.ld_hit_lat
+    miss_lat = mc.miss_lat
+
+    lat = ka.latx.copy()
+    lat[rec_of_load] = _load_latency(mc, rv, dv, O)
+    V = [0]
+    # Prefix entries are exact (T, O are exact before *start*); entries
+    # at/after *start* are stale seeds overwritten as records step.
+    V.extend((T + lat).tolist())
+    rvl = rv.tolist()
+    dvl = dv.tolist()
+    evl = ev.tolist()
+    Ol = O.tolist()
+    o_noport = _O_NOPORT
+    o_wrong = _O_WRONG
+    o_ilk = _O_ILK
+    o_dmiss = _O_DMISS
+    o_succ = _O_SUCC
+    o_part = _O_PART
+    o_ra = _O_RA
+    sync_run = _SYNC_RUN
+
+    li = int(np.searchsorted(rec_of_load, start))
+    si = int(np.searchsorted(rec_of_store, start))
+    li0 = li
+
+    if start:
+        prev_t = int(T[start - 1])
+        prev_end = prev_t + int(redir_arr[start - 1])
+    else:
+        prev_t = -1
+        prev_end = 0
+
+    cyc_mem = {}
+    epoch = prev_t
+    iss = alu = fpu = bru = spec = 0
+    bound = prev_t - 3
+    j = start - 1
+    lj = li - 1
+    sj = si - 1
+    while j >= 0 and int(T[j]) >= bound:
+        tj = int(T[j])
+        k = records[j][0]
+        charged = False
+        if k == 1:
+            charged = True
+            sj -= 1
+        elif k == 0:
+            o = Ol[lj]
+            if not (o == o_succ or o == o_part):
+                charged = True
+            if tj == epoch and o >= 2:
+                # Unbumped same-cycle spec dispatch: c0 == T holds iff
+                # the record was not re-arbitrated into this cycle.
+                pe = (
+                    int(T[j - 1]) + int(redir_arr[j - 1]) if j else 0
+                ) + int(ka.pen[j])
+                dep = max(V[p1l[j]], V[p2l[j]], V[p3l[j]])
+                if max(pe, dep) == tj:
+                    spec += 1
+            lj -= 1
+        if charged:
+            cyc_mem[tj] = cyc_mem.get(tj, 0) + 1
+        if tj == epoch:
+            iss += 1
+            if k == 4:
+                alu += 1
+            elif k == 5:
+                fpu += 1
+            elif k == 2 or k == 3:
+                bru += 1
+        j -= 1
+
+    sq: deque = deque()
+    j = si - 1
+    while j >= 0:
+        ts = int(T[rec_of_store[j]])
+        if ts < prev_t - 3:
+            break
+        sq.appendleft((ts, sword[j]))
+        j -= 1
+
+    cur = prev_end
+    streak = 0
+    prev_delta = None
+    i = start
+    end = min(n, start + limit)
+    oldTl = T[start:end].tolist()
+    newT: list = []
+    newO: list = []
+    nT_append = newT.append
+    nO_append = newO.append
+    sq_append = sq.append
+
+    def writeback(stop):
+        if newT:
+            T[start:stop] = newT
+        if newO:
+            O[li0:li] = newO
+
+    while i < end:
+        k, pen, s1, s2, s3, dest, x = records[i]
+        if pen:
+            cur += pen
+        t = V[p1l[i]]
+        r2 = V[p2l[i]]
+        if r2 > t:
+            t = r2
+        r3 = V[p3l[i]]
+        if r3 > t:
+            t = r3
+        if t > cur:
+            cur = t
+        if cur != epoch:
+            epoch = cur
+            iss = alu = fpu = bru = spec = 0
+
+        o = 0
+        if k == 4:
+            if iss >= width or alu >= n_alus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            alu += 1
+            V[i + 1] = cur + x
+        elif k == 0:
+            code = dvl[li]
+            r = rvl[li]
+            success = False
+            if r == 1:
+                if code & 2:
+                    if cyc_mem.get(cur - 2, 0) + spec < n_ports:
+                        spec += 1
+                        if code & 4:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq.popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = o_ilk
+                            elif code & 1:
+                                success = True
+                                o = o_succ
+                            else:
+                                o = o_dmiss
+                        else:
+                            o = o_wrong
+                    else:
+                        o = o_noport
+            elif r == 2:
+                ec = evl[li]
+                if ec:
+                    if cyc_mem.get(cur - 2, 0) + spec < n_ports:
+                        spec += 1
+                        if V[prodbl[li]] > cur - 2:
+                            o = o_ra
+                        else:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq.popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = o_ilk
+                            elif code & 1:
+                                success = True
+                                o = o_part if ec & 2 else o_succ
+                            else:
+                                o = o_dmiss
+                    else:
+                        o = o_noport
+            if success:
+                if iss >= width:
+                    cur += 1
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+            else:
+                if iss >= width or cyc_mem.get(cur, 0) >= n_ports:
+                    cur += 1
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+                cyc_mem[cur] = cyc_mem.get(cur, 0) + 1
+            if r == 1 and o == o_succ:
+                lw = ld_hit_lat
+            elif r == 2 and o == o_succ:
+                lw = 0
+            elif o == o_part:
+                lw = 1
+            else:
+                lw = ld_lat if code & 1 else miss_lat
+            V[i + 1] = cur + lw
+        elif k == 2 or k == 3:
+            if iss >= width or bru >= n_brus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            bru += 1
+            if k == 3:
+                V[i + 1] = cur + 1
+        elif k == 1:
+            if iss >= width or cyc_mem.get(cur, 0) >= n_ports:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            cyc_mem[cur] = cyc_mem.get(cur, 0) + 1
+            sq_append((cur, sword[si]))
+            si += 1
+        elif k == 5:
+            if iss >= width or fpu >= n_fpus:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            fpu += 1
+            V[i + 1] = cur + x
+        else:
+            if iss >= width:
+                cur += 1
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            V[i + 1] = cur + x
+
+        same_o = True
+        if k == 0:
+            if Ol[li] != o:
+                same_o = False
+            nO_append(o)
+            li += 1
+        delta = cur - oldTl[i - start]
+        nT_append(cur)
+        if same_o and delta == prev_delta:
+            streak += 1
+        else:
+            streak = 1
+            prev_delta = delta
+        if len(cyc_mem) > 64:
+            # Amortized purge: scanning the dict every record once it
+            # crosses a small threshold costs more than the stale keys.
+            for ckey in [ck for ck in cyc_mem if ck < cur - 2]:
+                del cyc_mem[ckey]
+
+        if k == 2 or k == 3:
+            if x:
+                cur += x
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+
+        i += 1
+        if streak >= sync_run and i < n and i >= through:
+            writeback(i)
+            if prev_delta:
+                T[i:] += prev_delta
+            return i, prev_delta or 0, i - start
+
+    writeback(i)
+    if i >= n:
+        return n, 0, i - start
+    return -1, 0, i - start
+
+
+def _record_pass(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                 T, O, end: int, through: int):
+    """Whole-trace recording walk of the forward equations.
+
+    A third stepping mode for sweeps whose failing span covers most of
+    the trace: start at record 0, so no entry state has to be
+    reconstructed and operand readiness lives in a 130-slot register
+    file read straight off the record tuples — the same state layout
+    as the scalar replay, which drops the producer-link gathers and
+    the absolute-cycle port dict (only ``cur``/``cur-1``/``cur-2`` are
+    ever probed, so three shifting scalars cover the window).  The
+    resync early-exit stays suppressed before *through* and the streak
+    bookkeeping is skipped entirely until then, which makes the
+    pre-*through* loop body the cheapest per-record walk the kernel
+    has.  Same return contract as :func:`_step_region`.
+    """
+    records = pre.records
+    n = ka.n
+    lword = pre.lword
+    sword = pre.sword
+    lbase = pre.lbase
+
+    width = mc.width
+    n_ports = mc.n_ports
+    n_alus = mc.n_alus
+    n_fpus = mc.n_fpus
+    n_brus = mc.n_brus
+    ld_lat = mc.ld_lat
+    ld_hit_lat = mc.ld_hit_lat
+    miss_lat = mc.miss_lat
+
+    rvl = rv.tolist()
+    dvl = dv.tolist()
+    evl = ev.tolist()
+    Ol = O.tolist()
+    oldTl = T.tolist()
+
+    o_noport = _O_NOPORT
+    o_wrong = _O_WRONG
+    o_ilk = _O_ILK
+    o_dmiss = _O_DMISS
+    o_succ = _O_SUCC
+    o_part = _O_PART
+    o_ra = _O_RA
+    sync_run = _SYNC_RUN
+
+    rr = [0] * 130
+    sq: deque = deque()
+    sq_append = sq.append
+    sq_popleft = sq.popleft
+
+    cur = 0
+    epoch = -1
+    iss = alu = fpu = bru = spec = 0
+    # Normal-access port charges at issue cycles cur / cur-1 / cur-2;
+    # shifted on every clock advance (older cycles are never probed).
+    cm0 = cm1 = cm2 = 0
+    li = si = 0
+    streak = 0
+    prev_delta = None
+    newT: list = []
+    newO: list = []
+    nT_append = newT.append
+    nO_append = newO.append
+    i = 0
+    it = records if end >= n else records[:end]
+
+    for k, pen, s1, s2, s3, dest, x in it:
+        if pen:
+            cur += pen
+        t = rr[s1]
+        r2 = rr[s2]
+        if r2 > t:
+            t = r2
+        r3 = rr[s3]
+        if r3 > t:
+            t = r3
+        if t > cur:
+            cur = t
+        if cur != epoch:
+            d = cur - epoch
+            if d == 1:
+                cm2 = cm1
+                cm1 = cm0
+            elif d == 2:
+                cm2 = cm0
+                cm1 = 0
+            else:
+                cm2 = 0
+                cm1 = 0
+            cm0 = 0
+            epoch = cur
+            iss = alu = fpu = bru = spec = 0
+
+        o = 0
+        if k == 4:
+            if iss >= width or alu >= n_alus:
+                cur += 1
+                cm2 = cm1
+                cm1 = cm0
+                cm0 = 0
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            alu += 1
+            rr[dest] = cur + x
+        elif k == 0:
+            code = dvl[li]
+            r = rvl[li]
+            success = False
+            if r == 1:
+                if code & 2:
+                    if cm2 + spec < n_ports:
+                        spec += 1
+                        if code & 4:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = o_ilk
+                            elif code & 1:
+                                success = True
+                                o = o_succ
+                            else:
+                                o = o_dmiss
+                        else:
+                            o = o_wrong
+                    else:
+                        o = o_noport
+            elif r == 2:
+                ec = evl[li]
+                if ec:
+                    if cm2 + spec < n_ports:
+                        spec += 1
+                        if rr[lbase[li]] > cur - 2:
+                            o = o_ra
+                        else:
+                            c = cur - 1
+                            ilk = False
+                            if sq:
+                                while sq and sq[0][0] + 1 <= c:
+                                    sq_popleft()
+                                w = lword[li]
+                                for _, s_w in sq:
+                                    if s_w == w:
+                                        ilk = True
+                                        break
+                            if ilk:
+                                o = o_ilk
+                            elif code & 1:
+                                success = True
+                                o = o_part if ec & 2 else o_succ
+                            else:
+                                o = o_dmiss
+                    else:
+                        o = o_noport
+            if success:
+                if iss >= width:
+                    cur += 1
+                    cm2 = cm1
+                    cm1 = cm0
+                    cm0 = 0
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+            else:
+                if iss >= width or cm0 >= n_ports:
+                    cur += 1
+                    cm2 = cm1
+                    cm1 = cm0
+                    cm0 = 0
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+                iss += 1
+                cm0 += 1
+            if r == 1 and o == o_succ:
+                lw = ld_hit_lat
+            elif r == 2 and o == o_succ:
+                lw = 0
+            elif o == o_part:
+                lw = 1
+            else:
+                lw = ld_lat if code & 1 else miss_lat
+            rr[dest] = cur + lw
+        elif k == 2 or k == 3:
+            if iss >= width or bru >= n_brus:
+                cur += 1
+                cm2 = cm1
+                cm1 = cm0
+                cm0 = 0
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            bru += 1
+            if k == 3:
+                rr[63] = cur + 1
+        elif k == 1:
+            if iss >= width or cm0 >= n_ports:
+                cur += 1
+                cm2 = cm1
+                cm1 = cm0
+                cm0 = 0
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            cm0 += 1
+            sq_append((cur, sword[si]))
+            si += 1
+        elif k == 5:
+            if iss >= width or fpu >= n_fpus:
+                cur += 1
+                cm2 = cm1
+                cm1 = cm0
+                cm0 = 0
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            fpu += 1
+            rr[dest] = cur + x
+        else:
+            if iss >= width:
+                cur += 1
+                cm2 = cm1
+                cm1 = cm0
+                cm0 = 0
+                epoch = cur
+                iss = alu = fpu = bru = spec = 0
+            iss += 1
+            rr[dest] = cur + x
+
+        if k == 0:
+            nO_append(o)
+        nT_append(cur)
+        i += 1
+        if i >= through:
+            if k == 0:
+                li += 1
+                same_o = newO[-1] == Ol[li - 1]
+            else:
+                same_o = True
+            delta = cur - oldTl[i - 1]
+            if same_o and delta == prev_delta:
+                streak += 1
+            else:
+                streak = 1
+                prev_delta = delta
+            if k == 2 or k == 3:
+                if x:
+                    cur += x
+                    if x == 1:
+                        cm2 = cm1
+                        cm1 = cm0
+                    elif x == 2:
+                        cm2 = cm0
+                        cm1 = 0
+                    else:
+                        cm2 = 0
+                        cm1 = 0
+                    cm0 = 0
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+            if streak >= sync_run and i < n:
+                T[:i] = newT
+                if newO:
+                    O[:li] = newO
+                if prev_delta:
+                    T[i:] += prev_delta
+                return i, prev_delta or 0, i
+        else:
+            if k == 0:
+                li += 1
+            if k == 2 or k == 3:
+                if x:
+                    cur += x
+                    if x == 1:
+                        cm2 = cm1
+                        cm1 = cm0
+                    elif x == 2:
+                        cm2 = cm0
+                        cm1 = 0
+                    else:
+                        cm2 = 0
+                        cm1 = 0
+                    cm0 = 0
+                    epoch = cur
+                    iss = alu = fpu = bru = spec = 0
+
+    T[:i] = newT
+    if newO:
+        O[:li] = newO
+    if i >= n:
+        return n, 0, i
+    return -1, 0, i
+
+
+def _scatter_span(pos):
+    """One-sweep (start, through) for a scattered mismatch round.
+
+    Returns None when the round's failing positions form few regions
+    (the per-window path with its batched-repair memo is better) or
+    span too little to amortize the list-mode setup.
+    """
+    first = int(pos[0])
+    last = int(pos[-1])
+    if last - first < _LIST_STEP_MIN:
+        return None
+    if len(pos) < _LIST_STEP_MIN:
+        # Sparse enough that region count decides; a dense span (one
+        # huge region) always sweeps — stepping it window-by-window
+        # would re-pay the entry reconstruction at every re-sync gap.
+        regions = 1 + int(_np.count_nonzero(_np.diff(pos) > _REGION_GAP))
+        if regions < _SCATTER_REGIONS:
+            return None
+    return first, last + 1
+
+
+def _repair_window(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                   T, O, start: int, limit: int, st, no_memo,
+                   big: bool = False, through: int = 0):
+    """Repair the window at *start*: memo apply, or step and memoize.
+
+    Returns ``(stop, stepped, from_memo)`` with *stop*/*stepped* as in
+    :func:`_step_region` (*stop* = -1 on budget exhaustion).  A memo
+    hit applies the recorded rebased segment plus suffix delta and
+    charges nothing against the step budget; a miss runs the scalar
+    stepper and registers the result under the window's pre-repair
+    signature for the rest of the sweep.  Starts in *no_memo* (a prior
+    application at that start failed verification — signature collision
+    on unsigged far-back producers) always step scalar.
+    """
+    np = _np
+    memo = st.repairs if st is not None else None
+    if through > start:
+        # Contiguous sweep through a scattered-mismatch span: far too
+        # wide to memoize, and a (small-window) memo hit at *start*
+        # would not cover it, so bypass the memo machinery entirely.
+        stop, delta, stepped = _step_region(
+            pre, ka, mc, rv, dv, ev, excl, T, O, start, limit,
+            big=big, through=through,
+        )
+        return stop, stepped, False
+    if memo is not None and start not in no_memo:
+        hit = memo.lookup(ka, mc, rv, dv, ev, T, O, start)
+        if hit is not None:
+            extent, relT_new, newO, delta = hit
+            stop = start + extent
+            base = int(T[start - 1])
+            l0 = int(np.searchsorted(ka.rec_of_load, start))
+            T[start:stop] = relT_new + base
+            O[l0 : l0 + len(newO)] = newO
+            if delta:
+                T[stop:] += delta
+            return stop, 0, True
+
+    e0 = le0 = 0
+    preT = preO = None
+    if memo is not None and start > 0:
+        e0 = max(0, start - _ENTRY_LOOKBACK)
+        hi = min(ka.n, start + _MEMO_MAX_EXTENT)
+        le0 = int(np.searchsorted(ka.rec_of_load, e0))
+        lhi = int(np.searchsorted(ka.rec_of_load, hi))
+        preT = T[e0:hi].copy()
+        preO = O[le0:lhi].copy()
+    stop, delta, stepped = _step_region(
+        pre, ka, mc, rv, dv, ev, excl, T, O, start, limit, big=big
+    )
+    if (
+        preT is not None
+        and stop > start
+        and stop - start <= _MEMO_MAX_EXTENT
+    ):
+        extent = stop - start
+        sig = _window_sig(ka, mc, rv, dv, ev, preT, preO, start, extent,
+                          t_off=e0, l_off=le0)
+        if sig is not None:
+            base = int(T[start - 1])
+            l0 = int(np.searchsorted(ka.rec_of_load, start))
+            l1 = int(np.searchsorted(ka.rec_of_load, stop))
+            memo.store(start, extent, sig, T[start:stop] - base,
+                       O[l0:l1].copy(), delta)
+    return stop, stepped, False
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point leader scheduling
+# ---------------------------------------------------------------------------
+
+def _leader_schedule(pre, ka: KernelArrays, mc: _Mc, rv, dv, ev, excl,
+                     info, st=None, ctr=None):
+    """Schedule a leader config by vectorized fixed-point iteration.
+
+    Seeds the issue cycles from the dependence-free front-end floor
+    (``cumsum(pen + redirect_prev)``) and per-load outcomes from the
+    optimistic all-ports-free / no-interlock reading of the streams,
+    then iterates {evaluate forward equations, re-solve the issue chain
+    with a max-plus prefix scan}.  The chain recurrence
+    ``T[i] = max(T[i-1] + a[i], g[i])`` with per-round constants
+    ``a = pen + redirect_prev + bump`` and ``g = dep + bump`` has the
+    closed form ``T = A + max(cummax(g - A), 0)`` over ``A = cumsum(a)``
+    — each round closes the whole issue chain, so only the dependence /
+    bump / outcome feedback lags.  Serially-bound stretches (pointer
+    chases advance one dependence hop per round) are detected by a
+    stalled mismatch count and handed to the scalar window stepper via
+    :func:`_repair_window`, then iteration resumes.
+
+    Acceptance is a zero-mismatch evaluation pass, so the result **is**
+    the exact replay (the recurrence has a unique fixed point); returns
+    ``(T, O)`` on acceptance or None when the round/step budget runs
+    out (caller falls back to the scalar recording replay).
+    """
+    np = _np
+    n = ka.n
+
+    rp = np.zeros(n, dtype=np.int64)
+    rp[1:] = ka.redir[:-1]
+    base_inc = ka.pen + rp
+    T = np.cumsum(base_inc)
+
+    dhit = (dv & 1) != 0
+    func = (dv & 2) != 0
+    corr = (dv & 4) != 0
+    o1 = np.where(
+        ~func, _O_NONE,
+        np.where(~corr, _O_WRONG, np.where(dhit, _O_SUCC, _O_DMISS)),
+    )
+    o2 = np.where(
+        ev == 0, _O_NONE,
+        np.where(
+            ~dhit, _O_DMISS,
+            np.where((ev & 2) != 0, _O_PART, _O_SUCC),
+        ),
+    )
+    O = np.where(rv == 1, o1, np.where(rv == 2, o2, _O_NONE)).astype(
+        np.uint8
+    )
+
+    # 2n, not n: a whole-trace recording pass may re-walk the exact
+    # prefix (cheaper than entry reconstruction), so one sweep plus a
+    # residual repair can legitimately step more than n records.
+    step_budget = 2 * n
+    stepped_total = 0
+    batched = 0
+    best = None
+    stalled = 0
+    no_memo: set = set()
+    applied: list = []
+    rounds = 0
+    converged = False
+    while rounds < _FP_MAX_ROUNDS:
+        rounds += 1
+        dep, bump, expT, expO = _forward_quantities(
+            ka, mc, rv, dv, ev, T, O
+        )
+        mm = _mismatch(ka, T, O, expT, expO)
+        pos = np.nonzero(mm)[0]
+        cnt = len(pos)
+        if cnt == 0:
+            converged = True
+            break
+        first = int(pos[0])
+        for a_start, a_stop in applied:
+            if a_start <= first < a_stop:
+                # A memo application that still fails: signature
+                # collision on unsigged far-back producers.  Blacklist
+                # and let the stepper redo it scalar.
+                no_memo.add(a_start)
+                if st is not None:
+                    st.repairs.drop(a_start)
+                break
+        if best is None or cnt < best - (best >> 3):
+            # Progress means a geometric drop (>= 1/8 per round): a
+            # pointer chase resolves only a constant number of records
+            # per scan round, which shrinks the count linearly and must
+            # trigger stepping, not burn the round budget.
+            best = cnt
+            stalled = 0
+        else:
+            stalled += 1
+        if stalled >= _FP_STALL or cnt >= n >> 2:
+            # Serially-bound: step every currently-failing region
+            # scalar (exact-prefix induction makes the first mismatch a
+            # sound entry point), then resume vector rounds.  A round
+            # that leaves a quarter of the trace failing skips the
+            # stall countdown: width-packing feedback that dense never
+            # closes under the prefix scan, and each burned round costs
+            # a full O(n) evaluation pass.
+            sweep = _scatter_span(pos)
+            if sweep is not None:
+                s_start, s_through = sweep
+                stop, stepped, _ = _repair_window(
+                    pre, ka, mc, rv, dv, ev, excl, T, O, s_start,
+                    step_budget - stepped_total, st, no_memo,
+                    big=True, through=s_through,
+                )
+                stepped_total += stepped
+                if stop < 0 or stepped_total > step_budget:
+                    break
+                best = None
+                stalled = 0
+                continue
+            covered = -1
+            fail = False
+            for idx, p in enumerate(pos):
+                p = int(p)
+                if p <= covered:
+                    continue
+                if p <= covered + _REGION_GAP and covered >= 0:
+                    start = covered + 1
+                else:
+                    start = p
+                stop, stepped, from_memo = _repair_window(
+                    pre, ka, mc, rv, dv, ev, excl, T, O, start,
+                    step_budget - stepped_total, st, no_memo,
+                    big=cnt - idx >= _LIST_STEP_MIN,
+                )
+                if from_memo:
+                    batched += 1
+                    applied.append((start, stop))
+                stepped_total += stepped
+                if stop < 0 or stepped_total > step_budget:
+                    fail = True
+                    break
+                covered = stop - 1
+            if fail:
+                break
+            best = None
+            stalled = 0
+            continue
+        O = expO
+        a = base_inc + bump
+        A = np.cumsum(a)
+        g = dep + bump - A
+        np.maximum.accumulate(g, out=g)
+        np.maximum(g, 0, out=g)
+        T = A + g
+
+    info["fixed_point_rounds"] = rounds
+    info["stepped"] = stepped_total
+    info["batched_windows"] = batched
+    if ctr is not None:
+        ctr.bump("fixed_point_rounds", rounds)
+        if batched:
+            ctr.bump("batched_windows", batched)
+    if converged:
+        return T, O
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -813,9 +1963,7 @@ def _replay_recording(pre, cfg, route, dcodes, dtotals, ecodes,
     n_alus = cfg.int_alus
     n_fpus = cfg.fp_alus
     n_brus = cfg.branch_units
-    ld_lat = cfg.load_latency
-    ld_hit_lat = 1 if ld_lat > 1 else ld_lat
-    miss_lat = ld_lat + cfg.dcache.miss_penalty
+    ld_lat, ld_hit_lat, miss_lat = cfg.load_latencies()
 
     T_rec = array("q", bytes(8 * n))
     O_rec = bytearray(pre.n_loads)
@@ -1106,21 +2254,25 @@ def _stats_from_schedule(pre, ka, route, rv, dtotals, T, O):
     from repro.sim.precompute import _assemble_stats
 
     np = _np
-    nz = np.count_nonzero
-    r1 = rv == 1
-    r2 = rv == 2
-    disp = O >= 2
+    # One joint histogram over (route, outcome) replaces a dozen
+    # full-array mask passes: 8 outcome codes x 3 route values.  The
+    # joint code maxes out at (2 << 3) + 7 = 23, so the add stays in
+    # uint8 with no widening pass.
+    h = np.bincount(O + (rv << 3), minlength=24)
+    o_tot = h[:8] + h[8:16] + h[16:24]
+    r1_disp = int(h[8 + 2 : 16].sum())
+    r2_disp = int(h[16 + 2 : 24].sum())
     stats = _assemble_stats(
         pre, route, dtotals, int(T[-1] + ka.redir[-1]),
-        int(nz(r1 & disp)), int(nz(r1 & (O == _O_SUCC))),
-        int(nz(O == _O_WRONG)),
-        int(nz(r2 & disp)),
-        int(nz(r2 & ((O == _O_SUCC) | (O == _O_PART)))),
-        int(nz(O == _O_PART)),
-        int(nz(O == _O_NOPORT)), int(nz(O == _O_ILK)),
-        int(nz(O == _O_DMISS)),
+        r1_disp, int(h[8 + _O_SUCC]),
+        int(o_tot[_O_WRONG]),
+        r2_disp,
+        int(h[16 + _O_SUCC] + h[16 + _O_PART]),
+        int(o_tot[_O_PART]),
+        int(o_tot[_O_NOPORT]), int(o_tot[_O_ILK]),
+        int(o_tot[_O_DMISS]),
     )
-    return stats, int(nz(O == _O_RA))
+    return stats, int(o_tot[_O_RA])
 
 
 # ---------------------------------------------------------------------------
@@ -1128,15 +2280,18 @@ def _stats_from_schedule(pre, ka, route, rv, dtotals, T, O):
 # ---------------------------------------------------------------------------
 
 def replay(pre, cfg, route, dcodes, dtotals, ecodes, excluded,
-           diverged, info):
+           diverged, info, counters=None):
     """Replay one config's streams on the kernel path.
 
-    Returns ``(stats, ra_interlock)``, always exact: a donor-derived
-    schedule is only used after zero-mismatch verification; otherwise
-    the recording scalar replay runs (and registers a donor).  Fills
-    *diverged* and *info* (obs fields) like the scalar path.
+    Returns ``(stats, ra_interlock)``, always exact: donor-derived and
+    fixed-point schedules are only used after zero-mismatch
+    verification; otherwise the recording scalar replay runs.  Every
+    path registers its schedule as a donor.  Fills *diverged* and
+    *info* (obs fields) like the scalar path.  *counters* is the
+    sweep's :class:`PathCounters` (a fresh one mirroring into the
+    aggregate when not supplied).
     """
-    global _kernel_followers, _kernel_leaders, _kernel_fallbacks
+    ctr = counters if counters is not None else new_counters()
     st = _state(pre)
     ka = st.ensure_arrays(pre)
     info["chunks"] = ka.n_chunks
@@ -1154,21 +2309,36 @@ def replay(pre, cfg, route, dcodes, dtotals, ecodes, excluded,
     if donor is not None:
         T = donor.T.copy()
         O = donor.O.copy()
-        if _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info):
-            st.register(key, T, O)
+        t0 = perf_counter()
+        ok = _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info,
+                            st=st, ctr=ctr)
+        ctr.bump("repair_s", perf_counter() - t0)
+        if ok:
+            st.register(key, T, O, nl)
             _collect_divergence(rv, dv, excl, O, diverged)
-            _kernel_followers += 1
+            ctr.bump("followers")
             info["path"] = "kernel-follower"
             return _stats_from_schedule(pre, ka, route, rv, dtotals, T, O)
-        _kernel_fallbacks += 1
         info["repair_fallback"] = True
+
+    t0 = perf_counter()
+    sched = _leader_schedule(pre, ka, mc, rv, dv, ev, excl, info,
+                             st=st, ctr=ctr)
+    ctr.bump("leader_s", perf_counter() - t0)
+    if sched is not None:
+        T, O = sched
+        st.register(key, T, O, nl)
+        _collect_divergence(rv, dv, excl, O, diverged)
+        ctr.bump("leaders")
+        info["path"] = "kernel-leader"
+        return _stats_from_schedule(pre, ka, route, rv, dtotals, T, O)
 
     stats, ra, T, O = _replay_recording(
         pre, cfg, route, dcodes, dtotals, ecodes, excluded, diverged
     )
-    st.register(key, T, O)
-    _kernel_leaders += 1
-    info["path"] = "kernel-leader"
+    st.register(key, T, O, nl)
+    ctr.bump("fallbacks")
+    info["path"] = "kernel-fallback"
     return stats, ra
 
 
@@ -1181,29 +2351,66 @@ def _collect_divergence(rv, dv, excl, O, diverged):
         diverged.extend(int(x) for x in _np.nonzero(bad)[0])
 
 
-def _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info) -> bool:
+def _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info,
+                   st=None, ctr=None) -> bool:
     """Verify candidate (T, O); repair failing positions in place.
 
     True only when a verification pass reports zero mismatches — the
     accepted schedule satisfies every forward equation and therefore
-    equals the exact scalar replay.
+    equals the exact scalar replay.  Failing windows go through
+    :func:`_repair_window`, so a window already stepped by an earlier
+    config of the sweep is applied from the batched-repair memo instead
+    of re-entering the scalar stepper.
     """
+    np = _np
     n = ka.n
-    step_budget = max(_CHUNK, n // 3)
+    # Generous on purpose: abandoning a follower mid-repair only to
+    # redo the same stepping inside a fresh leader schedule is pure
+    # waste, so the budget matches the leader's (a whole-trace
+    # recording pass plus residual repair).
+    step_budget = 2 * n
     rounds = 0
     stepped_total = 0
     repairs = 0
-    while rounds < _MAX_ROUNDS:
+    batched = 0
+    no_memo: set = set()
+    applied: list = []
+    ok = False
+    done = False
+    while rounds < _MAX_ROUNDS and not done:
         rounds += 1
         mm, _expT, _expO = _expected(ka, mc, rv, dv, ev, excl, T, O)
-        pos = _np.nonzero(mm)[0]
+        pos = np.nonzero(mm)[0]
         if not len(pos):
             info["verify_rounds"] = rounds
             info["repaired"] = repairs
-            info["stepped"] = stepped_total
-            return False if stepped_total > step_budget else True
+            ok = stepped_total <= step_budget
+            break
+        first = int(pos[0])
+        for a_start, a_stop in applied:
+            if a_start <= first < a_stop:
+                # A memo application that still fails: signature
+                # collision on unsigged far-back producers.  Blacklist
+                # and let the stepper redo it scalar.
+                no_memo.add(a_start)
+                if st is not None:
+                    st.repairs.drop(a_start)
+                break
+        sweep = _scatter_span(pos)
+        if sweep is not None:
+            s_start, s_through = sweep
+            stop, stepped, _ = _repair_window(
+                pre, ka, mc, rv, dv, ev, excl, T, O, s_start,
+                step_budget - stepped_total, st, no_memo,
+                big=True, through=s_through,
+            )
+            stepped_total += stepped
+            repairs += 1
+            if stop < 0 or stepped_total > step_budget:
+                done = True
+            continue
         covered = -1
-        for p in pos:
+        for idx, p in enumerate(pos):
             p = int(p)
             if p <= covered:
                 continue
@@ -1215,15 +2422,22 @@ def _verify_repair(pre, ka, mc, rv, dv, ev, excl, T, O, info) -> bool:
             # positions valid as markers (indices don't move); stepping
             # them re-syncs against the shifted suffix, so keep going
             # rather than paying a full verify pass per region.
-            stop, _delta, stepped = _step_region(
+            stop, stepped, from_memo = _repair_window(
                 pre, ka, mc, rv, dv, ev, excl, T, O, start,
-                step_budget - stepped_total,
+                step_budget - stepped_total, st, no_memo,
+                big=len(pos) - idx >= _LIST_STEP_MIN,
             )
+            if from_memo:
+                batched += 1
+                applied.append((start, stop))
             stepped_total += stepped
             repairs += 1
             if stop < 0 or stepped_total > step_budget:
-                info["stepped"] = stepped_total
-                return False
+                done = True
+                break
             covered = stop - 1
     info["stepped"] = stepped_total
-    return False
+    info["batched_windows"] = batched
+    if ctr is not None and batched:
+        ctr.bump("batched_windows", batched)
+    return ok

@@ -1,0 +1,315 @@
+"""Leaderless fixed-point scheduling (:mod:`repro.sim.replay_kernel`).
+
+PR 10's tentpole contract: on a warm wide sweep no config runs the
+scalar recording replay — the leader schedule is solved by iterated
+vectorized fixed-point passes over the kernel arrays, and follower
+repairs go through the batched ``(window, route)`` memo.  These tests
+pin:
+
+* the vectorized leader's schedule is *identical* (issue cycles and
+  outcome codes, not just the derived stats) to
+  ``_replay_recording``'s on every config of a random sweep over
+  generated (``gen:``) workloads,
+* a pathological round budget forces the scalar fallback, and the
+  fallback still produces byte-identical stats,
+* the adpcm-class short-trace profitability gate holds at the default
+  thresholds,
+* the ``REPRO_KERNEL_MIN_N`` / ``REPRO_KERNEL_MIN_SWEEP`` environment
+  overrides apply at import and malformed values fail loudly,
+* per-sweep :class:`~repro.sim.replay_kernel.PathCounters` keep sweeps
+  isolated while the module aggregate preserves the legacy
+  process-wide view.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.compiler.driver import compile_source
+from repro.envutil import env_int
+from repro.sim import precompute, replay_kernel
+from repro.sim.executor import execute
+from repro.sim.machine import EarlyGenConfig, MachineConfig, SelectionMode
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.precompute import kernel_counters, simulate_many
+from repro.workloads import get_workload
+
+from golden_cases import stats_to_record
+
+needs_numpy = pytest.mark.skipif(
+    not replay_kernel.kernel_available(),
+    reason="numpy not importable (or kernel disabled in the environment)",
+)
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Stream-eligible configs only (no hardware dual-path: that is
+#: contractually inline, never on the kernel).
+_EG_POOL = (
+    EarlyGenConfig(0, 0, SelectionMode.HARDWARE),
+    EarlyGenConfig(16, 0, SelectionMode.HARDWARE),
+    EarlyGenConfig(64, 0, SelectionMode.HARDWARE),
+    EarlyGenConfig(256, 0, SelectionMode.HARDWARE),
+    EarlyGenConfig(16, 0, SelectionMode.HARDWARE, table_confidence_bits=2),
+    EarlyGenConfig(0, 1, SelectionMode.COMPILER),
+    EarlyGenConfig(0, 2, SelectionMode.COMPILER),
+    EarlyGenConfig(64, 2, SelectionMode.COMPILER),
+)
+
+
+def _fresh_trace(name: str, scale: float = 0.05):
+    """A fresh trace for *name* — fresh precompute, kernel state, and
+    stats memo (all keyed on trace identity); program-level caches may
+    persist, per-trace state may not."""
+    w = get_workload(name)
+    scaled = max(1, int(round(w.default_scale * scale)))
+    result = compile_source(w.source(scaled))
+    program = getattr(result, "program", result)
+    return execute(program).trace
+
+
+def _machines(indices):
+    return [MachineConfig().with_earlygen(_EG_POOL[i]) for i in indices]
+
+
+def _norm_schedule(T, O):
+    """(issue cycles, outcome codes) in a container-independent form —
+    the leader returns numpy arrays, the recording replay an
+    ``array('q')`` and a ``bytearray``."""
+    return [int(x) for x in T], bytes(bytearray(O))
+
+
+def _sweep_schedules(trace, machines, force_fallback: bool):
+    """Run a sweep with donors disabled; capture every full schedule.
+
+    With ``force_fallback`` the fixed-point leader is disabled so every
+    kernel config runs the scalar recording replay; otherwise the
+    fixed-point leader must schedule every kernel config (a fallback
+    fails the test).  Returns ``(stats records, schedules in call
+    order)``.
+    """
+    calls = []
+    orig_leader = replay_kernel._leader_schedule
+    orig_recording = replay_kernel._replay_recording
+    mp = pytest.MonkeyPatch()
+    try:
+        # No donors: every kernel config must produce a full schedule
+        # itself, so phase call order lines up config-for-config.
+        mp.setattr(replay_kernel.KernelState, "pick_donor",
+                   lambda self, key, nl: None)
+        if force_fallback:
+            mp.setattr(replay_kernel, "_leader_schedule",
+                       lambda *a, **k: None)
+
+            def recording(*args):
+                stats, ra, T, O = orig_recording(*args)
+                calls.append(_norm_schedule(T, O))
+                return stats, ra, T, O
+
+            mp.setattr(replay_kernel, "_replay_recording", recording)
+        else:
+            def leader(pre, ka, mc, rv, dv, ev, excl, info, st=None,
+                       ctr=None):
+                sched = orig_leader(pre, ka, mc, rv, dv, ev, excl, info,
+                                    st=st, ctr=ctr)
+                assert sched is not None, (
+                    "fixed-point leader fell back to the scalar replay"
+                )
+                calls.append(_norm_schedule(sched[0], sched[1]))
+                return sched
+
+            mp.setattr(replay_kernel, "_leader_schedule", leader)
+        stats = simulate_many(trace, machines)
+    finally:
+        mp.undo()
+    return [stats_to_record(s) for s in stats], calls
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: the fixed-point leader IS the recording replay
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_leader_schedule_identical_to_recording_replay(data):
+    """For random generated workloads and random sweeps, the vectorized
+    fixed-point leader produces the *same schedule* — per-record issue
+    cycles and per-load outcome codes — as the scalar recording replay,
+    for every config of the sweep."""
+    alias = data.draw(st.sampled_from(
+        ("strided", "pointer", "irregular", "mixed")), label="fingerprint")
+    seed = data.draw(st.integers(min_value=0, max_value=31), label="seed")
+    width = data.draw(st.integers(min_value=4, max_value=6), label="sweep")
+    order = data.draw(st.permutations(range(len(_EG_POOL))), label="configs")
+    name = f"gen:{alias}:{seed}"
+    machines = _machines(order[:width])
+
+    rec_fp, fp_schedules = _sweep_schedules(
+        _fresh_trace(name), machines, force_fallback=False
+    )
+    rec_sc, sc_schedules = _sweep_schedules(
+        _fresh_trace(name), machines, force_fallback=True
+    )
+
+    assert rec_fp == rec_sc
+    assert len(fp_schedules) == len(sc_schedules) > 0
+    for (t_fp, o_fp), (t_sc, o_sc) in zip(fp_schedules, sc_schedules):
+        assert t_fp == t_sc
+        assert o_fp == o_sc
+
+
+@needs_numpy
+def test_forced_fallback_is_byte_identical():
+    """A zero fixed-point round budget (pathological divergence stand-in)
+    forces every kernel config onto the scalar recording fallback; the
+    stats must still be byte-identical to the inline simulator and the
+    fallback counter must say so."""
+    machines = _machines((1, 2, 5, 6))
+    inline_trace = _fresh_trace("gen:mixed:7")
+    inline = [
+        stats_to_record(TimingSimulator(inline_trace, m)._run_inline())
+        for m in machines
+    ]
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(replay_kernel, "_FP_MAX_ROUNDS", 0)
+        mp.setattr(replay_kernel.KernelState, "pick_donor",
+                   lambda self, key, nl: None)
+        ctr = kernel_counters()
+        stats = simulate_many(_fresh_trace("gen:mixed:7"), machines,
+                              counters=ctr)
+    finally:
+        mp.undo()
+    assert [stats_to_record(s) for s in stats] == inline
+    assert ctr.fallbacks > 0
+    assert ctr.leaders == 0
+
+
+# ---------------------------------------------------------------------------
+# Profitability gate (satellite: adpcm short-trace regression)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_adpcm_short_trace_stays_off_kernel_at_defaults():
+    """adpcm_decode at bench scale 0.05 sits between the stream floor
+    and the kernel floor: streams are still profitable, the kernel is
+    not.  The default thresholds must keep it that way."""
+    trace = _fresh_trace("adpcm_decode")
+    n = len(trace.uids)
+    assert precompute._PRECOMPUTE_MIN_N <= n < replay_kernel._KERNEL_MIN_N
+    machines = _machines((0, 1, 2, 4, 5, 6))
+    ctr = kernel_counters()
+    stats = simulate_many(trace, machines, counters=ctr)
+    assert (ctr.leaders, ctr.followers, ctr.fallbacks) == (0, 0, 0)
+    for got, m in zip(stats, machines):
+        want = TimingSimulator(_fresh_trace("adpcm_decode"), m)._run_inline()
+        assert stats_to_record(got) == stats_to_record(want)
+
+
+# ---------------------------------------------------------------------------
+# Environment overrides (satellite: REPRO_KERNEL_MIN_N / _MIN_SWEEP)
+# ---------------------------------------------------------------------------
+
+def test_env_int_parses_and_validates(monkeypatch):
+    monkeypatch.delenv("X_REPRO_TEST_KNOB", raising=False)
+    assert env_int("X_REPRO_TEST_KNOB", 7) == 7
+    monkeypatch.setenv("X_REPRO_TEST_KNOB", "")
+    assert env_int("X_REPRO_TEST_KNOB", 7) == 7
+    monkeypatch.setenv("X_REPRO_TEST_KNOB", "  42 ")
+    assert env_int("X_REPRO_TEST_KNOB", 7) == 42
+    monkeypatch.setenv("X_REPRO_TEST_KNOB", "banana")
+    with pytest.raises(ValueError, match="must be an integer"):
+        env_int("X_REPRO_TEST_KNOB", 7)
+    monkeypatch.setenv("X_REPRO_TEST_KNOB", "-3")
+    with pytest.raises(ValueError, match="must be >="):
+        env_int("X_REPRO_TEST_KNOB", 7)
+
+
+def _subprocess_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC
+    env.update(extra)
+    return env
+
+
+def test_kernel_threshold_env_overrides_apply():
+    probe = (
+        "import repro.sim.replay_kernel as rk, repro.sim.precompute as pc;"
+        "print(rk._KERNEL_MIN_N, pc._KERNEL_MIN_SWEEP)"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", probe],
+        env=_subprocess_env(REPRO_KERNEL_MIN_N="512",
+                            REPRO_KERNEL_MIN_SWEEP="9"),
+        capture_output=True, text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["512", "9"]
+
+
+@pytest.mark.parametrize("var,value", [
+    ("REPRO_KERNEL_MIN_N", "many"),
+    ("REPRO_KERNEL_MIN_N", "-1"),
+    ("REPRO_KERNEL_MIN_SWEEP", "4.5"),
+])
+def test_kernel_threshold_env_rejects_malformed(var, value):
+    probe = "import repro.sim.replay_kernel, repro.sim.precompute"
+    out = subprocess.run(
+        [sys.executable, "-c", probe],
+        env=_subprocess_env(**{var: value}),
+        capture_output=True, text=True,
+    )
+    assert out.returncode != 0
+    assert var in out.stderr and "must be" in out.stderr
+
+
+# ---------------------------------------------------------------------------
+# Per-sweep counters (satellite: no shared mutable globals)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_path_counters_isolate_sweeps_and_aggregate():
+    machines = _machines((1, 2, 5, 6))
+    before = replay_kernel.path_counts()
+    c1 = kernel_counters()
+    c2 = kernel_counters()
+    simulate_many(_fresh_trace("gen:strided:1"), machines, counters=c1)
+    assert c2.leaders == c2.followers == c2.fallbacks == 0, (
+        "an unused sweep counter observed another sweep's activity"
+    )
+    simulate_many(_fresh_trace("gen:strided:2"), machines, counters=c2)
+    total1 = c1.leaders + c1.followers + c1.fallbacks
+    total2 = c2.leaders + c2.followers + c2.fallbacks
+    assert total1 > 0 and total2 > 0
+    after = replay_kernel.path_counts()
+    for field in ("leaders", "followers", "fallbacks",
+                  "fixed_point_rounds", "batched_windows"):
+        delta = after[field] - before[field]
+        assert delta == getattr(c1, field) + getattr(c2, field), field
+
+
+@needs_numpy
+def test_fixed_point_round_and_window_observability():
+    """The sweep counters expose fixed-point effort: a warm wide sweep
+    reports at least one fixed-point round per leader, and as_dict
+    carries every schema-4 field the bench reads."""
+    machines = _machines((0, 1, 3, 6))
+    ctr = kernel_counters()
+    simulate_many(_fresh_trace("gen:irregular:5"), machines, counters=ctr)
+    assert ctr.leaders > 0
+    assert ctr.fixed_point_rounds >= ctr.leaders
+    d = ctr.as_dict()
+    for field in ("leaders", "followers", "fallbacks",
+                  "fixed_point_rounds", "batched_windows",
+                  "leader_s", "repair_s"):
+        assert field in d
